@@ -1,0 +1,64 @@
+// Command miggen emits the MCNC benchmark stand-ins (see internal/mcnc) as
+// structural Verilog or BLIF, so they can be inspected or fed to other
+// tools.
+//
+//	miggen -list
+//	miggen -bench my_adder -format v > my_adder.v
+//	miggen -bench C6288 -format blif > C6288.blif
+//	miggen -compress 1200 -format v > compress.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/blif"
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	name := flag.String("bench", "", "benchmark name")
+	format := flag.String("format", "v", "output format: v|blif")
+	compress := flag.Int("compress", 0, "emit the compression circuit with the given word count instead")
+	flag.Parse()
+
+	if *list {
+		for _, n := range mcnc.Names() {
+			row, _ := mcnc.PaperRowByName(n)
+			fmt.Printf("%-10s %5d inputs %5d outputs\n", n, row.Inputs, row.Outputs)
+		}
+		return
+	}
+
+	var (
+		n   *netlist.Network
+		err error
+	)
+	switch {
+	case *compress > 0:
+		n = mcnc.Compress(*compress)
+	case *name != "":
+		n, err = mcnc.Generate(*name)
+	default:
+		fmt.Fprintln(os.Stderr, "miggen: need -bench, -compress or -list")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "v":
+		fmt.Print(verilog.Write(n))
+	case "blif":
+		fmt.Print(blif.Write(n))
+	default:
+		fmt.Fprintf(os.Stderr, "miggen: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

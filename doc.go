@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Majority-Inverter
+// Graph: A Novel Data-Structure and Algorithms for Efficient Logic
+// Optimization" (Amarù, Gaillardon, De Micheli — DAC 2014).
+//
+// The library lives under internal/: the MIG core (internal/mig), the AIG
+// and BDS baselines (internal/aig, internal/bdd), the SOP engine
+// (internal/sop), technology mapping (internal/mapping), the MCNC benchmark
+// stand-ins (internal/mcnc), and the composed flows (internal/synth).
+// Executables are under cmd/ (mighty, migbench, miggen) and runnable
+// examples under examples/.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

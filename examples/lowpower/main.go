@@ -1,0 +1,63 @@
+// Low-power optimization (§IV.C): switching activity is reduced by sizing
+// down the MIG and by steering node probabilities away from 0.5 with
+// relevance/substitution exchanges.
+//
+// The example models a bus-monitor: a wide detector over data lines that
+// toggle often (p = 0.5) gated by control lines that rarely assert
+// (p = 0.05). Run with: go run ./examples/lowpower
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/mig"
+)
+
+func main() {
+	m := mig.New("busmon")
+	const width = 16
+	var data, ctl []mig.Signal
+	for i := 0; i < width; i++ {
+		data = append(data, m.AddInput(fmt.Sprintf("d%d", i)))
+	}
+	for i := 0; i < 4; i++ {
+		ctl = append(ctl, m.AddInput(fmt.Sprintf("en%d", i)))
+	}
+	// Detector: per-bit reconvergent matches — each monitor cell computes
+	// M(d_i, en_g, M(d_i', d_j, d_k)), the paper's Fig. 2(d) structure at
+	// scale. The busy d_i appears on both sides of the cell, so relevance
+	// (Ψ.R) can swap the inner occurrence for the quiet enable.
+	var groups []mig.Signal
+	for g := 0; g < 4; g++ {
+		acc := mig.Const0
+		for i := 0; i < width/4; i++ {
+			bit := data[g*width/4+i]
+			inner := m.Maj(bit.Not(), data[(g*width/4+i+1)%width], data[(g*width/4+i+2)%width])
+			cell := m.Maj(bit, ctl[g], inner)
+			acc = m.Or(acc, cell)
+		}
+		groups = append(groups, acc)
+	}
+	alarm := m.Or(m.Or(groups[0], groups[1]), m.Or(groups[2], groups[3]))
+	m.AddOutput("alarm", alarm)
+
+	probs := make([]float64, width+4)
+	for i := 0; i < width; i++ {
+		probs[i] = 0.5 // busy data lines
+	}
+	for i := 0; i < 4; i++ {
+		probs[width+i] = 0.05 // rarely-enabled monitors
+	}
+
+	fmt.Printf("before: size=%d depth=%d activity=%.3f (uniform) / %.3f (profiled)\n",
+		m.Size(), m.Depth(), m.Activity(nil), m.Activity(probs))
+
+	o := mig.OptimizeActivityProbs(m, 4, probs)
+	fmt.Printf("after:  size=%d depth=%d activity=%.3f (uniform) / %.3f (profiled)\n",
+		o.Size(), o.Depth(), o.Activity(nil), o.Activity(probs))
+
+	d := mig.OptimizeDepth(m, 4)
+	fmt.Printf("\nfor contrast, depth-only optimization: size=%d depth=%d activity=%.3f (profiled)\n",
+		d.Size(), d.Depth(), d.Activity(probs))
+	fmt.Println("\nthe activity optimizer trades nothing on function: all three are equivalent MIGs")
+}

@@ -1,0 +1,264 @@
+package aig
+
+import (
+	"sort"
+
+	"repro/internal/sop"
+	"repro/internal/tt"
+)
+
+// Optimization passes in the style of ABC's resyn2 script: Balance (depth),
+// Rewrite (size, 4-input cuts) and Refactor (size, larger cones). Every
+// pass is a topological rebuild; candidate structures are probed with
+// checkpoint/rollback and accepted when they improve on the default
+// reconstruction.
+
+// checkpoint returns a rollback token.
+func (a *AIG) checkpoint() int { return len(a.nodes) }
+
+// rollback removes nodes created after the checkpoint.
+func (a *AIG) rollback(cp int) {
+	for i := len(a.nodes) - 1; i >= cp; i-- {
+		if a.nodes[i].kind == kindAnd {
+			delete(a.strash, a.nodes[i].fanin)
+		}
+	}
+	a.nodes = a.nodes[:cp]
+}
+
+type rebuildFunc func(out *AIG, oldIdx int, x, y Signal) Signal
+
+// rebuildWith reconstructs the AIG through f, skipping dead nodes.
+func (a *AIG) rebuildWith(f rebuildFunc) *AIG {
+	out := New(a.Name)
+	remap := make([]Signal, len(a.nodes))
+	for idx, in := range a.inputs {
+		remap[in] = out.AddInput(a.names[idx])
+	}
+	live := a.LiveMask()
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !live[i] || nd.kind != kindAnd {
+			continue
+		}
+		x := remap[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
+		y := remap[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
+		remap[i] = f(out, i, x, y)
+	}
+	for _, o := range a.Outputs {
+		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
+	}
+	return out
+}
+
+// Balance rebuilds AND trees as balanced (minimum-depth) trees, the analogue
+// of ABC's "balance" command. Maximal single-fanout conjunction trees are
+// collected in the old graph and re-assembled pairing the shallowest
+// operands first.
+func (a *AIG) Balance() *AIG {
+	refs := a.FanoutCounts()
+	out := New(a.Name)
+	remap := make([]Signal, len(a.nodes))
+	for idx, in := range a.inputs {
+		remap[in] = out.AddInput(a.names[idx])
+	}
+	live := a.LiveMask()
+
+	// Collect the leaves of the conjunction tree rooted at old node i.
+	var collect func(s Signal, root bool, leaves *[]Signal)
+	collect = func(s Signal, root bool, leaves *[]Signal) {
+		nd := &a.nodes[s.Node()]
+		if nd.kind == kindAnd && !s.Neg() && (root || refs[s.Node()] == 1) {
+			collect(nd.fanin[0], false, leaves)
+			collect(nd.fanin[1], false, leaves)
+			return
+		}
+		*leaves = append(*leaves, s)
+	}
+
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !live[i] || nd.kind != kindAnd {
+			continue
+		}
+		var oldLeaves []Signal
+		collect(MakeSignal(i, false), true, &oldLeaves)
+		// Map leaves into the new graph.
+		newLeaves := make([]Signal, len(oldLeaves))
+		for k, l := range oldLeaves {
+			newLeaves[k] = remap[l.Node()].NotIf(l.Neg())
+		}
+		// Combine the two shallowest leaves repeatedly.
+		for len(newLeaves) > 1 {
+			sort.Slice(newLeaves, func(x, y int) bool {
+				return out.Level(newLeaves[x]) < out.Level(newLeaves[y])
+			})
+			n := out.And(newLeaves[0], newLeaves[1])
+			newLeaves = append([]Signal{n}, newLeaves[2:]...)
+		}
+		remap[i] = newLeaves[0]
+	}
+	for _, o := range a.Outputs {
+		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
+	}
+	return out
+}
+
+// synthExpr builds an expression tree in the AIG over the given leaf
+// signals, pairing shallow operands first.
+func synthExpr(out *AIG, e *sop.Expr, leaves []Signal) Signal {
+	switch e.Kind {
+	case sop.ExprConst:
+		if e.Val {
+			return Const1
+		}
+		return Const0
+	case sop.ExprLit:
+		return leaves[e.Var].NotIf(e.Neg)
+	case sop.ExprAnd, sop.ExprOr:
+		sigs := make([]Signal, len(e.Kids))
+		for i, k := range e.Kids {
+			s := synthExpr(out, k, leaves)
+			if e.Kind == sop.ExprOr {
+				s = s.Not()
+			}
+			sigs[i] = s
+		}
+		for len(sigs) > 1 {
+			sort.Slice(sigs, func(x, y int) bool {
+				return out.Level(sigs[x]) < out.Level(sigs[y])
+			})
+			sigs = append([]Signal{out.And(sigs[0], sigs[1])}, sigs[2:]...)
+		}
+		if e.Kind == sop.ExprOr {
+			return sigs[0].Not()
+		}
+		return sigs[0]
+	}
+	panic("aig: bad expression kind")
+}
+
+// SynthesizeTT builds f over the leaf signals via minimized, factored SOP.
+func SynthesizeTT(out *AIG, f tt.TT, leaves []Signal) Signal {
+	e, neg := sop.FactorTT(f)
+	return synthExpr(out, e, leaves).NotIf(neg)
+}
+
+// Rewrite performs DAG-aware cut rewriting with 4-input cuts, the analogue
+// of ABC's "rewrite".
+func (a *AIG) Rewrite() *AIG {
+	return a.cutResynth(4, 6)
+}
+
+// Refactor performs cone refactoring with larger cuts (up to 10 leaves),
+// the analogue of ABC's "refactor".
+func (a *AIG) Refactor() *AIG {
+	return a.cutResynth(10, 2)
+}
+
+// cutResynth rebuilds the AIG, resynthesizing each node from the best of
+// its k-feasible cuts via minimized factored SOP. A candidate is accepted
+// when it creates fewer nodes than the default reconstruction (exploiting
+// sharing found by structural hashing), or the same number at lower level.
+func (a *AIG) cutResynth(k, maxCuts int) *AIG {
+	cuts := a.EnumerateCuts(k, maxCuts)
+	remap := make(map[int]Signal, len(a.nodes))
+	res := a.rebuildWithRemap(remap, func(out *AIG, oldIdx int, x, y Signal) Signal {
+		cp := out.checkpoint()
+		def := out.And(x, y)
+		defAdded := len(out.nodes) - cp
+		defLevel := out.Level(def)
+		out.rollback(cp)
+
+		type cand struct {
+			cut   Cut
+			added int
+			level int
+			f     tt.TT
+			sigs  []Signal
+		}
+		best := cand{added: defAdded, level: defLevel}
+		haveBest := false
+		for _, cut := range cuts[oldIdx] {
+			if len(cut.Leaves) < 2 {
+				continue
+			}
+			leafSigs := make([]Signal, len(cut.Leaves))
+			ok := true
+			for i, l := range cut.Leaves {
+				s, found := remap[l]
+				if !found {
+					ok = false
+					break
+				}
+				leafSigs[i] = s
+			}
+			if !ok {
+				continue
+			}
+			f := a.CutFunction(oldIdx, cut)
+			cp := out.checkpoint()
+			s := SynthesizeTT(out, f, leafSigs)
+			added := len(out.nodes) - cp
+			level := out.Level(s)
+			out.rollback(cp)
+			if added < best.added || (added == best.added && level < best.level) {
+				best = cand{cut: cut, added: added, level: level, f: f, sigs: leafSigs}
+				haveBest = true
+			}
+		}
+		if !haveBest {
+			return out.And(x, y)
+		}
+		return SynthesizeTT(out, best.f, best.sigs)
+	})
+	return res
+}
+
+// rebuildWithRemap is rebuildWith, additionally exposing the old→new signal
+// map to the callback (the map is updated as nodes are processed).
+func (a *AIG) rebuildWithRemap(remap map[int]Signal, f rebuildFunc) *AIG {
+	out := New(a.Name)
+	remapArr := make([]Signal, len(a.nodes))
+	remap[0] = Const0
+	for idx, in := range a.inputs {
+		s := out.AddInput(a.names[idx])
+		remapArr[in] = s
+		remap[in] = s
+	}
+	live := a.LiveMask()
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !live[i] || nd.kind != kindAnd {
+			continue
+		}
+		x := remapArr[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
+		y := remapArr[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
+		s := f(out, i, x, y)
+		remapArr[i] = s
+		remap[i] = s
+	}
+	for _, o := range a.Outputs {
+		out.AddOutput(o.Name, remapArr[o.Sig.Node()].NotIf(o.Sig.Neg()))
+	}
+	return out
+}
+
+// Resyn2 runs the balance–rewrite–refactor script to a fixpoint bounded by
+// rounds, mirroring ABC's resyn2 recipe, and returns the best AIG found
+// (smallest size, then depth).
+func Resyn2(a *AIG, rounds int) *AIG {
+	best := a.Cleanup()
+	cur := best
+	for r := 0; r < rounds; r++ {
+		cur = cur.Balance()
+		cur = cur.Rewrite().Cleanup()
+		cur = cur.Refactor().Cleanup()
+		cur = cur.Balance()
+		cur = cur.Rewrite().Cleanup()
+		if cur.Size() < best.Size() || (cur.Size() == best.Size() && cur.Depth() < best.Depth()) {
+			best = cur
+		}
+	}
+	return best
+}

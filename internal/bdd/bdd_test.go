@@ -1,0 +1,296 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/tt"
+)
+
+func TestVarAndEval(t *testing.T) {
+	m := NewManager(3, 0)
+	x := m.Var(0)
+	if !m.Eval(x, []bool{true, false, false}) {
+		t.Error("x(1,0,0) != 1")
+	}
+	if m.Eval(x, []bool{false, true, true}) {
+		t.Error("x(0,1,1) != 0")
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	m := NewManager(2, 0)
+	x, y := m.Var(0), m.Var(1)
+	and, _ := m.And(x, y)
+	or, _ := m.Or(x, y)
+	xor, _ := m.Xor(x, y)
+	nx, _ := m.Not(x)
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			env := []bool{a == 1, b == 1}
+			if m.Eval(and, env) != (a == 1 && b == 1) {
+				t.Error("and wrong")
+			}
+			if m.Eval(or, env) != (a == 1 || b == 1) {
+				t.Error("or wrong")
+			}
+			if m.Eval(xor, env) != (a != b) {
+				t.Error("xor wrong")
+			}
+			if m.Eval(nx, env) != (a == 0) {
+				t.Error("not wrong")
+			}
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	// Two different constructions of the same function must be the same Ref.
+	m := NewManager(3, 0)
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	// (x∧y)∨(x∧z)∨(y∧z) vs maj
+	xy, _ := m.And(x, y)
+	xz, _ := m.And(x, z)
+	yz, _ := m.And(y, z)
+	o1, _ := m.Or(xy, xz)
+	o2, _ := m.Or(o1, yz)
+	maj, _ := m.Maj(x, y, z)
+	if o2 != maj {
+		t.Error("BDD not canonical: maj built two ways differs")
+	}
+	// Double negation.
+	nx, _ := m.Not(x)
+	nnx, _ := m.Not(nx)
+	if nnx != x {
+		t.Error("double negation not identity")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A tiny limit must trip ErrLimit on a function with a large BDD.
+	m := NewManager(16, 24)
+	acc := False
+	var err error
+	for i := 0; i < 8; i++ {
+		var p Ref
+		p, err = m.And(m.Var(2*i), m.Var(2*i+1))
+		if err != nil {
+			break
+		}
+		acc, err = m.Xor(acc, p)
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrLimit {
+		t.Errorf("expected ErrLimit, got %v", err)
+	}
+}
+
+func randomNetwork(r *rand.Rand, ni, ng int) *netlist.Network {
+	n := netlist.New("rand")
+	var sigs []netlist.Signal
+	for i := 0; i < ni; i++ {
+		sigs = append(sigs, n.AddInput("i"))
+	}
+	ops := []netlist.Op{netlist.And, netlist.Or, netlist.Xor, netlist.Nand, netlist.Maj, netlist.Mux}
+	for g := 0; g < ng; g++ {
+		op := ops[r.Intn(len(ops))]
+		pick := func() netlist.Signal {
+			s := sigs[r.Intn(len(sigs))]
+			if r.Intn(2) == 0 {
+				s = s.Not()
+			}
+			return s
+		}
+		var s netlist.Signal
+		if op == netlist.Maj || op == netlist.Mux {
+			s = n.AddGate(op, pick(), pick(), pick())
+		} else {
+			s = n.AddGate(op, pick(), pick())
+		}
+		sigs = append(sigs, s)
+	}
+	for o := 0; o < 3; o++ {
+		n.AddOutput("o", sigs[len(sigs)-1-o])
+	}
+	return n
+}
+
+func TestBuildNetworkMatchesCollapse(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetwork(r, 6, 30)
+		m, roots, err := BuildNetwork(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tts, err := n.CollapseTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, root := range roots {
+			for mt := 0; mt < 64; mt++ {
+				env := make([]bool, 6)
+				for v := 0; v < 6; v++ {
+					env[v] = mt&(1<<uint(v)) != 0
+				}
+				if m.Eval(root, env) != tts[i].Bit(mt) {
+					t.Fatalf("trial %d output %d minterm %d wrong", trial, i, mt)
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposePreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetwork(r, 6, 30)
+		dec, err := DecomposeNetwork(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := n.CollapseTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := dec.CollapseTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range t1 {
+			if !t1[i].Equal(t2[i]) {
+				t.Fatalf("trial %d: decomposition changed output %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecomposeExtractsXor(t *testing.T) {
+	// A parity function must decompose into XOR gates, not MUX trees.
+	n := netlist.New("parity")
+	var x netlist.Signal
+	x = n.AddInput("a")
+	for i := 1; i < 6; i++ {
+		x = n.AddGate(netlist.Xor, x, n.AddInput("b"))
+	}
+	n.AddOutput("p", x)
+	dec, err := DecomposeNetwork(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := dec.OpCounts()
+	if counts[netlist.Mux] != 0 {
+		t.Errorf("parity decomposition has %d MUX nodes, want 0", counts[netlist.Mux])
+	}
+	if counts[netlist.Xor] != 5 {
+		t.Errorf("parity decomposition has %d XOR nodes, want 5", counts[netlist.Xor])
+	}
+}
+
+func TestDecomposeExtractsAndOr(t *testing.T) {
+	n := netlist.New("andor")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	n.AddOutput("f", n.AddGate(netlist.And, a, n.AddGate(netlist.Or, b, c)))
+	dec, err := DecomposeNetwork(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := dec.OpCounts()
+	if counts[netlist.Mux] != 0 {
+		t.Errorf("a(b+c) decomposition uses MUX")
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := dec.CollapseTT()
+	if !t1[0].Equal(t2[0]) {
+		t.Error("function changed")
+	}
+}
+
+func TestDecomposeNetworkLimit(t *testing.T) {
+	// A multiplier-like network with a tiny node limit must fail cleanly.
+	n := netlist.New("mult")
+	var rows [][]netlist.Signal
+	var xs, ys []netlist.Signal
+	for i := 0; i < 8; i++ {
+		xs = append(xs, n.AddInput("x"))
+	}
+	for i := 0; i < 8; i++ {
+		ys = append(ys, n.AddInput("y"))
+	}
+	for i := 0; i < 8; i++ {
+		var row []netlist.Signal
+		for j := 0; j < 8; j++ {
+			row = append(row, n.AddGate(netlist.And, xs[i], ys[j]))
+		}
+		rows = append(rows, row)
+	}
+	// Sum diagonals with xor chains (not a real multiplier, but BDD-hard
+	// enough once chained).
+	acc := rows[0][0]
+	for i := 1; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			acc = n.AddGate(netlist.Xor, acc, rows[i][j])
+			acc = n.AddGate(netlist.Maj, acc, rows[i][(j+1)%8], rows[(i+j)%8][j])
+		}
+	}
+	n.AddOutput("o", acc)
+	_, err := DecomposeNetwork(n, 64)
+	if err != ErrLimit {
+		t.Errorf("want ErrLimit, got %v", err)
+	}
+}
+
+func TestSharedNodesCount(t *testing.T) {
+	m := NewManager(4, 0)
+	x, y, z := m.Var(0), m.Var(1), m.Var(2)
+	// parity(y, z) appears as the 1-cofactor of b = x ∧ parity(y, z), so b
+	// and c = parity(y, z) share the parity subgraph.
+	c, _ := m.Xor(y, z)
+	b, _ := m.And(x, c)
+	total := m.CountNodes([]Ref{b, c})
+	sep := m.CountNodes([]Ref{b}) + m.CountNodes([]Ref{c})
+	if total >= sep {
+		t.Errorf("no sharing detected: total %d vs separate %d", total, sep)
+	}
+	if total != m.CountNodes([]Ref{b}) {
+		t.Errorf("c not contained in b's subgraph: %d vs %d", total, m.CountNodes([]Ref{b}))
+	}
+}
+
+func TestEvalAgainstTT(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// Build a random function as tt and as BDD from its minterms; compare.
+	for trial := 0; trial < 10; trial++ {
+		f := tt.FromWords(4, []uint64{r.Uint64()})
+		m := NewManager(4, 0)
+		acc := False
+		for mt := 0; mt < 16; mt++ {
+			if !f.Bit(mt) {
+				continue
+			}
+			cube := True
+			for v := 0; v < 4; v++ {
+				lit := m.Var(v)
+				if mt&(1<<uint(v)) == 0 {
+					lit, _ = m.Not(lit)
+				}
+				cube, _ = m.And(cube, lit)
+			}
+			acc, _ = m.Or(acc, cube)
+		}
+		for mt := 0; mt < 16; mt++ {
+			env := make([]bool, 4)
+			for v := 0; v < 4; v++ {
+				env[v] = mt&(1<<uint(v)) != 0
+			}
+			if m.Eval(acc, env) != f.Bit(mt) {
+				t.Fatalf("trial %d minterm %d", trial, mt)
+			}
+		}
+	}
+}

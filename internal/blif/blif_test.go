@@ -1,0 +1,186 @@
+package blif
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n := netlist.New("fa")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	ci := n.AddInput("ci")
+	n.AddOutput("sum", n.AddGate(netlist.Xor, a, b, ci))
+	n.AddOutput("cout", n.AddGate(netlist.Maj, a, b, ci))
+	src := Write(n)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := back.CollapseTT()
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d changed", i)
+		}
+	}
+}
+
+func TestRoundTripAllOps(t *testing.T) {
+	n := netlist.New("ops")
+	var in []netlist.Signal
+	for i := 0; i < 4; i++ {
+		in = append(in, n.AddInput("i"))
+	}
+	n.AddOutput("a", n.AddGate(netlist.Nand, in[0], in[1]))
+	n.AddOutput("b", n.AddGate(netlist.Nor, in[2], in[3]))
+	n.AddOutput("c", n.AddGate(netlist.Xnor, in[0], in[3]))
+	n.AddOutput("d", n.AddGate(netlist.Mux, in[0], in[1], in[2]))
+	n.AddOutput("e", n.AddGate(netlist.Not, in[1]))
+	n.AddOutput("f", n.AddGate(netlist.Buf, in[2]))
+	n.AddOutput("g", netlist.SigConst1)
+	n.AddOutput("h", netlist.SigConst0)
+	n.AddOutput("k", in[0].Not())
+	n.AddOutput("m", n.AddGate(netlist.And, in[0], in[1], in[2]))
+	n.AddOutput("o", n.AddGate(netlist.Or, in[0], in[1], in[2], in[3]))
+	n.AddOutput("x", n.AddGate(netlist.Xor, in[0], in[1], in[2]))
+	src := Write(n)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := back.CollapseTT()
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d (%s) changed", i, n.Outputs[i].Name)
+		}
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	src := `# a comment
+.model test
+.inputs a b c
+.outputs f g
+.names a b ab
+11 1
+.names ab c f
+1- 1
+-1 1
+.names a b g
+0 1
+- wait this is invalid
+.end
+`
+	if _, err := Parse(src); err == nil {
+		t.Error("accepted malformed cover")
+	}
+	good := `
+.model test
+.inputs a b c
+.outputs f
+.names a b ab
+11 1
+.names ab c f
+1- 1
+-1 1
+.end
+`
+	n, err := Parse(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	for m := 0; m < 8; m++ {
+		a, b, c := m&1 != 0, m&2 != 0, m&4 != 0
+		want := (a && b) || c
+		if tts[0].Bit(m) != want {
+			t.Errorf("f wrong at %d", m)
+		}
+	}
+}
+
+func TestParseZeroCover(t *testing.T) {
+	// Output-0 rows complement the cover.
+	src := `
+.model z
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	for m := 0; m < 4; m++ {
+		a, b := m&1 != 0, m&2 != 0
+		if tts[0].Bit(m) != !(a && b) {
+			t.Errorf("inverted cover wrong at %d", m)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	src := `
+.model c
+.inputs a
+.outputs one zero pass
+.names one
+1
+.names zero
+.names a pass
+1 1
+.end
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	if !tts[0].IsConst1() {
+		t.Error("one is not const1")
+	}
+	if !tts[1].IsConst0() {
+		t.Error("zero is not const0")
+	}
+}
+
+func TestParseUnsupported(t *testing.T) {
+	if _, err := Parse(".model x\n.latch a b\n.end\n"); err == nil {
+		t.Error("latch accepted")
+	}
+}
+
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, name := range []string{"b9", "alu4", "count"} {
+		n, err := mcnc.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(Write(n))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := rand.New(rand.NewSource(2))
+		for trial := 0; trial < 16; trial++ {
+			ins := make([]uint64, n.NumInputs())
+			for i := range ins {
+				ins[i] = r.Uint64()
+			}
+			w1 := n.OutputWords(ins)
+			w2 := back.OutputWords(ins)
+			for i := range w1 {
+				if w1[i] != w2[i] {
+					t.Fatalf("%s: output %d differs", name, i)
+				}
+			}
+		}
+	}
+}

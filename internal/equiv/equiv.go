@@ -1,0 +1,172 @@
+// Package equiv provides combinational equivalence checking between
+// netlists, used throughout the repository to validate that every
+// optimization pass preserves function. Three engines are layered by
+// circuit size:
+//
+//   - exact truth-table comparison for networks with at most tt.MaxVars
+//     inputs,
+//   - BDD-based comparison for medium networks (canonical, complete), and
+//   - 64-way random simulation for anything larger (probabilistic).
+package equiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bdd"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+	"repro/internal/tt"
+)
+
+// Method reports which engine decided the comparison.
+type Method string
+
+// Engine identifiers.
+const (
+	MethodExact Method = "exact"
+	MethodBDD   Method = "bdd"
+	MethodSim   Method = "simulation"
+)
+
+// Result of an equivalence check.
+type Result struct {
+	Equivalent bool
+	Method     Method
+	Detail     string
+}
+
+// Options controls the check.
+type Options struct {
+	// MaxExactInputs bounds the exhaustive engine (default 14).
+	MaxExactInputs int
+	// BDDLimit bounds BDD construction (default 200_000 nodes); on
+	// overflow the checker falls back to simulation.
+	BDDLimit int
+	// SimRounds is the number of 64-pattern simulation rounds (default 256).
+	SimRounds int
+	// Seed for the simulation engine.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.MaxExactInputs == 0 {
+		o.MaxExactInputs = 14
+	}
+	if o.BDDLimit == 0 {
+		o.BDDLimit = 200_000
+	}
+	if o.SimRounds == 0 {
+		o.SimRounds = 256
+	}
+}
+
+// Check compares two networks with the same input and output counts. Inputs
+// are matched positionally.
+func Check(a, b *netlist.Network, opts Options) (Result, error) {
+	opts.defaults()
+	if a.NumInputs() != b.NumInputs() {
+		return Result{}, fmt.Errorf("equiv: input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
+	}
+	if a.NumOutputs() != b.NumOutputs() {
+		return Result{}, fmt.Errorf("equiv: output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
+	}
+	if a.NumInputs() <= opts.MaxExactInputs && a.NumInputs() <= tt.MaxVars {
+		ta, err := a.CollapseTT()
+		if err != nil {
+			return Result{}, err
+		}
+		tb, err := b.CollapseTT()
+		if err != nil {
+			return Result{}, err
+		}
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				return Result{
+					Equivalent: false,
+					Method:     MethodExact,
+					Detail:     fmt.Sprintf("output %d (%s) differs", i, a.Outputs[i].Name),
+				}, nil
+			}
+		}
+		return Result{Equivalent: true, Method: MethodExact}, nil
+	}
+
+	// Try the BDD engine on medium circuits.
+	if res, ok := checkBDD(a, b, opts.BDDLimit); ok {
+		return res, nil
+	}
+
+	// Fall back to random simulation.
+	r := rand.New(rand.NewSource(opts.Seed + 0x9E3779B9))
+	pats := sim.RandomPatterns(r, a.NumInputs(), opts.SimRounds)
+	sa := sim.Signature(a, pats)
+	sb := sim.Signature(b, pats)
+	if !sim.EqualSignatures(sa, sb) {
+		return Result{Equivalent: false, Method: MethodSim, Detail: "signatures differ"}, nil
+	}
+	return Result{
+		Equivalent: true,
+		Method:     MethodSim,
+		Detail:     fmt.Sprintf("%d random patterns", opts.SimRounds*64),
+	}, nil
+}
+
+func checkBDD(a, b *netlist.Network, limit int) (Result, bool) {
+	ma, ra, err := bdd.BuildNetwork(a, limit)
+	if err != nil {
+		return Result{}, false
+	}
+	// Build b in the same manager name-space by re-running on a fresh
+	// manager and comparing canonical refs is not possible across managers;
+	// instead build a miter-style combined network.
+	mb, rb, err := bdd.BuildNetwork(b, limit)
+	if err != nil {
+		return Result{}, false
+	}
+	// Compare structurally: canonical BDDs over the same variable order are
+	// equal iff a traversal-based isomorphism holds. Cheapest: rebuild b's
+	// roots inside a's manager via Eval-directed construction is expensive;
+	// instead compare sizes first, then verify with simulation inside the
+	// managers.
+	if ma.CountNodes(ra) != mb.CountNodes(rb) {
+		return Result{Equivalent: false, Method: MethodBDD, Detail: "BDD sizes differ"}, true
+	}
+	// Same sizes: verify by comparing the diagrams via parallel traversal.
+	if !isomorphic(ma, mb, ra, rb) {
+		return Result{Equivalent: false, Method: MethodBDD, Detail: "BDD structures differ"}, true
+	}
+	return Result{Equivalent: true, Method: MethodBDD}, true
+}
+
+// isomorphic checks that the ordered BDDs rooted at ra/rb in two managers
+// are identical diagrams (same variable tests, same shape). For ROBDDs over
+// the same variable order this is exact equivalence.
+func isomorphic(ma, mb *bdd.Manager, ra, rb []bdd.Ref) bool {
+	if len(ra) != len(rb) {
+		return false
+	}
+	match := map[bdd.Ref]bdd.Ref{bdd.False: bdd.False, bdd.True: bdd.True}
+	var rec func(x, y bdd.Ref) bool
+	rec = func(x, y bdd.Ref) bool {
+		if m, ok := match[x]; ok {
+			return m == y
+		}
+		if (x <= bdd.True) != (y <= bdd.True) {
+			return false
+		}
+		vx, lx, hx := ma.NodeInfo(x)
+		vy, ly, hy := mb.NodeInfo(y)
+		if vx != vy {
+			return false
+		}
+		match[x] = y
+		return rec(lx, ly) && rec(hx, hy)
+	}
+	for i := range ra {
+		if !rec(ra[i], rb[i]) {
+			return false
+		}
+	}
+	return true
+}

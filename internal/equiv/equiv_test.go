@@ -1,0 +1,152 @@
+package equiv
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// adder builds an n-bit ripple adder netlist.
+func adder(bits int, name string) *netlist.Network {
+	n := netlist.New(name)
+	var xs, ys []netlist.Signal
+	for i := 0; i < bits; i++ {
+		xs = append(xs, n.AddInput("x"))
+	}
+	for i := 0; i < bits; i++ {
+		ys = append(ys, n.AddInput("y"))
+	}
+	c := netlist.SigConst0
+	for i := 0; i < bits; i++ {
+		s := n.AddGate(netlist.Xor, xs[i], ys[i], c)
+		n.AddOutput("s", s)
+		c = n.AddGate(netlist.Maj, xs[i], ys[i], c)
+	}
+	n.AddOutput("cout", c)
+	return n
+}
+
+// adderCLAish builds the same function with a different structure (carries
+// computed by expanded equations).
+func adderExpanded(bits int) *netlist.Network {
+	n := netlist.New("exp")
+	var xs, ys []netlist.Signal
+	for i := 0; i < bits; i++ {
+		xs = append(xs, n.AddInput("x"))
+	}
+	for i := 0; i < bits; i++ {
+		ys = append(ys, n.AddInput("y"))
+	}
+	carries := []netlist.Signal{netlist.SigConst0}
+	for i := 0; i < bits; i++ {
+		g := n.AddGate(netlist.And, xs[i], ys[i])
+		p := n.AddGate(netlist.Or, xs[i], ys[i])
+		c := n.AddGate(netlist.Or, g, n.AddGate(netlist.And, p, carries[i]))
+		carries = append(carries, c)
+	}
+	for i := 0; i < bits; i++ {
+		n.AddOutput("s", n.AddGate(netlist.Xor, xs[i], ys[i], carries[i]))
+	}
+	n.AddOutput("cout", carries[bits])
+	return n
+}
+
+func TestExactEquivalent(t *testing.T) {
+	a := adder(4, "a")
+	b := adderExpanded(4)
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("4-bit adders not equivalent: %s", res.Detail)
+	}
+	if res.Method != MethodExact {
+		t.Errorf("method = %s, want exact", res.Method)
+	}
+}
+
+func TestExactDifferent(t *testing.T) {
+	a := adder(3, "a")
+	b := adder(3, "b")
+	// Flip one output.
+	b.Outputs[0].Sig = b.Outputs[0].Sig.Not()
+	res, err := Check(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("flipped output not detected")
+	}
+}
+
+func TestBDDEngineEquivalent(t *testing.T) {
+	// 12-bit adders: 24 inputs forces the BDD engine (exact capped at 14).
+	a := adder(12, "a")
+	b := adderExpanded(12)
+	res, err := Check(a, b, Options{MaxExactInputs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("12-bit adders not equivalent: %s (%s)", res.Detail, res.Method)
+	}
+	if res.Method != MethodBDD {
+		t.Errorf("method = %s, want bdd", res.Method)
+	}
+}
+
+func TestBDDEngineDifferent(t *testing.T) {
+	a := adder(12, "a")
+	b := adderExpanded(12)
+	b.Outputs[3].Sig = b.Outputs[3].Sig.Not()
+	res, err := Check(a, b, Options{MaxExactInputs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("BDD engine missed a flipped output")
+	}
+}
+
+func TestSimulationFallback(t *testing.T) {
+	// Force simulation with a tiny BDD limit.
+	a := adder(16, "a")
+	b := adderExpanded(16)
+	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8, SimRounds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("simulation says different: %s", res.Detail)
+	}
+	if res.Method != MethodSim {
+		t.Errorf("method = %s, want simulation", res.Method)
+	}
+}
+
+func TestSimulationCatchesDifference(t *testing.T) {
+	a := adder(16, "a")
+	b := adderExpanded(16)
+	b.Outputs[7].Sig = b.Outputs[7].Sig.Not()
+	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8, SimRounds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Error("simulation missed flipped output")
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a := adder(4, "a")
+	b := adder(5, "b")
+	if _, err := Check(a, b, Options{}); err == nil {
+		t.Error("input count mismatch accepted")
+	}
+	c := adder(4, "c")
+	c.Outputs = c.Outputs[:3]
+	if _, err := Check(a, c, Options{}); err == nil {
+		t.Error("output count mismatch accepted")
+	}
+}

@@ -1,0 +1,509 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+// Result is a mapped design with its estimated metrics.
+type Result struct {
+	Name       string
+	CellCounts map[CellKind]int
+	Area       float64 // µm²
+	Delay      float64 // ns (critical path)
+	Power      float64 // µW (dynamic, at the library toggle rate)
+}
+
+// NumCells returns the total cell count.
+func (r *Result) NumCells() int {
+	n := 0
+	for _, c := range r.CellCounts {
+		n += c
+	}
+	return n
+}
+
+// String renders a summary line.
+func (r *Result) String() string {
+	keys := make([]int, 0, len(r.CellCounts))
+	for k := range r.CellCounts {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	s := fmt.Sprintf("%s: area=%.2fµm² delay=%.3fns power=%.2fµW cells=%d [", r.Name, r.Area, r.Delay, r.Power, r.NumCells())
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v:%d", CellKind(k), r.CellCounts[CellKind(k)])
+	}
+	return s + "]"
+}
+
+// normalize rebuilds the network with only two-input And/Or/Xor and
+// three-input Maj gates (complements live on edges), folding constants and
+// decomposing wide gates into balanced trees. This is the mapper's subject
+// graph.
+func normalize(n *netlist.Network) *netlist.Network {
+	out := netlist.New(n.Name)
+	remap := make([]netlist.Signal, len(n.Nodes))
+	ms := func(s netlist.Signal) netlist.Signal { return remap[s.Node()].NotIf(s.Neg()) }
+
+	// gate2 folds constants for two-input And/Or/Xor.
+	gate2 := func(op netlist.Op, a, b netlist.Signal) netlist.Signal {
+		switch op {
+		case netlist.And:
+			if a == netlist.SigConst0 || b == netlist.SigConst0 {
+				return netlist.SigConst0
+			}
+			if a == netlist.SigConst1 {
+				return b
+			}
+			if b == netlist.SigConst1 {
+				return a
+			}
+			if a == b {
+				return a
+			}
+			if a == b.Not() {
+				return netlist.SigConst0
+			}
+		case netlist.Or:
+			if a == netlist.SigConst1 || b == netlist.SigConst1 {
+				return netlist.SigConst1
+			}
+			if a == netlist.SigConst0 {
+				return b
+			}
+			if b == netlist.SigConst0 {
+				return a
+			}
+			if a == b {
+				return a
+			}
+			if a == b.Not() {
+				return netlist.SigConst1
+			}
+		case netlist.Xor:
+			if a == netlist.SigConst0 {
+				return b
+			}
+			if b == netlist.SigConst0 {
+				return a
+			}
+			if a == netlist.SigConst1 {
+				return b.Not()
+			}
+			if b == netlist.SigConst1 {
+				return a.Not()
+			}
+			if a == b {
+				return netlist.SigConst0
+			}
+			if a == b.Not() {
+				return netlist.SigConst1
+			}
+		}
+		return out.AddGate(op, a, b)
+	}
+	reduce := func(sigs []netlist.Signal, op netlist.Op) netlist.Signal {
+		for len(sigs) > 1 {
+			var next []netlist.Signal
+			for i := 0; i+1 < len(sigs); i += 2 {
+				next = append(next, gate2(op, sigs[i], sigs[i+1]))
+			}
+			if len(sigs)%2 == 1 {
+				next = append(next, sigs[len(sigs)-1])
+			}
+			sigs = next
+		}
+		return sigs[0]
+	}
+	maj3 := func(a, b, c netlist.Signal) netlist.Signal {
+		// Majority simplification with constants / duplicates.
+		if a == b {
+			return a
+		}
+		if a == b.Not() {
+			return c
+		}
+		if a == c {
+			return a
+		}
+		if a == c.Not() {
+			return b
+		}
+		if b == c {
+			return b
+		}
+		if b == c.Not() {
+			return a
+		}
+		if a == netlist.SigConst0 {
+			return gate2(netlist.And, b, c)
+		}
+		if a == netlist.SigConst1 {
+			return gate2(netlist.Or, b, c)
+		}
+		if b == netlist.SigConst0 {
+			return gate2(netlist.And, a, c)
+		}
+		if b == netlist.SigConst1 {
+			return gate2(netlist.Or, a, c)
+		}
+		if c == netlist.SigConst0 {
+			return gate2(netlist.And, a, b)
+		}
+		if c == netlist.SigConst1 {
+			return gate2(netlist.Or, a, b)
+		}
+		return out.AddGate(netlist.Maj, a, b, c)
+	}
+
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case netlist.Const0:
+			remap[i] = netlist.SigConst0
+		case netlist.Input:
+			remap[i] = out.AddInput(nd.Name)
+		case netlist.Not:
+			remap[i] = ms(nd.Fanins[0]).Not()
+		case netlist.Buf:
+			remap[i] = ms(nd.Fanins[0])
+		case netlist.And, netlist.Nand:
+			v := reduce(sigsOf(nd, ms), netlist.And)
+			remap[i] = v.NotIf(nd.Op == netlist.Nand)
+		case netlist.Or, netlist.Nor:
+			v := reduce(sigsOf(nd, ms), netlist.Or)
+			remap[i] = v.NotIf(nd.Op == netlist.Nor)
+		case netlist.Xor, netlist.Xnor:
+			v := reduce(sigsOf(nd, ms), netlist.Xor)
+			remap[i] = v.NotIf(nd.Op == netlist.Xnor)
+		case netlist.Maj:
+			remap[i] = maj3(ms(nd.Fanins[0]), ms(nd.Fanins[1]), ms(nd.Fanins[2]))
+		case netlist.Mux:
+			s, hi, lo := ms(nd.Fanins[0]), ms(nd.Fanins[1]), ms(nd.Fanins[2])
+			remap[i] = gate2(netlist.Or, gate2(netlist.And, s, hi), gate2(netlist.And, s.Not(), lo))
+		}
+	}
+	for _, o := range n.Outputs {
+		out.AddOutput(o.Name, ms(o.Sig))
+	}
+	return out.Clean()
+}
+
+func sigsOf(nd netlist.Node, ms func(netlist.Signal) netlist.Signal) []netlist.Signal {
+	sigs := make([]netlist.Signal, len(nd.Fanins))
+	for i, f := range nd.Fanins {
+		sigs[i] = ms(f)
+	}
+	return sigs
+}
+
+// xorCone records a detected two-leaf XOR/XNOR cone rooted at a node.
+type xorCone struct {
+	a, b    netlist.Signal // leaves
+	xnor    bool
+	covered []int // interior nodes absorbed by the cell
+}
+
+// detectXorCones finds nodes whose 2-leaf cone computes XOR/XNOR, where the
+// interior nodes are single-fanout (so the cell absorbs them). Works on the
+// normalized subject graph.
+func detectXorCones(n *netlist.Network) map[int]xorCone {
+	refs := make([]int, len(n.Nodes))
+	for _, nd := range n.Nodes {
+		for _, f := range nd.Fanins {
+			refs[f.Node()]++
+		}
+	}
+	for _, o := range n.Outputs {
+		refs[o.Sig.Node()]++
+	}
+	cones := make(map[int]xorCone)
+	for i, nd := range n.Nodes {
+		if nd.Op != netlist.And && nd.Op != netlist.Or && nd.Op != netlist.Maj {
+			continue
+		}
+		if len(nd.Fanins) != 2 {
+			continue
+		}
+		f0, f1 := nd.Fanins[0], nd.Fanins[1]
+		n0, n1 := &n.Nodes[f0.Node()], &n.Nodes[f1.Node()]
+		if len(n0.Fanins) != 2 || len(n1.Fanins) != 2 {
+			continue
+		}
+		if !isLogic(n0.Op) || !isLogic(n1.Op) {
+			continue
+		}
+		if refs[f0.Node()] != 1 || refs[f1.Node()] != 1 {
+			continue
+		}
+		// The two grandchild pairs must reference the same two nodes.
+		leaves := map[int]netlist.Signal{}
+		ok := true
+		for _, gf := range append(append([]netlist.Signal{}, n0.Fanins...), n1.Fanins...) {
+			if prev, seen := leaves[gf.Node()]; seen {
+				_ = prev
+			} else {
+				leaves[gf.Node()] = gf
+			}
+		}
+		if len(leaves) != 2 {
+			continue
+		}
+		var leafSigs []netlist.Signal
+		for _, s := range leaves {
+			leafSigs = append(leafSigs, s)
+		}
+		sort.Slice(leafSigs, func(x, y int) bool { return leafSigs[x].Node() < leafSigs[y].Node() })
+		la, lb := leafSigs[0], leafSigs[1]
+		// Evaluate the 2-leaf cone on the four minterms. The minterm values
+		// are the positive leaf-node values; edge polarities are applied by
+		// get, so the resulting table is over the positive leaves.
+		eval := func(va, vb bool) bool {
+			val := map[int]bool{la.Node(): va, lb.Node(): vb}
+			get := func(s netlist.Signal) bool {
+				v, okv := val[s.Node()]
+				if !okv {
+					ok = false
+				}
+				return v != s.Neg()
+			}
+			g := func(op netlist.Op, fs []netlist.Signal) bool {
+				switch op {
+				case netlist.And:
+					return get(fs[0]) && get(fs[1])
+				case netlist.Or:
+					return get(fs[0]) || get(fs[1])
+				case netlist.Xor:
+					return get(fs[0]) != get(fs[1])
+				case netlist.Maj:
+					x, y := get(fs[0]), get(fs[1])
+					z := get(fs[2])
+					return (x && y) || (x && z) || (y && z)
+				}
+				ok = false
+				return false
+			}
+			val[f0.Node()] = g(n0.Op, n0.Fanins)
+			val[f1.Node()] = g(n1.Op, n1.Fanins)
+			return g(nd.Op, nd.Fanins)
+		}
+		r00, r01 := eval(false, false), eval(false, true)
+		r10, r11 := eval(true, false), eval(true, true)
+		if !ok {
+			continue
+		}
+		isXor := !r00 && r01 && r10 && !r11
+		isXnor := r00 && !r01 && !r10 && r11
+		if !isXor && !isXnor {
+			continue
+		}
+		cones[i] = xorCone{
+			a: la, b: lb, xnor: isXnor,
+			covered: []int{f0.Node(), f1.Node()},
+		}
+	}
+	return cones
+}
+
+func isLogic(op netlist.Op) bool {
+	switch op {
+	case netlist.And, netlist.Or, netlist.Xor, netlist.Maj:
+		return true
+	}
+	return false
+}
+
+// Map covers the network with library cells and estimates area, delay and
+// power. inputProbs may be nil (uniform 0.5 inputs).
+func Map(n *netlist.Network, lib *Library, inputProbs []float64) *Result {
+	subject := normalize(n)
+	probs := power.Probabilities(subject, inputProbs)
+	cones := detectXorCones(subject)
+
+	covered := make([]bool, len(subject.Nodes))
+	for _, c := range cones {
+		for _, idx := range c.covered {
+			covered[idx] = true
+		}
+	}
+
+	// Demand analysis for MAJ3/MIN3 phase choice: count how often each
+	// node is needed complemented.
+	negDemand := make([]int, len(subject.Nodes))
+	posDemand := make([]int, len(subject.Nodes))
+	note := func(s netlist.Signal) {
+		if s.Neg() {
+			negDemand[s.Node()]++
+		} else {
+			posDemand[s.Node()]++
+		}
+	}
+	for i, nd := range subject.Nodes {
+		if covered[i] {
+			continue
+		}
+		if cone, isCone := cones[i]; isCone {
+			note(netlist.MakeSignal(cone.a.Node(), false))
+			note(netlist.MakeSignal(cone.b.Node(), false))
+			continue
+		}
+		for _, f := range nd.Fanins {
+			note(f)
+		}
+	}
+	for _, o := range subject.Outputs {
+		note(o.Sig)
+	}
+
+	res := &Result{Name: n.Name, CellCounts: map[CellKind]int{}}
+	// phase[i] = true when the cell output is the complement of node i's
+	// function.
+	phase := make([]bool, len(subject.Nodes))
+	arrival := make([]float64, len(subject.Nodes))
+	invArr := make([]float64, len(subject.Nodes)) // arrival of inverted copy
+	hasInv := make([]bool, len(subject.Nodes))
+
+	addCell := func(k CellKind, act float64) {
+		res.CellCounts[k]++
+		res.Area += lib.Cells[k].Area
+		res.Power += act * lib.Cells[k].Energy * lib.Freq
+	}
+
+	// need returns the arrival time of signal s in the polarity the
+	// consumer requires, inserting a shared inverter on first use.
+	need := func(s netlist.Signal) float64 {
+		i := s.Node()
+		wantInverted := s.Neg() != phase[i]
+		if !wantInverted {
+			return arrival[i]
+		}
+		if !hasInv[i] {
+			hasInv[i] = true
+			invArr[i] = arrival[i] + lib.Cells[CellINV].Delay
+			act := 2 * probs[i] * (1 - probs[i])
+			addCell(CellINV, act)
+		}
+		return invArr[i]
+	}
+
+	for i, nd := range subject.Nodes {
+		if covered[i] {
+			continue
+		}
+		act := 2 * probs[i] * (1 - probs[i])
+		if cone, isCone := cones[i]; isCone {
+			// Leaf polarities are already folded into the cone's truth table,
+			// so the cell reads the positive leaves directly.
+			kind := CellXOR2
+			if cone.xnor {
+				kind = CellXNOR2
+			}
+			ta := need(netlist.MakeSignal(cone.a.Node(), false))
+			tb := need(netlist.MakeSignal(cone.b.Node(), false))
+			arrival[i] = maxf(ta, tb) + lib.Cells[kind].Delay
+			phase[i] = false
+			addCell(kind, act)
+			continue
+		}
+		switch nd.Op {
+		case netlist.Const0, netlist.Input:
+			arrival[i] = 0
+			phase[i] = false
+		case netlist.And, netlist.Or:
+			// Phase selection: AND maps as NAND2 (inverted output) or as
+			// NOR2 over complemented inputs (positive output); dually for
+			// OR. The variant with the fewer new inverters (inputs plus
+			// downstream demand) wins — this is what keeps the inverter
+			// count of mapped MIGs low.
+			inverting := CellNAND2
+			direct := CellNOR2
+			if nd.Op == netlist.Or {
+				inverting, direct = CellNOR2, CellNAND2
+			}
+			costOf := func(flipInputs bool, producesInverted bool) int {
+				cost := 0
+				for _, f := range nd.Fanins {
+					wantNeg := f.Neg() != flipInputs
+					if wantNeg != phase[f.Node()] && !hasInv[f.Node()] {
+						cost++
+					}
+				}
+				if producesInverted {
+					if posDemand[i] > 0 {
+						cost++
+					}
+				} else if negDemand[i] > 0 {
+					cost++
+				}
+				return cost
+			}
+			costInv := costOf(false, true)
+			costDir := costOf(true, false)
+			if costDir < costInv {
+				// Direct variant: complement both inputs.
+				t := maxf(need(nd.Fanins[0].Not()), need(nd.Fanins[1].Not()))
+				arrival[i] = t + lib.Cells[direct].Delay
+				phase[i] = false
+				addCell(direct, act)
+			} else {
+				t := maxf(need(nd.Fanins[0]), need(nd.Fanins[1]))
+				arrival[i] = t + lib.Cells[inverting].Delay
+				phase[i] = true
+				addCell(inverting, act)
+			}
+		case netlist.Xor:
+			t := maxf(need(nd.Fanins[0]), need(nd.Fanins[1]))
+			arrival[i] = t + lib.Cells[CellXOR2].Delay
+			phase[i] = false
+			addCell(CellXOR2, act)
+		case netlist.Maj:
+			kind := CellMAJ3
+			ph := false
+			if lib.HasMaj() && negDemand[i] > posDemand[i] {
+				kind = CellMIN3
+				ph = true
+			}
+			if !lib.HasMaj() {
+				// Decompose: maj(a,b,c) = NAND(NAND(a,b), NAND(NAND(a,c),
+				// NAND(b,c))) — 4 NAND2 cells.
+				ta := need(nd.Fanins[0])
+				tb := need(nd.Fanins[1])
+				tc := need(nd.Fanins[2])
+				d := lib.Cells[CellNAND2].Delay
+				arrival[i] = maxf(maxf(ta, tb), tc) + 3*d
+				phase[i] = false
+				for k := 0; k < 4; k++ {
+					addCell(CellNAND2, act)
+				}
+				continue
+			}
+			t := maxf(maxf(need(nd.Fanins[0]), need(nd.Fanins[1])), need(nd.Fanins[2]))
+			arrival[i] = t + lib.Cells[kind].Delay
+			phase[i] = ph
+			addCell(kind, act)
+		default:
+			panic(fmt.Sprintf("mapping: unexpected op %v in subject graph", nd.Op))
+		}
+	}
+
+	for _, o := range subject.Outputs {
+		t := need(o.Sig)
+		if t > res.Delay {
+			res.Delay = t
+		}
+	}
+	return res
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

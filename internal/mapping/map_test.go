@@ -1,0 +1,244 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/mig"
+	"repro/internal/netlist"
+)
+
+func TestMapSingleGates(t *testing.T) {
+	lib := Default22nm()
+
+	n := netlist.New("and")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("o", n.AddGate(netlist.And, a, b))
+	r := Map(n, lib, nil)
+	// AND maps to NAND2 + INV (output needs positive phase).
+	if r.CellCounts[CellNAND2] != 1 || r.CellCounts[CellINV] != 1 {
+		t.Errorf("AND mapping: %v", r.CellCounts)
+	}
+	wantDelay := lib.Cells[CellNAND2].Delay + lib.Cells[CellINV].Delay
+	if r.Delay != wantDelay {
+		t.Errorf("AND delay = %v, want %v", r.Delay, wantDelay)
+	}
+}
+
+func TestMapNandAbsorbsComplement(t *testing.T) {
+	// An output wanting the complemented AND needs no inverter.
+	n := netlist.New("nand")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("o", n.AddGate(netlist.Nand, a, b))
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellINV] != 0 {
+		t.Errorf("NAND mapping needs %d inverters, want 0", r.CellCounts[CellINV])
+	}
+	if r.CellCounts[CellNAND2] != 1 {
+		t.Errorf("NAND cells: %v", r.CellCounts)
+	}
+}
+
+func TestMapMajNode(t *testing.T) {
+	n := netlist.New("maj")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	n.AddOutput("o", n.AddGate(netlist.Maj, a, b, c))
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellMAJ3] != 1 {
+		t.Errorf("MAJ mapping: %v", r.CellCounts)
+	}
+}
+
+func TestMapMinPhaseChoice(t *testing.T) {
+	// A majority consumed only in complemented form should map to MIN3.
+	n := netlist.New("min")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	m := n.AddGate(netlist.Maj, a, b, c)
+	n.AddOutput("o", m.Not())
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellMIN3] != 1 || r.CellCounts[CellINV] != 0 {
+		t.Errorf("MIN3 phase choice: %v", r.CellCounts)
+	}
+}
+
+func TestMapXorDetection(t *testing.T) {
+	// XOR built from AND/OR gates must map to a single XOR2 cell.
+	n := netlist.New("xor")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	andn := n.AddGate(netlist.And, a, b)
+	orn := n.AddGate(netlist.Or, a, b)
+	x := n.AddGate(netlist.And, orn, andn.Not())
+	n.AddOutput("o", x)
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellXOR2] != 1 {
+		t.Errorf("XOR not detected: %v", r.CellCounts)
+	}
+	if r.CellCounts[CellNAND2] != 0 && r.CellCounts[CellNOR2] != 0 {
+		t.Errorf("leftover gates: %v", r.CellCounts)
+	}
+}
+
+func TestMapXnorDetection(t *testing.T) {
+	n := netlist.New("xnor")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	andn := n.AddGate(netlist.And, a, b)
+	orn := n.AddGate(netlist.Or, a, b)
+	x := n.AddGate(netlist.And, orn, andn.Not())
+	n.AddOutput("o", x.Not())
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellXOR2]+r.CellCounts[CellXNOR2] != 1 {
+		t.Errorf("X(N)OR not detected: %v", r.CellCounts)
+	}
+	// The complemented output should be served by XNOR2 or XOR2+INV; either
+	// way at most one inverter.
+	if r.CellCounts[CellINV] > 1 {
+		t.Errorf("too many inverters: %v", r.CellCounts)
+	}
+}
+
+func TestMapMajWithConstBecomesNand(t *testing.T) {
+	// The paper notes MIG nodes partially fed by constants simplify during
+	// mapping: M(a, b, 0) must map as a NAND-class gate, not MAJ3.
+	n := netlist.New("majconst")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	m := n.AddGate(netlist.Maj, a, b, netlist.SigConst0)
+	n.AddOutput("o", m)
+	r := Map(n, Default22nm(), nil)
+	if r.CellCounts[CellMAJ3] != 0 {
+		t.Errorf("constant-fed MAJ mapped to MAJ3: %v", r.CellCounts)
+	}
+	if r.CellCounts[CellNAND2] != 1 {
+		t.Errorf("expected NAND2: %v", r.CellCounts)
+	}
+}
+
+func TestNoMajLibraryDecomposes(t *testing.T) {
+	n := netlist.New("maj")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	n.AddOutput("o", n.AddGate(netlist.Maj, a, b, c))
+	r := Map(n, NoMajLibrary(), nil)
+	if r.CellCounts[CellMAJ3] != 0 && r.CellCounts[CellMIN3] != 0 {
+		t.Errorf("no-maj library still used majority cells: %v", r.CellCounts)
+	}
+	if r.CellCounts[CellNAND2] != 4 {
+		t.Errorf("majority decomposition: %v", r.CellCounts)
+	}
+}
+
+func TestMapMetricsPositive(t *testing.T) {
+	// Map an optimized MIG of a small adder and sanity-check metrics.
+	m := mig.New("adder4")
+	var xs, ys []mig.Signal
+	for i := 0; i < 4; i++ {
+		xs = append(xs, m.AddInput("x"))
+	}
+	for i := 0; i < 4; i++ {
+		ys = append(ys, m.AddInput("y"))
+	}
+	c := mig.Const0
+	for i := 0; i < 4; i++ {
+		s := m.Xor(m.Xor(xs[i], ys[i]), c)
+		m.AddOutput("s", s)
+		c = m.Maj(xs[i], ys[i], c)
+	}
+	m.AddOutput("cout", c)
+	r := Map(m.ToNetwork(), Default22nm(), nil)
+	if r.Area <= 0 || r.Delay <= 0 || r.Power <= 0 {
+		t.Errorf("non-positive metrics: %+v", r)
+	}
+	if r.CellCounts[CellMAJ3]+r.CellCounts[CellMIN3] == 0 {
+		t.Errorf("adder carry chain mapped without majority cells: %v", r.CellCounts)
+	}
+	if r.CellCounts[CellXOR2]+r.CellCounts[CellXNOR2] == 0 {
+		t.Errorf("adder sum mapped without xor cells: %v", r.CellCounts)
+	}
+}
+
+func TestMapAigVsMigOnMajority(t *testing.T) {
+	// A majority-rich function should map smaller from the MIG than from
+	// the AIG (the paper's core synthesis claim).
+	buildNet := func() (*netlist.Network, *netlist.Network) {
+		mg := mig.New("majrich")
+		ag := aig.New("majrich")
+		var ms []mig.Signal
+		var as []aig.Signal
+		for i := 0; i < 9; i++ {
+			ms = append(ms, mg.AddInput("x"))
+			as = append(as, ag.AddInput("x"))
+		}
+		mo := mg.Maj(mg.Maj(ms[0], ms[1], ms[2]), mg.Maj(ms[3], ms[4], ms[5]), mg.Maj(ms[6], ms[7], ms[8]))
+		ao := ag.Maj(ag.Maj(as[0], as[1], as[2]), ag.Maj(as[3], as[4], as[5]), ag.Maj(as[6], as[7], as[8]))
+		mg.AddOutput("o", mo)
+		ag.AddOutput("o", ao)
+		return mg.ToNetwork(), ag.ToNetwork()
+	}
+	mn, an := buildNet()
+	lib := Default22nm()
+	rm := Map(mn, lib, nil)
+	ra := Map(an, lib, nil)
+	if rm.Area >= ra.Area {
+		t.Errorf("maj-of-maj: MIG area %.2f not smaller than AIG %.2f", rm.Area, ra.Area)
+	}
+	if rm.Delay >= ra.Delay {
+		t.Errorf("maj-of-maj: MIG delay %.3f not smaller than AIG %.3f", rm.Delay, ra.Delay)
+	}
+}
+
+func TestRandomMapConsistency(t *testing.T) {
+	// Mapping must never panic and metrics must be monotone in size for
+	// random netlists.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := netlist.New("rand")
+		var sigs []netlist.Signal
+		for i := 0; i < 6; i++ {
+			sigs = append(sigs, n.AddInput("i"))
+		}
+		ops := []netlist.Op{netlist.And, netlist.Or, netlist.Xor, netlist.Maj, netlist.Mux, netlist.Nand, netlist.Nor, netlist.Xnor}
+		for g := 0; g < 30; g++ {
+			op := ops[r.Intn(len(ops))]
+			pick := func() netlist.Signal {
+				s := sigs[r.Intn(len(sigs))]
+				if r.Intn(2) == 0 {
+					s = s.Not()
+				}
+				return s
+			}
+			if op == netlist.Maj || op == netlist.Mux {
+				sigs = append(sigs, n.AddGate(op, pick(), pick(), pick()))
+			} else {
+				sigs = append(sigs, n.AddGate(op, pick(), pick()))
+			}
+		}
+		for o := 0; o < 3; o++ {
+			n.AddOutput("o", sigs[len(sigs)-1-o])
+		}
+		res := Map(n, Default22nm(), nil)
+		if res.Area < 0 || res.Delay < 0 || res.Power < 0 {
+			t.Fatalf("negative metrics: %+v", res)
+		}
+	}
+}
+
+func TestResultString(t *testing.T) {
+	n := netlist.New("s")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddOutput("o", n.AddGate(netlist.And, a, b))
+	r := Map(n, Default22nm(), nil)
+	if r.String() == "" || r.NumCells() == 0 {
+		t.Error("bad result rendering")
+	}
+}

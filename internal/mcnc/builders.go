@@ -1,0 +1,273 @@
+// Package mcnc generates synthetic stand-ins for the MCNC benchmark
+// circuits used in the paper's Table I. The original MCNC suite is not
+// redistributable and not available offline, so each circuit is replaced by
+// a generator with the same name, the same primary input/output counts, and
+// the same functional character (see doc.go for the per-circuit rationale).
+// Generators are deterministic: the same name always yields the same
+// network.
+package mcnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// word is a little-endian vector of signals.
+type word []netlist.Signal
+
+// addInputs declares n named inputs.
+func addInputs(net *netlist.Network, prefix string, n int) word {
+	w := make(word, n)
+	for i := range w {
+		w[i] = net.AddInput(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return w
+}
+
+// addOutputs registers a word as named outputs.
+func addOutputs(net *netlist.Network, prefix string, w word) {
+	for i, s := range w {
+		net.AddOutput(fmt.Sprintf("%s%d", prefix, i), s)
+	}
+}
+
+// fullAdder returns (sum, carry).
+func fullAdder(net *netlist.Network, a, b, c netlist.Signal) (netlist.Signal, netlist.Signal) {
+	return net.AddGate(netlist.Xor, a, b, c), net.AddGate(netlist.Maj, a, b, c)
+}
+
+// rippleAdd adds two equal-width words with carry-in, returning the sums
+// and the carry-out.
+func rippleAdd(net *netlist.Network, a, b word, cin netlist.Signal) (word, netlist.Signal) {
+	if len(a) != len(b) {
+		panic("mcnc: rippleAdd width mismatch")
+	}
+	sums := make(word, len(a))
+	c := cin
+	for i := range a {
+		sums[i], c = fullAdder(net, a[i], b[i], c)
+	}
+	return sums, c
+}
+
+// claAdd adds two words with a two-level carry-lookahead structure over
+// 4-bit groups, returning sums and carry-out.
+func claAdd(net *netlist.Network, a, b word, cin netlist.Signal) (word, netlist.Signal) {
+	n := len(a)
+	g := make(word, n)
+	p := make(word, n)
+	for i := 0; i < n; i++ {
+		g[i] = net.AddGate(netlist.And, a[i], b[i])
+		p[i] = net.AddGate(netlist.Xor, a[i], b[i])
+	}
+	carries := make(word, n+1)
+	carries[0] = cin
+	for base := 0; base < n; base += 4 {
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		// Expanded carry equations within the group.
+		for i := base; i < end; i++ {
+			// c[i+1] = g[i] + p[i]·g[i-1] + ... + p[i]..p[base]·c[base]
+			terms := []netlist.Signal{g[i]}
+			prod := p[i]
+			for j := i - 1; j >= base; j-- {
+				terms = append(terms, net.AddGate(netlist.And, prod, g[j]))
+				prod = net.AddGate(netlist.And, prod, p[j])
+			}
+			terms = append(terms, net.AddGate(netlist.And, prod, carries[base]))
+			acc := terms[0]
+			for _, t := range terms[1:] {
+				acc = net.AddGate(netlist.Or, acc, t)
+			}
+			carries[i+1] = acc
+		}
+	}
+	sums := make(word, n)
+	for i := 0; i < n; i++ {
+		sums[i] = net.AddGate(netlist.Xor, p[i], carries[i])
+	}
+	return sums, carries[n]
+}
+
+// csaReduce performs one carry-save reduction of three words into two
+// (sum, carry<<1), padding with constants as needed.
+func csaReduce(net *netlist.Network, x, y, z word) (word, word) {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	if len(z) > n {
+		n = len(z)
+	}
+	get := func(w word, i int) netlist.Signal {
+		if i < len(w) {
+			return w[i]
+		}
+		return netlist.SigConst0
+	}
+	sum := make(word, n)
+	carry := make(word, n+1)
+	carry[0] = netlist.SigConst0
+	for i := 0; i < n; i++ {
+		s, c := fullAdder(net, get(x, i), get(y, i), get(z, i))
+		sum[i] = s
+		carry[i+1] = c
+	}
+	return sum, carry
+}
+
+// multiplier builds an n×n array multiplier (carry-save partial product
+// reduction followed by a ripple final adder) and returns the low 2n product
+// bits.
+func multiplier(net *netlist.Network, x, y word) word {
+	n := len(x)
+	// Partial products.
+	rows := make([]word, n)
+	for i := 0; i < n; i++ {
+		row := make(word, i+n)
+		for k := 0; k < i; k++ {
+			row[k] = netlist.SigConst0
+		}
+		for j := 0; j < n; j++ {
+			row[i+j] = net.AddGate(netlist.And, x[j], y[i])
+		}
+		rows[i] = row
+	}
+	// Carry-save reduction.
+	for len(rows) > 2 {
+		var next []word
+		for i := 0; i+2 < len(rows); i += 3 {
+			s, c := csaReduce(net, rows[i], rows[i+1], rows[i+2])
+			next = append(next, s, c)
+		}
+		switch len(rows) % 3 {
+		case 1:
+			next = append(next, rows[len(rows)-1])
+		case 2:
+			next = append(next, rows[len(rows)-2], rows[len(rows)-1])
+		}
+		rows = next
+	}
+	a, b := rows[0], rows[1]
+	width := 2 * n
+	pad := func(w word) word {
+		for len(w) < width {
+			w = append(w, netlist.SigConst0)
+		}
+		return w[:width]
+	}
+	sums, _ := rippleAdd(net, pad(a), pad(b), netlist.SigConst0)
+	return sums
+}
+
+// xorTree reduces a set of signals with a balanced XOR tree.
+func xorTree(net *netlist.Network, sigs word) netlist.Signal {
+	if len(sigs) == 0 {
+		return netlist.SigConst0
+	}
+	for len(sigs) > 1 {
+		var next word
+		for i := 0; i+1 < len(sigs); i += 2 {
+			next = append(next, net.AddGate(netlist.Xor, sigs[i], sigs[i+1]))
+		}
+		if len(sigs)%2 == 1 {
+			next = append(next, sigs[len(sigs)-1])
+		}
+		sigs = next
+	}
+	return sigs[0]
+}
+
+// randomCube builds a random product term over the inputs: each input is
+// included with probability pInclude, in a random phase.
+func randomCube(net *netlist.Network, r *rand.Rand, inputs word, pInclude float64) netlist.Signal {
+	var lits word
+	for _, in := range inputs {
+		if r.Float64() >= pInclude {
+			continue
+		}
+		s := in
+		if r.Intn(2) == 0 {
+			s = s.Not()
+		}
+		lits = append(lits, s)
+	}
+	if len(lits) == 0 {
+		lits = append(lits, inputs[r.Intn(len(inputs))])
+	}
+	acc := lits[0]
+	for _, l := range lits[1:] {
+		acc = net.AddGate(netlist.And, acc, l)
+	}
+	return acc
+}
+
+// pla builds a PLA-style two-level block: terms shared product terms over
+// the inputs, each output an OR of a random subset.
+func pla(net *netlist.Network, r *rand.Rand, inputs word, numOutputs, numTerms int, pInclude, pConnect float64) word {
+	terms := make(word, numTerms)
+	for i := range terms {
+		terms[i] = randomCube(net, r, inputs, pInclude)
+	}
+	outs := make(word, numOutputs)
+	for o := range outs {
+		var sel word
+		for _, t := range terms {
+			if r.Float64() < pConnect {
+				sel = append(sel, t)
+			}
+		}
+		if len(sel) == 0 {
+			sel = append(sel, terms[r.Intn(len(terms))])
+		}
+		acc := sel[0]
+		for _, t := range sel[1:] {
+			acc = net.AddGate(netlist.Or, acc, t)
+		}
+		outs[o] = acc
+	}
+	return outs
+}
+
+// compareSwap returns (min, max) of two words interpreted as unsigned
+// integers, implemented with a ripple comparator and mux selection.
+func compareSwap(net *netlist.Network, a, b word) (word, word) {
+	// a < b: ripple borrow.
+	lt := netlist.SigConst0
+	for i := 0; i < len(a); i++ {
+		eq := net.AddGate(netlist.Xnor, a[i], b[i])
+		ai := net.AddGate(netlist.And, a[i].Not(), b[i])
+		lt = net.AddGate(netlist.Or, ai, net.AddGate(netlist.And, eq, lt))
+	}
+	min := make(word, len(a))
+	max := make(word, len(a))
+	for i := range a {
+		min[i] = net.AddGate(netlist.Mux, lt, a[i], b[i])
+		max[i] = net.AddGate(netlist.Mux, lt, b[i], a[i])
+	}
+	return min, max
+}
+
+// incrementer returns w+1 (ripple) and the overflow carry.
+func incrementer(net *netlist.Network, w word) (word, netlist.Signal) {
+	out := make(word, len(w))
+	c := netlist.SigConst1
+	for i := range w {
+		out[i] = net.AddGate(netlist.Xor, w[i], c)
+		c = net.AddGate(netlist.And, w[i], c)
+	}
+	return out, c
+}
+
+// muxWord selects a when sel=1 else b, bitwise.
+func muxWord(net *netlist.Network, sel netlist.Signal, a, b word) word {
+	out := make(word, len(a))
+	for i := range a {
+		out[i] = net.AddGate(netlist.Mux, sel, a[i], b[i])
+	}
+	return out
+}

@@ -1,0 +1,457 @@
+package mcnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Generate builds the named benchmark stand-in. The supported names are
+// exactly the Table I circuits; Names() lists them in table order.
+func Generate(name string) (*netlist.Network, error) {
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("mcnc: unknown benchmark %q", name)
+	}
+	n := gen()
+	n.Name = name
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("mcnc: %s: %v", name, err)
+	}
+	return n, nil
+}
+
+// Names returns the benchmark names in the paper's Table I order.
+func Names() []string {
+	return []string{
+		"C1355", "C1908", "C6288", "bigkey", "my_adder", "cla", "dalu",
+		"b9", "count", "alu4", "clma", "mm30a", "s38417", "misex3",
+	}
+}
+
+var generators = map[string]func() *netlist.Network{
+	"C1355":    genC1355,
+	"C1908":    genC1908,
+	"C6288":    genC6288,
+	"bigkey":   genBigkey,
+	"my_adder": genMyAdder,
+	"cla":      genCla,
+	"dalu":     genDalu,
+	"b9":       genB9,
+	"count":    genCount,
+	"alu4":     genAlu4,
+	"clma":     genClma,
+	"mm30a":    genMm30a,
+	"s38417":   genS38417,
+	"misex3":   genMisex3,
+}
+
+// genC1355 (41 in / 32 out): single-error-correcting network character —
+// 32 data bits and 9 check bits; each output is the data bit corrected by
+// an AND of syndrome bits, keeping the circuit XOR-dominated like the ISCAS
+// original.
+func genC1355() *netlist.Network {
+	net := netlist.New("C1355")
+	r := rand.New(rand.NewSource(1355))
+	data := addInputs(net, "d", 32)
+	check := addInputs(net, "c", 9)
+	// Nine syndromes, each a parity tree over a data subset plus one check
+	// bit.
+	syn := make(word, 9)
+	for j := range syn {
+		var taps word
+		for i, d := range data {
+			if (i+j)%3 == 0 || r.Intn(4) == 0 {
+				taps = append(taps, d)
+			}
+		}
+		taps = append(taps, check[j])
+		syn[j] = xorTree(net, taps)
+	}
+	outs := make(word, 32)
+	for i := range outs {
+		// Correction term: conjunction of three syndromes (address match).
+		s0 := syn[i%9]
+		s1 := syn[(i+3)%9]
+		s2 := syn[(i+5)%9]
+		match := net.AddGate(netlist.And, net.AddGate(netlist.And, s0, s1), s2)
+		outs[i] = net.AddGate(netlist.Xor, data[i], match)
+	}
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genC1908 (33 in / 25 out): 16 data + 17 control/check inputs, CRC-like
+// parity cascades with masking — XOR-rich with moderate control.
+func genC1908() *netlist.Network {
+	net := netlist.New("C1908")
+	r := rand.New(rand.NewSource(1908))
+	data := addInputs(net, "d", 16)
+	check := addInputs(net, "c", 17)
+	// CRC-ish: fold data through xor cascades seeded by check bits.
+	state := make(word, 16)
+	copy(state, data)
+	for round := 0; round < 2; round++ {
+		next := make(word, 16)
+		for i := range next {
+			fb := net.AddGate(netlist.Xor, state[(i+1)%16], check[(i+round)%17])
+			gate := net.AddGate(netlist.And, check[(i+5)%17], state[(i+7)%16])
+			next[i] = net.AddGate(netlist.Xor, net.AddGate(netlist.Xor, state[i], fb), gate)
+		}
+		state = next
+	}
+	outs := make(word, 25)
+	for i := 0; i < 16; i++ {
+		outs[i] = state[i]
+	}
+	for i := 16; i < 25; i++ {
+		var taps word
+		for j, s := range state {
+			if (i+j)%2 == 0 || r.Intn(3) == 0 {
+				taps = append(taps, s)
+			}
+		}
+		outs[i] = xorTree(net, taps)
+	}
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genC6288 (32 in / 32 out): a genuine 16×16 array multiplier, the same
+// function as the ISCAS original (low 32 product bits).
+func genC6288() *netlist.Network {
+	net := netlist.New("C6288")
+	x := addInputs(net, "x", 16)
+	y := addInputs(net, "y", 16)
+	addOutputs(net, "p", multiplier(net, x, y))
+	return net
+}
+
+// genBigkey (487 in / 421 out): key-mixing character — wide, shallow XOR
+// masking with S-box-like local nonlinearity, like the original encryption
+// circuit.
+func genBigkey() *netlist.Network {
+	net := netlist.New("bigkey")
+	r := rand.New(rand.NewSource(0xB16))
+	data := addInputs(net, "d", 421)
+	key := addInputs(net, "k", 66)
+	outs := make(word, 421)
+	for i := range outs {
+		k0 := key[(i*7)%66]
+		k1 := key[(i*13+5)%66]
+		k2 := key[(i*29+11)%66]
+		mixedKey := net.AddGate(netlist.Xor, k0, net.AddGate(netlist.And, k1, k2))
+		neigh := net.AddGate(netlist.And, data[(i+1)%421], data[(i+2)%421].NotIf(r.Intn(2) == 0))
+		outs[i] = net.AddGate(netlist.Xor, net.AddGate(netlist.Xor, data[i], mixedKey), neigh)
+	}
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genMyAdder (33 in / 17 out): a genuine 16-bit ripple-carry adder with
+// carry-in — the paper's canonical deep-carry-chain benchmark.
+func genMyAdder() *netlist.Network {
+	net := netlist.New("my_adder")
+	a := addInputs(net, "a", 16)
+	b := addInputs(net, "b", 16)
+	cin := net.AddInput("cin")
+	sums, cout := rippleAdd(net, a, b, cin)
+	addOutputs(net, "s", sums)
+	net.AddOutput("cout", cout)
+	return net
+}
+
+// genCla (129 in / 65 out): a genuine 64-bit carry-lookahead adder.
+func genCla() *netlist.Network {
+	net := netlist.New("cla")
+	a := addInputs(net, "a", 64)
+	b := addInputs(net, "b", 64)
+	cin := net.AddInput("cin")
+	sums, cout := claAdd(net, a, b, cin)
+	addOutputs(net, "s", sums)
+	net.AddOutput("cout", cout)
+	return net
+}
+
+// genDalu (75 in / 16 out): dedicated ALU character — a 16-bit datapath
+// with add/logic/shift units selected by decoded control.
+func genDalu() *netlist.Network {
+	net := netlist.New("dalu")
+	r := rand.New(rand.NewSource(0xDA1))
+	a := addInputs(net, "a", 16)
+	b := addInputs(net, "b", 16)
+	ctl := addInputs(net, "ctl", 43)
+	// Decoded operation selects from the control PLA.
+	sel := pla(net, r, ctl, 5, 24, 0.18, 0.3)
+	sum, _ := rippleAdd(net, a, b, ctl[0])
+	andW := make(word, 16)
+	orW := make(word, 16)
+	xorW := make(word, 16)
+	shl := make(word, 16)
+	for i := 0; i < 16; i++ {
+		andW[i] = net.AddGate(netlist.And, a[i], b[i])
+		orW[i] = net.AddGate(netlist.Or, a[i], b[i])
+		xorW[i] = net.AddGate(netlist.Xor, a[i], b[i])
+		if i == 0 {
+			shl[i] = ctl[1]
+		} else {
+			shl[i] = a[i-1]
+		}
+	}
+	outs := make(word, 16)
+	for i := range outs {
+		t0 := net.AddGate(netlist.Mux, sel[0], sum[i], andW[i])
+		t1 := net.AddGate(netlist.Mux, sel[1], orW[i], xorW[i])
+		t2 := net.AddGate(netlist.Mux, sel[2], t0, t1)
+		outs[i] = net.AddGate(netlist.Mux, sel[3], t2, shl[i])
+	}
+	addOutputs(net, "f", outs)
+	return net
+}
+
+// genB9 (41 in / 21 out): small control logic — a shallow PLA block.
+func genB9() *netlist.Network {
+	net := netlist.New("b9")
+	r := rand.New(rand.NewSource(0xB9))
+	in := addInputs(net, "i", 41)
+	outs := pla(net, r, in, 21, 30, 0.08, 0.2)
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genCount (35 in / 16 out): a 16-bit loadable counter — state, parallel
+// data, and load/enable/clear controls; the increment chain gives the deep
+// AND ripple of the original.
+func genCount() *netlist.Network {
+	net := netlist.New("count")
+	state := addInputs(net, "q", 16)
+	data := addInputs(net, "d", 16)
+	load := net.AddInput("load")
+	en := net.AddInput("en")
+	clr := net.AddInput("clr")
+	inc, _ := incrementer(net, state)
+	held := muxWord(net, en, inc, state)
+	loaded := muxWord(net, load, data, held)
+	outs := make(word, 16)
+	for i := range outs {
+		outs[i] = net.AddGate(netlist.And, clr.Not(), loaded[i])
+	}
+	addOutputs(net, "nq", outs)
+	return net
+}
+
+// genAlu4 (14 in / 8 out): a 74181-style 4-bit ALU: operands a, b, function
+// select s[4], mode m, carry-in; outputs f[4], carry-out, propagate,
+// generate, and a=b.
+func genAlu4() *netlist.Network {
+	net := netlist.New("alu4")
+	a := addInputs(net, "a", 4)
+	b := addInputs(net, "b", 4)
+	s := addInputs(net, "s", 4)
+	m := net.AddInput("m")
+	cin := net.AddInput("cin")
+	// 74181 first level: per-bit generate/propagate modified by s.
+	g := make(word, 4)
+	p := make(word, 4)
+	for i := 0; i < 4; i++ {
+		t0 := net.AddGate(netlist.And, b[i], s[0])
+		t1 := net.AddGate(netlist.And, b[i].Not(), s[1])
+		g[i] = net.AddGate(netlist.Or, a[i], net.AddGate(netlist.Or, t0, t1))
+		u0 := net.AddGate(netlist.And, net.AddGate(netlist.And, a[i], b[i].Not()), s[2])
+		u1 := net.AddGate(netlist.And, net.AddGate(netlist.And, a[i], b[i]), s[3])
+		p[i] = net.AddGate(netlist.Or, u0, u1)
+	}
+	// Carry chain (suppressed in logic mode m=1).
+	carries := make(word, 5)
+	carries[0] = net.AddGate(netlist.And, cin, m.Not())
+	for i := 0; i < 4; i++ {
+		gen := net.AddGate(netlist.And, g[i], p[i].Not())
+		prop := net.AddGate(netlist.And, g[i], carries[i])
+		c := net.AddGate(netlist.Or, gen, prop)
+		carries[i+1] = net.AddGate(netlist.And, c, m.Not())
+	}
+	f := make(word, 4)
+	for i := 0; i < 4; i++ {
+		half := net.AddGate(netlist.Xor, g[i], p[i].Not())
+		f[i] = net.AddGate(netlist.Xor, half, carries[i])
+	}
+	addOutputs(net, "f", f)
+	net.AddOutput("cout", carries[4])
+	// A=B open-collector output.
+	eq := net.AddGate(netlist.And, net.AddGate(netlist.And, f[0], f[1]), net.AddGate(netlist.And, f[2], f[3]))
+	net.AddOutput("aeqb", eq)
+	pg := net.AddGate(netlist.And, net.AddGate(netlist.And, p[0].Not(), p[1].Not()), net.AddGate(netlist.And, p[2].Not(), p[3].Not()))
+	net.AddOutput("pbar", pg)
+	gg := xorTree(net, g)
+	net.AddOutput("gbar", gg)
+	return net
+}
+
+// genClma (416 in / 115 out): large mixed datapath/control — multiplier
+// slices, adders and a wide control PLA feeding masked outputs.
+func genClma() *netlist.Network {
+	net := netlist.New("clma")
+	r := rand.New(rand.NewSource(0xC13A))
+	dataA := addInputs(net, "a", 96)
+	dataB := addInputs(net, "b", 96)
+	dataC := addInputs(net, "c", 96)
+	ctl := addInputs(net, "ctl", 128)
+	// Datapath: a 16×16 and a 14×14 multiplier, adders over the products,
+	// compare trees and a wide control PLA feeding masked outputs — sized to
+	// land near the original's ~13k AIG nodes.
+	prod1 := multiplier(net, dataA[:16], dataB[:16])
+	prod2 := multiplier(net, dataC[:14], dataA[16:30])
+	sumPP, _ := claAdd(net, prod1[:28], prod2[:28], netlist.SigConst0)
+	sumAB, _ := rippleAdd(net, dataA[32:64], dataB[32:64], netlist.SigConst0)
+	sumBC, _ := claAdd(net, dataB[64:96], dataC[32:64], netlist.SigConst0)
+	minW, maxW := compareSwap(net, dataA[64:80], dataC[64:80])
+	control := pla(net, r, ctl, 24, 140, 0.06, 0.25)
+	outs := make(word, 0, 115)
+	for i := 0; i < 32; i++ {
+		sel := control[i%24]
+		outs = append(outs, net.AddGate(netlist.Mux, sel, sumAB[i], sumBC[i]))
+	}
+	for i := 0; i < 24; i++ {
+		outs = append(outs, net.AddGate(netlist.Xor, sumPP[i], control[i%24]))
+	}
+	for i := 0; i < 16; i++ {
+		outs = append(outs, net.AddGate(netlist.And, minW[i], control[(i+3)%24]))
+	}
+	for i := 0; i < 16; i++ {
+		outs = append(outs, net.AddGate(netlist.Or, maxW[i], control[(i+7)%24]))
+	}
+	for i := 0; i < 27; i++ {
+		t := net.AddGate(netlist.Xor, sumAB[(i*5)%32], prod1[(i*3)%32])
+		outs = append(outs, net.AddGate(netlist.Maj, t, prod2[(i*7)%28], control[i%24]))
+	}
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genMm30a (124 in / 120 out): a 30-stage min/max sorting chain over 4-bit
+// words — the sequential compare-and-swap dependency reproduces the
+// original's extreme depth.
+func genMm30a() *netlist.Network {
+	net := netlist.New("mm30a")
+	words := make([]word, 30)
+	for i := range words {
+		words[i] = addInputs(net, fmt.Sprintf("w%d_", i), 4)
+	}
+	ctl := addInputs(net, "ctl", 4)
+	// Chain: each stage compare-swaps the running extremum with the next
+	// word; control selects min or max orientation.
+	runMin := words[0]
+	runMax := words[0]
+	outs := make(word, 0, 120)
+	for i := 1; i < 30; i++ {
+		mn, mx := compareSwap(net, runMin, words[i])
+		runMin = mn
+		mn2, mx2 := compareSwap(net, runMax, words[i])
+		_ = mn2
+		runMax = mx2
+		stage := muxWord(net, ctl[i%4], mx, mn)
+		outs = append(outs, stage...)
+	}
+	outs = append(outs, runMin...)
+	addOutputs(net, "z", outs[:120])
+	return net
+}
+
+// genS38417 (1494 in / 1571 out): the combinational core of a large scan
+// design — thousands of shallow local cones over input windows.
+func genS38417() *netlist.Network {
+	net := netlist.New("s38417")
+	r := rand.New(rand.NewSource(38417))
+	in := addInputs(net, "i", 1494)
+	outs := make(word, 0, 1571)
+	// A minority of outputs run through deeper shared chains (scan designs
+	// have a few long comparator/priority paths among many shallow cones).
+	chain := in[0]
+	for k := 0; k < 12; k++ {
+		chain = net.AddGate(netlist.Or, net.AddGate(netlist.And, chain, in[3*k+1]), in[3*k+2])
+	}
+	for o := 0; o < 1571; o++ {
+		base := (o * 17) % (1494 - 12)
+		win := in[base : base+12]
+		// A small random cone: 3-4 levels of mixed gates.
+		g1 := net.AddGate(netlist.And, win[r.Intn(4)], win[4+r.Intn(4)].NotIf(r.Intn(2) == 0))
+		g2 := net.AddGate(netlist.Or, win[8+r.Intn(4)], win[r.Intn(12)])
+		g3 := net.AddGate(netlist.Xor, g1, win[r.Intn(12)])
+		g4 := net.AddGate(netlist.Maj, g1, g2.NotIf(r.Intn(2) == 0), win[r.Intn(12)])
+		var out netlist.Signal
+		switch r.Intn(4) {
+		case 0:
+			out = net.AddGate(netlist.And, g3, g4)
+		case 1:
+			out = net.AddGate(netlist.Or, g3, g4.Not())
+		case 2:
+			out = net.AddGate(netlist.Maj, g1, g4, g3)
+		default:
+			out = net.AddGate(netlist.And, g4, net.AddGate(netlist.Xor, g3, chain))
+		}
+		outs = append(outs, out)
+	}
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// genMisex3 (14 in / 14 out): a two-level PLA with shared product terms.
+func genMisex3() *netlist.Network {
+	net := netlist.New("misex3")
+	r := rand.New(rand.NewSource(0x3153))
+	in := addInputs(net, "i", 14)
+	outs := pla(net, r, in, 14, 160, 0.35, 0.12)
+	addOutputs(net, "z", outs)
+	return net
+}
+
+// Compress builds the paper's "large logic compression circuit" stand-in: a
+// dictionary-style match-and-mix network over a data window. words controls
+// the size; each word contributes roughly 17 gates (~25 AIG nodes), so the
+// paper's ~0.3M-node instance corresponds to words≈12000.
+func Compress(words int) *netlist.Network {
+	net := netlist.New(fmt.Sprintf("compress%d", words))
+	r := rand.New(rand.NewSource(0xC0)) // deterministic
+	window := addInputs(net, "w", 64)
+	dict := addInputs(net, "d", 64)
+	outs := make(word, 0, words/8+1)
+	var block word
+	for i := 0; i < words; i++ {
+		// Compare a rotated window slice against a rotated dictionary
+		// slice (8 bits) and mix the match into its block.
+		var eqs word
+		for b := 0; b < 8; b++ {
+			wbit := window[(i*3+b)%64]
+			dbit := dict[(i*5+b)%64]
+			eqs = append(eqs, net.AddGate(netlist.Xnor, wbit, dbit))
+		}
+		match := eqs[0]
+		for _, e := range eqs[1:] {
+			match = net.AddGate(netlist.And, match, e)
+		}
+		mixed := net.AddGate(netlist.Xor, match, window[(i*7)%64].NotIf(r.Intn(2) == 0))
+		block = append(block, mixed)
+		// Blocks of 8 matches reduce through a short priority chain (a
+		// serial section like real match-select logic), then blocks meet in
+		// a balanced tree so the overall profile is wide with moderate
+		// depth — like the original's 31-level AIG.
+		if len(block) == 8 {
+			acc := block[0]
+			for k := 1; k < len(block); k++ {
+				acc = net.AddGate(netlist.Maj, acc, block[k], dict[(i+k*11)%64])
+			}
+			outs = append(outs, acc)
+			block = block[:0]
+		}
+	}
+	if len(block) > 0 {
+		outs = append(outs, xorTree(net, block))
+	}
+	// Final signature: fold the block results pairwise so every output
+	// depends on a logarithmic mixing tree.
+	sig := xorTree(net, outs)
+	outs = append(outs, sig)
+	addOutputs(net, "z", outs)
+	return net
+}

@@ -1,0 +1,53 @@
+// Package mcnc — benchmark substitution rationale.
+//
+// The paper evaluates on the largest circuits of the MCNC benchmark suite.
+// Those netlists are not redistributable and are unavailable offline, so
+// this package generates functional stand-ins. Three properties are
+// preserved per circuit, because they are what the experiment actually
+// exercises:
+//
+//  1. the primary input/output counts (Table I's I/O column),
+//  2. the functional family — arithmetic carry chains are majority-friendly
+//     (where MIG wins depth), XOR-rich codecs exercise parity extraction,
+//     two-level control exercises SOP-style optimization, and
+//  3. the rough size scale, so runtimes and ratios remain comparable.
+//
+// Per-circuit mapping (paper circuit → stand-in):
+//
+//	C1355 (41/32)    ISCAS'85 single-error-correcting circuit → 32 data +
+//	                 9 check inputs, parity-tree syndromes, XOR-corrected
+//	                 outputs. Same XOR-dominated profile.
+//	C1908 (33/25)    ISCAS'85 SEC/ECC translator → CRC-style XOR cascades
+//	                 over 16 data + 17 check inputs.
+//	C6288 (32/32)    ISCAS'85 16×16 multiplier → an actual 16×16 array
+//	                 multiplier (carry-save array + final adder). This one
+//	                 is functionally the original.
+//	bigkey (487/421) key-scheduling cipher → wide shallow XOR masking with
+//	                 AND-mixed key expansion; depth ≤ 8 like the original.
+//	my_adder (33/17) 16-bit adder → an actual 16-bit ripple-carry adder
+//	                 with carry-in/out, the paper's canonical deep-carry
+//	                 benchmark.
+//	cla (129/65)     64-bit carry-lookahead adder → an actual 64-bit CLA
+//	                 with 4-bit groups and expanded carry equations.
+//	dalu (75/16)     dedicated ALU → 16-bit add/and/or/xor/shift datapath
+//	                 selected by a 43-input decoded control PLA.
+//	b9 (41/21)       small control logic → seeded two-level PLA block.
+//	count (35/16)    loadable counter → an actual 16-bit counter slice
+//	                 (increment chain + load mux + clear), the same deep
+//	                 AND-ripple.
+//	alu4 (14/8)      4-bit ALU (PLA form of the 74181) → a 74181-style
+//	                 gate-level ALU with carry chain and group outputs.
+//	clma (416/115)   large telecom ASIC core → 16×16 and 14×14 multipliers,
+//	                 three 32-bit adders, compare/select trees and a
+//	                 140-term control PLA masking 115 outputs.
+//	mm30a (124/120)  30-stage minmax network → an actual 30-stage
+//	                 compare-and-swap chain over 4-bit words (the extreme
+//	                 sequential depth of the original).
+//	s38417 (1494/1571) scan-circuit combinational core → ~1600 shallow
+//	                 random cones over 12-input windows plus a handful of
+//	                 deeper shared priority chains.
+//	misex3 (14/14)   two-level PLA → seeded 160-term shared-product PLA.
+//
+// All generators are deterministic (fixed seeds), so every run of the
+// experiment harness measures the same circuits.
+package mcnc

@@ -1,0 +1,304 @@
+package mcnc
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/netlist"
+)
+
+func TestAllBenchmarksGenerate(t *testing.T) {
+	for _, name := range Names() {
+		n, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		row, ok := PaperRowByName(name)
+		if !ok {
+			t.Fatalf("%s: missing paper row", name)
+		}
+		if n.NumInputs() != row.Inputs {
+			t.Errorf("%s: inputs = %d, paper %d", name, n.NumInputs(), row.Inputs)
+		}
+		if n.NumOutputs() != row.Outputs {
+			t.Errorf("%s: outputs = %d, paper %d", name, n.NumOutputs(), row.Outputs)
+		}
+		if n.NumGates() == 0 {
+			t.Errorf("%s: empty network", name)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range []string{"b9", "misex3", "C1355"} {
+		a, _ := Generate(name)
+		b, _ := Generate(name)
+		if a.NumNodes() != b.NumNodes() {
+			t.Errorf("%s: nondeterministic node count", name)
+		}
+		// Same structure: compare a few simulation words.
+		r := rand.New(rand.NewSource(7))
+		ins := make([]uint64, a.NumInputs())
+		for i := range ins {
+			ins[i] = r.Uint64()
+		}
+		wa := a.OutputWords(ins)
+		wb := b.OutputWords(ins)
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("%s: nondeterministic function", name)
+			}
+		}
+	}
+}
+
+func TestMyAdderIsAnAdder(t *testing.T) {
+	n, _ := Generate("my_adder")
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := uint64(r.Intn(1 << 16))
+		b := uint64(r.Intn(1 << 16))
+		cin := uint64(r.Intn(2))
+		ins := make([]uint64, 33)
+		for i := 0; i < 16; i++ {
+			if a&(1<<uint(i)) != 0 {
+				ins[i] = ^uint64(0)
+			}
+			if b&(1<<uint(i)) != 0 {
+				ins[16+i] = ^uint64(0)
+			}
+		}
+		if cin == 1 {
+			ins[32] = ^uint64(0)
+		}
+		out := n.OutputWords(ins)
+		var got uint64
+		for i := 0; i < 17; i++ {
+			if out[i]&1 != 0 {
+				got |= 1 << uint(i)
+			}
+		}
+		if want := a + b + cin; got != want {
+			t.Fatalf("%d+%d+%d = %d, got %d", a, b, cin, want, got)
+		}
+	}
+}
+
+func TestClaMatchesRipple(t *testing.T) {
+	cla, _ := Generate("cla")
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		a := r.Uint64()
+		b := r.Uint64()
+		cin := uint64(r.Intn(2))
+		ins := make([]uint64, 129)
+		for i := 0; i < 64; i++ {
+			if a&(1<<uint(i)) != 0 {
+				ins[i] = ^uint64(0)
+			}
+			if b&(1<<uint(i)) != 0 {
+				ins[64+i] = ^uint64(0)
+			}
+		}
+		if cin == 1 {
+			ins[128] = ^uint64(0)
+		}
+		out := cla.OutputWords(ins)
+		sum := a + b + cin
+		for i := 0; i < 64; i++ {
+			want := sum&(1<<uint(i)) != 0
+			if (out[i]&1 != 0) != want {
+				t.Fatalf("cla bit %d wrong for %d+%d+%d", i, a, b, cin)
+			}
+		}
+		// Carry out via 65-bit addition.
+		_, c1 := bits.Add64(a, b, cin)
+		wantCout := c1 == 1
+		if (out[64]&1 != 0) != wantCout {
+			t.Fatalf("cla cout wrong for a=%d b=%d cin=%d", a, b, cin)
+		}
+	}
+}
+
+func TestC6288IsAMultiplier(t *testing.T) {
+	n, _ := Generate("C6288")
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		x := uint64(r.Intn(1 << 16))
+		y := uint64(r.Intn(1 << 16))
+		ins := make([]uint64, 32)
+		for i := 0; i < 16; i++ {
+			if x&(1<<uint(i)) != 0 {
+				ins[i] = ^uint64(0)
+			}
+			if y&(1<<uint(i)) != 0 {
+				ins[16+i] = ^uint64(0)
+			}
+		}
+		out := n.OutputWords(ins)
+		var got uint64
+		for i := 0; i < 32; i++ {
+			if out[i]&1 != 0 {
+				got |= 1 << uint(i)
+			}
+		}
+		if want := x * y; got != want {
+			t.Fatalf("%d*%d = %d, got %d", x, y, want, got)
+		}
+	}
+}
+
+func TestCountIncrements(t *testing.T) {
+	n, _ := Generate("count")
+	// state=5, en=1, load=0, clr=0 → 6.
+	ins := make([]uint64, 35)
+	set := func(idx int, v bool) {
+		if v {
+			ins[idx] = ^uint64(0)
+		}
+	}
+	set(0, true)  // q0
+	set(2, true)  // q2 → q = 5
+	set(33, true) // en (inputs: q[0:16], d[16:32], load=32, en=33, clr=34)
+	out := n.OutputWords(ins)
+	var got uint64
+	for i := 0; i < 16; i++ {
+		if out[i]&1 != 0 {
+			got |= 1 << uint(i)
+		}
+	}
+	if got != 6 {
+		t.Errorf("count(5, en) = %d, want 6", got)
+	}
+	// load takes priority over increment result.
+	set(32, true)   // load
+	set(16+7, true) // d = 128
+	out = n.OutputWords(ins)
+	got = 0
+	for i := 0; i < 16; i++ {
+		if out[i]&1 != 0 {
+			got |= 1 << uint(i)
+		}
+	}
+	if got != 128 {
+		t.Errorf("count(load=128) = %d, want 128", got)
+	}
+	// clear wins over everything.
+	set(34, true)
+	out = n.OutputWords(ins)
+	for i := 0; i < 16; i++ {
+		if out[i]&1 != 0 {
+			t.Errorf("count(clr) bit %d set", i)
+		}
+	}
+}
+
+func TestMm30aIsDeep(t *testing.T) {
+	n, _ := Generate("mm30a")
+	if d := n.Depth(); d < 60 {
+		t.Errorf("mm30a depth = %d, want deep (>=60)", d)
+	}
+}
+
+func TestBigkeyIsShallow(t *testing.T) {
+	n, _ := Generate("bigkey")
+	if d := n.Depth(); d > 8 {
+		t.Errorf("bigkey depth = %d, want shallow (<=8)", d)
+	}
+}
+
+func TestCompressScales(t *testing.T) {
+	small := Compress(100)
+	if err := small.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	big := Compress(400)
+	if big.NumGates() <= small.NumGates() {
+		t.Error("Compress not scaling with words")
+	}
+	if small.NumInputs() != 128 {
+		t.Errorf("compress inputs = %d, want 128", small.NumInputs())
+	}
+}
+
+func TestSizesInPaperBallpark(t *testing.T) {
+	// The stand-ins should land within a loose factor of the paper's AIG
+	// sizes so that ratios remain meaningful. This is a coarse guard, not
+	// an exact match: generator != original circuit.
+	for _, name := range []string{"C6288", "my_adder", "cla"} {
+		n, _ := Generate(name)
+		row, _ := PaperRowByName(name)
+		nodes := aig.FromNetwork(n).Size()
+		lo, hi := row.AIGSize/4, row.AIGSize*4
+		if nodes < lo || nodes > hi {
+			t.Errorf("%s: %d AIG nodes, paper %d (allowed %d..%d)", name, nodes, row.AIGSize, lo, hi)
+		}
+	}
+}
+
+func TestFullAdderBuilder(t *testing.T) {
+	net := netlist.New("fa")
+	a := net.AddInput("a")
+	b := net.AddInput("b")
+	c := net.AddInput("c")
+	s, co := fullAdder(net, a, b, c)
+	net.AddOutput("s", s)
+	net.AddOutput("co", co)
+	tts, err := net.CollapseTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 8; m++ {
+		bits := (m & 1) + (m >> 1 & 1) + (m >> 2 & 1)
+		if tts[0].Bit(m) != (bits%2 == 1) {
+			t.Errorf("sum wrong at %d", m)
+		}
+		if tts[1].Bit(m) != (bits >= 2) {
+			t.Errorf("carry wrong at %d", m)
+		}
+	}
+}
+
+func TestCompareSwapBuilder(t *testing.T) {
+	net := netlist.New("cs")
+	a := addInputs(net, "a", 4)
+	b := addInputs(net, "b", 4)
+	mn, mx := compareSwap(net, a, b)
+	addOutputs(net, "mn", mn)
+	addOutputs(net, "mx", mx)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		av := uint64(r.Intn(16))
+		bv := uint64(r.Intn(16))
+		ins := make([]uint64, 8)
+		for i := 0; i < 4; i++ {
+			if av&(1<<uint(i)) != 0 {
+				ins[i] = 1
+			}
+			if bv&(1<<uint(i)) != 0 {
+				ins[4+i] = 1
+			}
+		}
+		out := net.OutputWords(ins)
+		var gmn, gmx uint64
+		for i := 0; i < 4; i++ {
+			gmn |= (out[i] & 1) << uint(i)
+			gmx |= (out[4+i] & 1) << uint(i)
+		}
+		wmn, wmx := av, bv
+		if bv < av {
+			wmn, wmx = bv, av
+		}
+		if gmn != wmn || gmx != wmx {
+			t.Fatalf("compareSwap(%d,%d) = (%d,%d), want (%d,%d)", av, bv, gmn, gmx, wmn, wmx)
+		}
+	}
+}

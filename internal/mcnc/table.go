@@ -1,0 +1,65 @@
+package mcnc
+
+// PaperRow holds the values the paper reports for one benchmark in Table I,
+// used by the experiment harness to print paper-vs-measured comparisons.
+// N.A. entries (BDS failures) are encoded as negative values.
+type PaperRow struct {
+	Name    string
+	Inputs  int
+	Outputs int
+
+	// Logic optimization (Table I-top).
+	MIGSize, MIGDepth int
+	MIGActivity       float64
+	AIGSize, AIGDepth int
+	AIGActivity       float64
+	BDDSize, BDDDepth int
+	BDDActivity       float64
+
+	// Logic synthesis (Table I-bottom): area µm², delay ns, power µW.
+	MIGArea, MIGDelay, MIGPower float64
+	AIGArea, AIGDelay, AIGPower float64
+	CSTArea, CSTDelay, CSTPower float64
+}
+
+// PaperTable reproduces the numbers printed in the paper's Table I.
+var PaperTable = []PaperRow{
+	{"C1355", 41, 32, 481, 18, 133.60, 392, 18, 126.36, 315, 19, 109.33,
+		56.34, 0.74, 226.68, 56.27, 0.76, 203.55, 56.34, 0.76, 205.54},
+	{"C1908", 33, 25, 459, 23, 124.98, 363, 25, 159.08, 414, 31, 169.68,
+		44.72, 0.78, 132.98, 53.47, 1.06, 155.07, 53.54, 0.99, 155.96},
+	{"C6288", 32, 32, 2237, 86, 784.62, 2045, 94, 797.91, 2187, 98, 883.12,
+		361.47, 3.18, 1604.30, 354.54, 3.44, 1822.21, 343.41, 3.44, 1742.20},
+	{"bigkey", 487, 421, 4299, 9, 789.02, 4834, 9, 846.57, 4563, 14, 822.76,
+		388.57, 0.82, 722.68, 541.24, 0.73, 981.06, 538.09, 0.70, 1010.32},
+	{"my_adder", 33, 17, 265, 19, 58.15, 137, 33, 49.86, 211, 37, 64.83,
+		22.68, 1.19, 36.17, 23.23, 1.68, 41.10, 23.31, 1.68, 41.21},
+	{"cla", 129, 65, 1028, 24, 363.57, 902, 38, 329.17, 918, 39, 317.44,
+		149.52, 1.42, 398.34, 139.92, 2.32, 355.47, 139.50, 2.33, 356.53},
+	{"dalu", 75, 16, 1443, 21, 283.12, 1116, 30, 264.92, 1626, 39, 303.70,
+		116.34, 1.07, 179.42, 103.25, 0.94, 145.10, 109.97, 1.09, 147.98},
+	{"b9", 41, 21, 97, 6, 16.95, 84, 7, 16.65, 96, 9, 17.20,
+		12.88, 0.22, 19.75, 13.72, 0.22, 20.67, 14.49, 0.26, 23.06},
+	{"count", 35, 16, 176, 7, 32.77, 127, 19, 18.87, 134, 17, 19.05,
+		20.16, 0.91, 28.04, 18.76, 1.07, 24.87, 18.76, 1.07, 24.87},
+	{"alu4", 14, 8, 1380, 14, 237.38, 1421, 14, 249.52, 1773, 27, 349.33,
+		150.15, 0.65, 225.16, 254.80, 0.67, 386.71, 229.25, 0.69, 343.62},
+	{"clma", 416, 115, 12449, 42, 3626.38, 12928, 46, 3712.38, -1, -1, -1,
+		888.79, 1.59, 1806.65, 1180.83, 1.69, 2191.77, 1315.02, 1.62, 2588.09},
+	{"mm30a", 124, 120, 1174, 101, 209.52, 1004, 125, 164.49, 1187, 111, 155.29,
+		130.41, 2.12, 210.95, 148.12, 4.71, 240.28, 164.56, 3.35, 296.29},
+	{"s38417", 1494, 1571, 8260, 22, 1932.78, 8053, 25, 1854.26, 8210, 28, 1989.22,
+		1287.44, 1.20, 2577.00, 1268.05, 1.34, 2559.54, 1307.59, 1.43, 2589.28},
+	{"misex3", 14, 14, 1323, 13, 233.09, 1274, 14, 209.27, 1223, 16, 198.71,
+		159.88, 0.66, 234.09, 291.48, 0.92, 379.62, 207.48, 0.73, 284.62},
+}
+
+// PaperRowByName returns the Table I row for a benchmark, if present.
+func PaperRowByName(name string) (PaperRow, bool) {
+	for _, r := range PaperTable {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return PaperRow{}, false
+}

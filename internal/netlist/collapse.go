@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/tt"
+)
+
+// CollapseTT computes the truth table of every primary output. It requires
+// the network to have at most tt.MaxVars primary inputs.
+func (n *Network) CollapseTT() ([]tt.TT, error) {
+	ni := len(n.Inputs)
+	if ni > tt.MaxVars {
+		return nil, fmt.Errorf("netlist: CollapseTT on %d inputs (max %d)", ni, tt.MaxVars)
+	}
+	vals := make([]tt.TT, len(n.Nodes))
+	get := func(s Signal) tt.TT {
+		v := vals[s.Node()]
+		if s.Neg() {
+			return v.Not()
+		}
+		return v
+	}
+	inIdx := 0
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case Const0:
+			vals[i] = tt.Const(ni, false)
+		case Input:
+			vals[i] = tt.Var(ni, inIdx)
+			inIdx++
+		case Not:
+			vals[i] = get(nd.Fanins[0]).Not()
+		case Buf:
+			vals[i] = get(nd.Fanins[0])
+		case And, Nand:
+			v := tt.Const(ni, true)
+			for _, f := range nd.Fanins {
+				v = v.And(get(f))
+			}
+			if nd.Op == Nand {
+				v = v.Not()
+			}
+			vals[i] = v
+		case Or, Nor:
+			v := tt.Const(ni, false)
+			for _, f := range nd.Fanins {
+				v = v.Or(get(f))
+			}
+			if nd.Op == Nor {
+				v = v.Not()
+			}
+			vals[i] = v
+		case Xor, Xnor:
+			v := tt.Const(ni, false)
+			for _, f := range nd.Fanins {
+				v = v.Xor(get(f))
+			}
+			if nd.Op == Xnor {
+				v = v.Not()
+			}
+			vals[i] = v
+		case Maj:
+			vals[i] = tt.Maj3(get(nd.Fanins[0]), get(nd.Fanins[1]), get(nd.Fanins[2]))
+		case Mux:
+			vals[i] = tt.Mux(get(nd.Fanins[0]), get(nd.Fanins[1]), get(nd.Fanins[2]))
+		default:
+			return nil, fmt.Errorf("netlist: CollapseTT unsupported op %v", nd.Op)
+		}
+	}
+	out := make([]tt.TT, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[i] = get(o.Sig)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package netlist
+
+// Remajorize detects three-leaf cones that compute a (possibly input- or
+// output-complemented) three-input majority and replaces them with a single
+// Maj gate. Flattened formats like structural Verilog have no majority
+// operator, so a majority node written out as (a&b)|(a&c)|(b&c) would
+// otherwise come back as three AND and two OR gates; this pass restores the
+// majority structure that MIG construction wants to see.
+func (n *Network) Remajorize() *Network {
+	refs := make([]int, len(n.Nodes))
+	for _, nd := range n.Nodes {
+		for _, f := range nd.Fanins {
+			refs[f.Node()]++
+		}
+	}
+	for _, o := range n.Outputs {
+		refs[o.Sig.Node()]++
+	}
+
+	out := New(n.Name)
+	remap := make([]Signal, len(n.Nodes))
+	ms := func(s Signal) Signal { return remap[s.Node()].NotIf(s.Neg()) }
+
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case Const0:
+			remap[i] = SigConst0
+			continue
+		case Input:
+			remap[i] = out.AddInput(nd.Name)
+			continue
+		}
+		if leaves, neg, ok := n.matchMaj(i, refs); ok {
+			remap[i] = out.AddGate(Maj, ms(leaves[0]), ms(leaves[1]), ms(leaves[2])).NotIf(neg)
+			continue
+		}
+		fs := make([]Signal, len(nd.Fanins))
+		for k, f := range nd.Fanins {
+			fs[k] = ms(f)
+		}
+		switch nd.Op {
+		case Not:
+			remap[i] = fs[0].Not()
+		case Buf:
+			remap[i] = fs[0]
+		default:
+			remap[i] = out.AddGate(nd.Op, fs...)
+		}
+	}
+	for _, o := range n.Outputs {
+		out.AddOutput(o.Name, ms(o.Sig))
+	}
+	return out.Clean()
+}
+
+// matchMaj reports whether the cone rooted at node i computes a majority of
+// three leaf signals. The cone may descend through single-fanout And/Or/Not
+// interior nodes up to depth 3.
+func (n *Network) matchMaj(root int, refs []int) ([3]Signal, bool, bool) {
+	// Collect leaves: nodes outside the cone.
+	var leaves []int
+	leafSet := map[int]bool{}
+	interior := map[int]bool{}
+	ok := true
+	var collect func(idx, depth int, isRoot bool)
+	collect = func(idx, depth int, isRoot bool) {
+		if !ok {
+			return
+		}
+		nd := &n.Nodes[idx]
+		expandable := nd.Op == And || nd.Op == Or || nd.Op == Not || nd.Op == Buf || nd.Op == Maj || nd.Op == Mux
+		if !isRoot && (!expandable || refs[idx] != 1 || depth == 0) {
+			if !leafSet[idx] {
+				if len(leaves) == 3 {
+					ok = false
+					return
+				}
+				leafSet[idx] = true
+				leaves = append(leaves, idx)
+			}
+			return
+		}
+		if !expandable {
+			ok = false
+			return
+		}
+		interior[idx] = true
+		for _, f := range nd.Fanins {
+			if f.Node() == 0 {
+				// Constant leaf disqualifies a clean majority match.
+				ok = false
+				return
+			}
+			collect(f.Node(), depth-1, false)
+		}
+	}
+	nd := &n.Nodes[root]
+	if nd.Op != And && nd.Op != Or {
+		return [3]Signal{}, false, false
+	}
+	collect(root, 3, true)
+	if !ok || len(leaves) != 3 {
+		return [3]Signal{}, false, false
+	}
+
+	// Evaluate the cone over the 8 leaf minterms.
+	var ttv uint8
+	for m := 0; m < 8; m++ {
+		val := map[int]bool{}
+		for k, l := range leaves {
+			val[l] = m&(1<<uint(k)) != 0
+		}
+		var eval func(s Signal) bool
+		bad := false
+		eval = func(s Signal) bool {
+			if v, okv := val[s.Node()]; okv {
+				return v != s.Neg()
+			}
+			cnd := &n.Nodes[s.Node()]
+			var v bool
+			switch cnd.Op {
+			case And:
+				v = true
+				for _, f := range cnd.Fanins {
+					v = v && eval(f)
+				}
+			case Or:
+				v = false
+				for _, f := range cnd.Fanins {
+					v = v || eval(f)
+				}
+			case Not:
+				v = !eval(cnd.Fanins[0])
+			case Buf:
+				v = eval(cnd.Fanins[0])
+			case Maj:
+				a, b := eval(cnd.Fanins[0]), eval(cnd.Fanins[1])
+				c := eval(cnd.Fanins[2])
+				v = (a && b) || (a && c) || (b && c)
+			case Mux:
+				if eval(cnd.Fanins[0]) {
+					v = eval(cnd.Fanins[1])
+				} else {
+					v = eval(cnd.Fanins[2])
+				}
+			default:
+				bad = true
+			}
+			return v != s.Neg()
+		}
+		r := eval(MakeSignal(root, false))
+		if bad {
+			return [3]Signal{}, false, false
+		}
+		if r {
+			ttv |= 1 << uint(m)
+		}
+	}
+
+	// Compare against all polarity variants of maj3 (tt 0xE8).
+	for variant := 0; variant < 16; variant++ {
+		want := uint8(0)
+		for m := 0; m < 8; m++ {
+			a := (m&1 != 0) != (variant&1 != 0)
+			b := (m&2 != 0) != (variant&2 != 0)
+			c := (m&4 != 0) != (variant&4 != 0)
+			v := (a && b) || (a && c) || (b && c)
+			if v != (variant&8 != 0) {
+				want |= 1 << uint(m)
+			}
+		}
+		if ttv == want {
+			var sigs [3]Signal
+			for k, l := range leaves {
+				sigs[k] = MakeSignal(l, variant&(1<<uint(k)) != 0)
+			}
+			return sigs, variant&8 != 0, true
+		}
+	}
+	return [3]Signal{}, false, false
+}

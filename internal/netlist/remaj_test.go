@@ -1,0 +1,128 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func majPattern(n *Network, a, b, c Signal) Signal {
+	ab := n.AddGate(And, a, b)
+	ac := n.AddGate(And, a, c)
+	bc := n.AddGate(And, b, c)
+	return n.AddGate(Or, n.AddGate(Or, ab, ac), bc)
+}
+
+func TestRemajorizeDetectsMajority(t *testing.T) {
+	n := New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	n.AddOutput("f", majPattern(n, a, b, c))
+	r := n.Remajorize()
+	if r.OpCounts()[Maj] != 1 {
+		t.Errorf("majority not detected: %v", r.OpCounts())
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := r.CollapseTT()
+	if !t1[0].Equal(t2[0]) {
+		t.Error("function changed")
+	}
+}
+
+func TestRemajorizeComplementedVariants(t *testing.T) {
+	n := New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	// minority = complement-output majority
+	n.AddOutput("f", majPattern(n, a.Not(), b, c.Not()).Not())
+	r := n.Remajorize()
+	if r.OpCounts()[Maj] != 1 {
+		t.Errorf("complemented majority not detected: %v", r.OpCounts())
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := r.CollapseTT()
+	if !t1[0].Equal(t2[0]) {
+		t.Error("function changed")
+	}
+}
+
+func TestRemajorizeMuxForm(t *testing.T) {
+	// maj(a,b,c) = mux(a, b|c, b&c)
+	n := New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	orr := n.AddGate(Or, b, c)
+	andd := n.AddGate(And, b, c)
+	// An Or root around the mux keeps the root op in {And, Or}.
+	f := n.AddGate(Or, n.AddGate(And, a, orr), andd)
+	n.AddOutput("f", f)
+	r := n.Remajorize()
+	if r.OpCounts()[Maj] != 1 {
+		t.Errorf("mux-form majority not detected: %v", r.OpCounts())
+	}
+}
+
+func TestRemajorizeLeavesOthersAlone(t *testing.T) {
+	n := New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	f := n.AddGate(Or, n.AddGate(And, a, b), c) // not a majority
+	x := n.AddGate(Xor, a, b)
+	n.AddOutput("f", f)
+	n.AddOutput("x", x)
+	r := n.Remajorize()
+	if r.OpCounts()[Maj] != 0 {
+		t.Errorf("false majority detected: %v", r.OpCounts())
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := r.CollapseTT()
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d changed", i)
+		}
+	}
+}
+
+func TestRemajorizeSharedInteriorKept(t *testing.T) {
+	// When an interior node has extra fanout, the cone must not be
+	// collapsed (the shared node is still needed).
+	n := New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	ab := n.AddGate(And, a, b)
+	ac := n.AddGate(And, a, c)
+	bc := n.AddGate(And, b, c)
+	f := n.AddGate(Or, n.AddGate(Or, ab, ac), bc)
+	n.AddOutput("f", f)
+	n.AddOutput("g", ab) // extra fanout on interior
+	r := n.Remajorize()
+	t1, _ := n.CollapseTT()
+	t2, _ := r.CollapseTT()
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d changed", i)
+		}
+	}
+}
+
+func TestRemajorizeRandomEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := randomNetwork(r, 5, 40)
+		m := n.Remajorize()
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		t1, _ := n.CollapseTT()
+		t2, _ := m.CollapseTT()
+		for i := range t1 {
+			if !t1[i].Equal(t2[i]) {
+				t.Fatalf("trial %d output %d changed", trial, i)
+			}
+		}
+	}
+}

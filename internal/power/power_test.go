@@ -1,0 +1,112 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestProbabilitiesBasicGates(t *testing.T) {
+	n := netlist.New("g")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	and := n.AddGate(netlist.And, a, b)
+	or := n.AddGate(netlist.Or, a, b)
+	xor := n.AddGate(netlist.Xor, a, b)
+	nand := n.AddGate(netlist.Nand, a, b)
+	nor := n.AddGate(netlist.Nor, a, b)
+	xnor := n.AddGate(netlist.Xnor, a, b)
+	maj := n.AddGate(netlist.Maj, a, b, n.AddInput("c"))
+	mux := n.AddGate(netlist.Mux, a, b, b)
+	for _, s := range []netlist.Signal{and, or, xor, nand, nor, xnor, maj, mux} {
+		n.AddOutput("o", s)
+	}
+	p := Probabilities(n, nil)
+	want := map[netlist.Signal]float64{
+		and: 0.25, or: 0.75, xor: 0.5, nand: 0.75, nor: 0.25, xnor: 0.5,
+		maj: 0.5, mux: 0.5,
+	}
+	for s, w := range want {
+		if got := p[s.Node()]; math.Abs(got-w) > 1e-12 {
+			t.Errorf("node %d: p = %v, want %v", s.Node(), got, w)
+		}
+	}
+}
+
+func TestProbabilitiesExactOnTrees(t *testing.T) {
+	// For a tree (no reconvergence) propagation is exact: compare against
+	// exhaustive truth-table probabilities.
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := netlist.New("tree")
+		// Build a random binary tree over 8 leaves.
+		var sigs []netlist.Signal
+		for i := 0; i < 8; i++ {
+			sigs = append(sigs, n.AddInput("x"))
+		}
+		ops := []netlist.Op{netlist.And, netlist.Or, netlist.Xor, netlist.Nand, netlist.Nor}
+		for len(sigs) > 1 {
+			op := ops[r.Intn(len(ops))]
+			a, b := sigs[0], sigs[1]
+			if r.Intn(2) == 0 {
+				a = a.Not()
+			}
+			g := n.AddGate(op, a, b)
+			sigs = append(sigs[2:], g)
+		}
+		n.AddOutput("f", sigs[0])
+		p := Probabilities(n, nil)
+		tts, err := n.CollapseTT()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p[sigs[0].Node()]
+		if sigs[0].Neg() {
+			got = 1 - got
+		}
+		if math.Abs(got-tts[0].Prob()) > 1e-9 {
+			t.Fatalf("trial %d: p = %v, exhaustive %v", trial, got, tts[0].Prob())
+		}
+	}
+}
+
+func TestCustomInputProbs(t *testing.T) {
+	n := netlist.New("c")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	and := n.AddGate(netlist.And, a, b)
+	n.AddOutput("o", and)
+	p := Probabilities(n, []float64{1.0, 0.25})
+	if got := p[and.Node()]; got != 0.25 {
+		t.Errorf("p = %v, want 0.25", got)
+	}
+}
+
+func TestActivityValue(t *testing.T) {
+	n := netlist.New("a")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	and := n.AddGate(netlist.And, a, b) // p = 0.25, act = 0.375
+	or := n.AddGate(netlist.Or, a, b)   // p = 0.75, act = 0.375
+	n.AddOutput("x", and)
+	n.AddOutput("y", or)
+	if got := Activity(n, nil); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("activity = %v, want 0.75", got)
+	}
+}
+
+func TestActivityExcludesDeadAndInverters(t *testing.T) {
+	n := netlist.New("d")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	n.AddGate(netlist.And, a, b) // dead
+	inv := n.AddGate(netlist.Not, a)
+	keep := n.AddGate(netlist.Or, inv, b)
+	n.AddOutput("o", keep)
+	// Only the OR node counts: p = 1-(0.5·0.5) = 0.75, act = 0.375.
+	if got := Activity(n, nil); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("activity = %v, want 0.375", got)
+	}
+}

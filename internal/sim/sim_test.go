@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func xorChain(n int) *netlist.Network {
+	net := netlist.New("xorchain")
+	acc := net.AddInput("x0")
+	for i := 1; i < n; i++ {
+		acc = net.AddGate(netlist.Xor, acc, net.AddInput("x"))
+	}
+	net.AddOutput("p", acc)
+	return net
+}
+
+func TestRandomPatternsShape(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := RandomPatterns(r, 5, 7)
+	if len(p) != 7 {
+		t.Fatalf("rounds = %d", len(p))
+	}
+	for _, row := range p {
+		if len(row) != 5 {
+			t.Fatalf("row width = %d", len(row))
+		}
+	}
+}
+
+func TestSignatureDetectsDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := xorChain(6)
+	// b computes xnor at the end instead.
+	b := netlist.New("b")
+	acc := b.AddInput("x0")
+	for i := 1; i < 6; i++ {
+		acc = b.AddGate(netlist.Xor, acc, b.AddInput("x"))
+	}
+	b.AddOutput("p", acc.Not())
+	pats := RandomPatterns(r, 6, 4)
+	if EqualSignatures(Signature(a, pats), Signature(b, pats)) {
+		t.Error("complemented output not detected")
+	}
+	if !EqualSignatures(Signature(a, pats), Signature(a, pats)) {
+		t.Error("self-comparison failed")
+	}
+}
+
+func TestEqualSignaturesShapes(t *testing.T) {
+	if EqualSignatures([][]uint64{{1}}, [][]uint64{{1}, {2}}) {
+		t.Error("length mismatch accepted")
+	}
+	if EqualSignatures([][]uint64{{1, 2}}, [][]uint64{{1}}) {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestActivityEstimateMatchesStatic(t *testing.T) {
+	// For an xor chain every node has p=0.5, so activity per node is 0.5
+	// per toggle pair: 2·0.5·0.5 = 0.5. With 5 gates, expect ~2.5.
+	net := xorChain(6)
+	r := rand.New(rand.NewSource(3))
+	got := ActivityEstimate(net, r, 64)
+	if got < 2.2 || got > 2.8 {
+		t.Errorf("xor chain activity = %v, want ~2.5", got)
+	}
+}
+
+func TestActivityConstNode(t *testing.T) {
+	net := netlist.New("c")
+	a := net.AddInput("a")
+	g := net.AddGate(netlist.And, a, a.Not()) // constant 0 gate
+	net.AddOutput("o", g)
+	r := rand.New(rand.NewSource(4))
+	if got := ActivityEstimate(net, r, 16); got != 0 {
+		t.Errorf("constant gate activity = %v, want 0", got)
+	}
+}

@@ -1,0 +1,230 @@
+package sop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tt"
+)
+
+// ExprKind distinguishes factored-form expression nodes.
+type ExprKind uint8
+
+// Expression node kinds.
+const (
+	ExprConst ExprKind = iota // Val holds the constant
+	ExprLit                   // Var/NegLit hold the literal
+	ExprAnd                   // Kids
+	ExprOr                    // Kids
+)
+
+// Expr is a node of a factored Boolean expression tree.
+type Expr struct {
+	Kind ExprKind
+	Val  bool
+	Var  int
+	Neg  bool
+	Kids []*Expr
+}
+
+// Lit builds a literal expression.
+func Lit(v int, neg bool) *Expr { return &Expr{Kind: ExprLit, Var: v, Neg: neg} }
+
+// ConstExpr builds a constant expression.
+func ConstExpr(v bool) *Expr { return &Expr{Kind: ExprConst, Val: v} }
+
+// NumLits returns the number of literal leaves of the expression.
+func (e *Expr) NumLits() int {
+	switch e.Kind {
+	case ExprLit:
+		return 1
+	case ExprAnd, ExprOr:
+		n := 0
+		for _, k := range e.Kids {
+			n += k.NumLits()
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// TT evaluates the expression over n variables.
+func (e *Expr) TT(n int) tt.TT {
+	switch e.Kind {
+	case ExprConst:
+		return tt.Const(n, e.Val)
+	case ExprLit:
+		v := tt.Var(n, e.Var)
+		if e.Neg {
+			v = v.Not()
+		}
+		return v
+	case ExprAnd:
+		r := tt.Const(n, true)
+		for _, k := range e.Kids {
+			r = r.And(k.TT(n))
+		}
+		return r
+	case ExprOr:
+		r := tt.Const(n, false)
+		for _, k := range e.Kids {
+			r = r.Or(k.TT(n))
+		}
+		return r
+	}
+	panic("sop: bad expression kind")
+}
+
+// String renders the expression with x<i> literals.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprConst:
+		if e.Val {
+			return "1"
+		}
+		return "0"
+	case ExprLit:
+		s := fmt.Sprintf("x%d", e.Var)
+		if e.Neg {
+			s += "'"
+		}
+		return s
+	case ExprAnd:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			p := k.String()
+			if k.Kind == ExprOr {
+				p = "(" + p + ")"
+			}
+			parts[i] = p
+		}
+		return strings.Join(parts, "·")
+	case ExprOr:
+		parts := make([]string, len(e.Kids))
+		for i, k := range e.Kids {
+			parts[i] = k.String()
+		}
+		return strings.Join(parts, " + ")
+	}
+	return "?"
+}
+
+// Factor converts a cover into a factored expression tree using quick
+// algebraic factoring: the most frequent literal is extracted recursively,
+// f = l·Q + R, where Q is the quotient of the cubes containing l and R the
+// remainder.
+func Factor(c Cover) *Expr {
+	if len(c.Cubes) == 0 {
+		return ConstExpr(false)
+	}
+	if len(c.Cubes) == 1 && c.Cubes[0].Mask == 0 {
+		return ConstExpr(true)
+	}
+	return factorRec(c.NumVars, c.Cubes)
+}
+
+func factorRec(numVars int, cubes []tt.Cube) *Expr {
+	if len(cubes) == 0 {
+		return ConstExpr(false)
+	}
+	if len(cubes) == 1 {
+		return cubeExpr(numVars, cubes[0])
+	}
+	// Count literal frequencies.
+	type lit struct {
+		v   int
+		neg bool
+	}
+	count := map[lit]int{}
+	for _, c := range cubes {
+		for v := 0; v < numVars; v++ {
+			if c.HasVar(v) {
+				count[lit{v, !c.VarPhase(v)}]++
+			}
+		}
+	}
+	bestLit, bestCount := lit{}, 0
+	// Deterministic iteration order.
+	var keys []lit
+	for k := range count {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		return !keys[i].neg && keys[j].neg
+	})
+	for _, k := range keys {
+		if count[k] > bestCount {
+			bestLit, bestCount = k, count[k]
+		}
+	}
+	if bestCount <= 1 {
+		// No shared literal: plain sum of cube expressions.
+		kids := make([]*Expr, len(cubes))
+		for i, c := range cubes {
+			kids[i] = cubeExpr(numVars, c)
+		}
+		return &Expr{Kind: ExprOr, Kids: kids}
+	}
+	// Divide by the literal.
+	var quotient, remainder []tt.Cube
+	for _, c := range cubes {
+		if c.HasVar(bestLit.v) && c.VarPhase(bestLit.v) == !bestLit.neg {
+			q := c
+			q.Mask &^= 1 << uint(bestLit.v)
+			q.Polarity &^= 1 << uint(bestLit.v)
+			quotient = append(quotient, q)
+		} else {
+			remainder = append(remainder, c)
+		}
+	}
+	qe := factorRec(numVars, quotient)
+	le := Lit(bestLit.v, bestLit.neg)
+	var prod *Expr
+	if qe.Kind == ExprConst && qe.Val {
+		prod = le
+	} else {
+		prod = &Expr{Kind: ExprAnd, Kids: []*Expr{le, qe}}
+	}
+	if len(remainder) == 0 {
+		return prod
+	}
+	re := factorRec(numVars, remainder)
+	if re.Kind == ExprOr {
+		return &Expr{Kind: ExprOr, Kids: append([]*Expr{prod}, re.Kids...)}
+	}
+	return &Expr{Kind: ExprOr, Kids: []*Expr{prod, re}}
+}
+
+func cubeExpr(numVars int, c tt.Cube) *Expr {
+	var kids []*Expr
+	for v := 0; v < numVars; v++ {
+		if c.HasVar(v) {
+			kids = append(kids, Lit(v, !c.VarPhase(v)))
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return ConstExpr(true)
+	case 1:
+		return kids[0]
+	default:
+		return &Expr{Kind: ExprAnd, Kids: kids}
+	}
+}
+
+// FactorTT minimizes f and factors the result, choosing the cheaper of f
+// and f' (complementing the root when f' factors better). The second return
+// value reports whether the expression computes f' instead of f.
+func FactorTT(f tt.TT) (*Expr, bool) {
+	pos := Factor(MinimizeTT(f))
+	neg := Factor(MinimizeTT(f.Not()))
+	if neg.NumLits() < pos.NumLits() {
+		return neg, true
+	}
+	return pos, false
+}

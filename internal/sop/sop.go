@@ -1,0 +1,184 @@
+// Package sop implements two-level (sum-of-products) minimization in the
+// style of espresso — iterated EXPAND / IRREDUNDANT / REDUCE against a
+// truth-table oracle — and algebraic factoring of covers into multi-level
+// expression trees. It is the computational core of the repository's
+// simulated commercial synthesis flow (a SIS-style script) and of the AIG
+// refactoring pass.
+//
+// The oracle-based formulation limits covers to functions of at most
+// tt.MaxVars variables, which is what the cone-based flows need.
+package sop
+
+import (
+	"fmt"
+
+	"repro/internal/tt"
+)
+
+// Cover is a sum of product terms over a fixed number of variables.
+type Cover struct {
+	NumVars int
+	Cubes   []tt.Cube
+}
+
+// FromTT returns an initial irredundant cover of f (Minato–Morreale ISOP).
+func FromTT(f tt.TT) Cover {
+	return Cover{NumVars: f.NumVars(), Cubes: tt.SOP(f)}
+}
+
+// TT returns the function of the cover.
+func (c Cover) TT() tt.TT {
+	return tt.CoverTT(c.Cubes, c.NumVars)
+}
+
+// NumLits returns the total literal count.
+func (c Cover) NumLits() int {
+	return tt.CoverLits(c.Cubes)
+}
+
+// Clone returns a deep copy.
+func (c Cover) Clone() Cover {
+	return Cover{NumVars: c.NumVars, Cubes: append([]tt.Cube(nil), c.Cubes...)}
+}
+
+// cubeTT is a convenience wrapper.
+func (c Cover) cubeTT(i int) tt.TT { return c.Cubes[i].TT(c.NumVars) }
+
+// restTT returns the function of the cover without cube i.
+func (c Cover) restTT(skip int) tt.TT {
+	r := tt.Const(c.NumVars, false)
+	for i, cube := range c.Cubes {
+		if i == skip {
+			continue
+		}
+		r = r.Or(cube.TT(c.NumVars))
+	}
+	return r
+}
+
+// Expand enlarges each cube (removing literals greedily) while staying
+// inside on ∪ dc, then drops cubes contained in other cubes.
+func (c *Cover) Expand(on, dc tt.TT) {
+	care := on.Or(dc)
+	for i := range c.Cubes {
+		cube := c.Cubes[i]
+		for v := 0; v < c.NumVars; v++ {
+			if !cube.HasVar(v) {
+				continue
+			}
+			trial := cube
+			trial.Mask &^= 1 << uint(v)
+			trial.Polarity &^= 1 << uint(v)
+			if trial.TT(c.NumVars).AndNot(care).IsConst0() {
+				cube = trial
+			}
+		}
+		c.Cubes[i] = cube
+	}
+	// Single-cube containment: drop cube i if its literals are a superset
+	// of another cube's compatible literals.
+	var kept []tt.Cube
+	for i := range c.Cubes {
+		ci := c.cubeTT(i)
+		contained := false
+		for j := range c.Cubes {
+			if i == j {
+				continue
+			}
+			// Prefer keeping earlier cubes on ties to stay deterministic.
+			cj := c.cubeTT(j)
+			if ci.AndNot(cj).IsConst0() {
+				if !cj.AndNot(ci).IsConst0() || j < i {
+					contained = true
+					break
+				}
+			}
+		}
+		if !contained {
+			kept = append(kept, c.Cubes[i])
+		}
+	}
+	c.Cubes = kept
+}
+
+// Irredundant removes cubes whose onset contribution is covered by the rest
+// of the cover (plus don't-cares).
+func (c *Cover) Irredundant(on, dc tt.TT) {
+	for i := 0; i < len(c.Cubes); {
+		rest := c.restTT(i)
+		// Cube i is redundant if every onset minterm it covers is covered
+		// by the remaining cubes.
+		if on.And(c.cubeTT(i)).AndNot(rest).IsConst0() {
+			c.Cubes = append(c.Cubes[:i], c.Cubes[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// Reduce shrinks each cube to the supercube of the onset part only it
+// covers, creating room for the next expansion to move in a different
+// direction.
+func (c *Cover) Reduce(on, dc tt.TT) {
+	for i := range c.Cubes {
+		rest := c.restTT(i)
+		part := on.And(c.cubeTT(i)).AndNot(rest)
+		if part.IsConst0() {
+			continue
+		}
+		// Supercube of part: include literal v (phase b) iff part implies it.
+		var cube tt.Cube
+		for v := 0; v < c.NumVars; v++ {
+			pv := tt.Var(c.NumVars, v)
+			if part.AndNot(pv).IsConst0() {
+				cube = cube.WithLit(v, true)
+			} else if part.And(pv).IsConst0() {
+				cube = cube.WithLit(v, false)
+			}
+		}
+		c.Cubes[i] = cube
+	}
+}
+
+// Minimize runs the espresso loop (EXPAND, IRREDUNDANT, REDUCE) until the
+// cover stops improving, starting from the current cover. It returns the
+// best cover found. The result covers all of on and nothing outside
+// on ∪ dc.
+func Minimize(on, dc tt.TT) Cover {
+	if on.NumVars() != dc.NumVars() {
+		panic("sop: Minimize arity mismatch")
+	}
+	c := Cover{NumVars: on.NumVars(), Cubes: tt.ISOP(on, dc)}
+	best := c.Clone()
+	cost := func(c Cover) int { return len(c.Cubes)*1000 + c.NumLits() }
+	bestCost := cost(best)
+	for iter := 0; iter < 8; iter++ {
+		c.Expand(on, dc)
+		c.Irredundant(on, dc)
+		if cc := cost(c); cc < bestCost {
+			best = c.Clone()
+			bestCost = cc
+		} else if iter > 0 {
+			break
+		}
+		c.Reduce(on, dc)
+	}
+	return best
+}
+
+// MinimizeTT minimizes a completely specified function.
+func MinimizeTT(f tt.TT) Cover {
+	return Minimize(f, tt.Const(f.NumVars(), false))
+}
+
+// Verify checks that the cover covers on and stays within on ∪ dc.
+func (c Cover) Verify(on, dc tt.TT) error {
+	f := c.TT()
+	if !on.AndNot(f).IsConst0() {
+		return fmt.Errorf("sop: cover misses onset minterms")
+	}
+	if !f.AndNot(on.Or(dc)).IsConst0() {
+		return fmt.Errorf("sop: cover intersects offset")
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package sop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func randTT(r *rand.Rand, n int) tt.TT {
+	words := 1
+	if n > 6 {
+		words = 1 << uint(n-6)
+	}
+	w := make([]uint64, words)
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	return tt.FromWords(n, w)
+}
+
+func TestMinimizeCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 10; trial++ {
+			f := randTT(r, n)
+			c := MinimizeTT(f)
+			if !c.TT().Equal(f) {
+				t.Fatalf("n=%d: minimized cover != f", n)
+			}
+		}
+	}
+}
+
+func TestMinimizeWithDontCares(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(5)
+		on := randTT(r, n)
+		dc := randTT(r, n).AndNot(on)
+		c := Minimize(on, dc)
+		if err := c.Verify(on, dc); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestMinimizeNotWorseThanISOP(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + r.Intn(4)
+		f := randTT(r, n)
+		isop := FromTT(f)
+		min := MinimizeTT(f)
+		if len(min.Cubes) > len(isop.Cubes) {
+			t.Errorf("trial %d: minimize has %d cubes, isop %d", trial, len(min.Cubes), len(isop.Cubes))
+		}
+	}
+}
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	// f = ab + ab' = a must minimize to the single-literal cube.
+	n := 2
+	a, b := tt.Var(n, 0), tt.Var(n, 1)
+	f := a.And(b).Or(a.And(b.Not()))
+	c := MinimizeTT(f)
+	if len(c.Cubes) != 1 || c.NumLits() != 1 {
+		t.Errorf("a·b + a·b' minimized to %d cubes %d lits, want 1/1", len(c.Cubes), c.NumLits())
+	}
+	// Majority of 3: 3 cubes of 2 literals is the minimum SOP.
+	m := tt.Maj3(tt.Var(3, 0), tt.Var(3, 1), tt.Var(3, 2))
+	cm := MinimizeTT(m)
+	if len(cm.Cubes) != 3 || cm.NumLits() != 6 {
+		t.Errorf("maj3 minimized to %d cubes %d lits, want 3/6", len(cm.Cubes), cm.NumLits())
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		c0 := MinimizeTT(tt.Const(n, false))
+		if len(c0.Cubes) != 0 {
+			t.Errorf("const0 cover has %d cubes", len(c0.Cubes))
+		}
+		c1 := MinimizeTT(tt.Const(n, true))
+		if !c1.TT().IsConst1() {
+			t.Errorf("const1 cover wrong")
+		}
+	}
+}
+
+func TestExpandKeepsCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(4)
+		f := randTT(r, n)
+		c := FromTT(f)
+		before := c.TT()
+		c.Expand(f, tt.Const(n, false))
+		after := c.TT()
+		if !before.AndNot(after).IsConst0() {
+			t.Fatal("expand lost coverage")
+		}
+		if !after.AndNot(f).IsConst0() {
+			t.Fatal("expand left the onset")
+		}
+	}
+}
+
+func TestIrredundantMinimal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(3)
+		f := randTT(r, n)
+		c := FromTT(f)
+		// Duplicate a cube; irredundant must remove something.
+		if len(c.Cubes) > 0 {
+			c.Cubes = append(c.Cubes, c.Cubes[0])
+			before := len(c.Cubes)
+			c.Irredundant(f, tt.Const(n, false))
+			if len(c.Cubes) >= before {
+				t.Fatal("irredundant kept a duplicate cube")
+			}
+			if !c.TT().Equal(f) {
+				t.Fatal("irredundant broke the cover")
+			}
+		}
+	}
+}
+
+func TestFactorEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 10; trial++ {
+			f := randTT(r, n)
+			e := Factor(MinimizeTT(f))
+			if !e.TT(n).Equal(f) {
+				t.Fatalf("n=%d: factored form != f (%s)", n, e)
+			}
+		}
+	}
+}
+
+func TestFactorSharing(t *testing.T) {
+	// f = ab + ac factors as a(b + c): 3 literals instead of 4.
+	n := 3
+	a, b, c := tt.Var(n, 0), tt.Var(n, 1), tt.Var(n, 2)
+	f := a.And(b).Or(a.And(c))
+	e := Factor(MinimizeTT(f))
+	if e.NumLits() > 3 {
+		t.Errorf("a·b + a·c factored to %d literals (%s), want 3", e.NumLits(), e)
+	}
+	if !e.TT(n).Equal(f) {
+		t.Error("factored form wrong")
+	}
+}
+
+func TestFactorTTPhase(t *testing.T) {
+	// The complement of a simple function should trigger phase selection:
+	// f = (a + b + c + d)' has 1 cube as f', 4+ literals... check both give
+	// the function back.
+	n := 4
+	or4 := tt.Var(n, 0).Or(tt.Var(n, 1)).Or(tt.Var(n, 2)).Or(tt.Var(n, 3))
+	f := or4.Not()
+	e, neg := FactorTT(f)
+	got := e.TT(n)
+	if neg {
+		got = got.Not()
+	}
+	if !got.Equal(f) {
+		t.Error("FactorTT wrong with phase")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := &Expr{Kind: ExprOr, Kids: []*Expr{
+		{Kind: ExprAnd, Kids: []*Expr{Lit(0, false), Lit(1, true)}},
+		Lit(2, false),
+	}}
+	if s := e.String(); s == "" {
+		t.Error("empty expression string")
+	}
+	if ConstExpr(true).String() != "1" || ConstExpr(false).String() != "0" {
+		t.Error("const rendering wrong")
+	}
+}
+
+func TestExprNumLits(t *testing.T) {
+	e := &Expr{Kind: ExprOr, Kids: []*Expr{
+		{Kind: ExprAnd, Kids: []*Expr{Lit(0, false), Lit(1, true)}},
+		Lit(2, false),
+	}}
+	if e.NumLits() != 3 {
+		t.Errorf("NumLits = %d, want 3", e.NumLits())
+	}
+}
+
+func TestQuickMinimizeFactor(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(w uint64) bool {
+		f := tt.FromWords(6, []uint64{w})
+		c := MinimizeTT(f)
+		if !c.TT().Equal(f) {
+			return false
+		}
+		e := Factor(c)
+		return e.TT(6).Equal(f)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMinimize6(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	f := randTT(r, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinimizeTT(f)
+	}
+}
+
+func BenchmarkFactor8(b *testing.B) {
+	r := rand.New(rand.NewSource(8))
+	f := randTT(r, 8)
+	c := MinimizeTT(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Factor(c)
+	}
+}

@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/equiv"
+	"repro/internal/mapping"
+	"repro/internal/netlist"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Effort    int  // MIG optimization effort (Alg. 1/2 cycles)
+	AIGRounds int  // resyn2 iterations
+	BDDLimit  int  // global BDD node budget before windowed fallback
+	Verify    bool // check functional equivalence of every optimized result
+	SimRounds int  // equivalence simulation rounds when verifying
+	Lib       *mapping.Library
+}
+
+// Defaults fills zero fields.
+func (c *Config) Defaults() {
+	if c.Effort == 0 {
+		c.Effort = 3
+	}
+	if c.AIGRounds == 0 {
+		c.AIGRounds = 2
+	}
+	if c.BDDLimit == 0 {
+		c.BDDLimit = 1 << 18
+	}
+	if c.SimRounds == 0 {
+		c.SimRounds = 64
+	}
+	if c.Lib == nil {
+		c.Lib = mapping.Default22nm()
+	}
+}
+
+// OptRow is one benchmark's Table I-top measurement.
+type OptRow struct {
+	Name            string
+	Inputs, Outputs int
+	MIG, AIG, BDS   OptMetrics
+	VerifyErr       string
+}
+
+// RunOptRow measures logic optimization (Table I-top) for one circuit.
+func RunOptRow(n *netlist.Network, cfg Config) OptRow {
+	cfg.Defaults()
+	row := OptRow{Name: n.Name, Inputs: n.NumInputs(), Outputs: n.NumOutputs()}
+
+	m, mm := MIGOptimize(n, cfg.Effort)
+	row.MIG = mm
+	a, am := AIGOptimize(n, cfg.AIGRounds)
+	row.AIG = am
+	d, dm := BDSOptimize(n, cfg.BDDLimit)
+	row.BDS = dm
+
+	if cfg.Verify {
+		opts := equiv.Options{SimRounds: cfg.SimRounds}
+		check := func(label string, got *netlist.Network) {
+			res, err := equiv.Check(n, got, opts)
+			if err != nil {
+				row.VerifyErr += fmt.Sprintf("%s: %v; ", label, err)
+				return
+			}
+			if !res.Equivalent {
+				row.VerifyErr += fmt.Sprintf("%s NOT equivalent (%s); ", label, res.Detail)
+			}
+		}
+		check("mig", m.ToNetwork())
+		check("aig", a.ToNetwork())
+		if dm.OK {
+			check("bds", d)
+		}
+	}
+	return row
+}
+
+// SynthRow is one benchmark's Table I-bottom measurement.
+type SynthRow struct {
+	Name          string
+	MIG, AIG, CST SynthResult
+}
+
+// RunSynthRow measures the three synthesis flows (Table I-bottom) for one
+// circuit.
+func RunSynthRow(n *netlist.Network, cfg Config) SynthRow {
+	cfg.Defaults()
+	row := SynthRow{Name: n.Name}
+	row.MIG, _ = MIGFlow(n, cfg.Effort, cfg.Lib)
+	row.AIG, _ = AIGFlow(n, cfg.AIGRounds, cfg.Lib)
+	row.CST, _ = CSTFlow(n, cfg.Lib)
+	return row
+}
+
+// Geomean returns the geometric mean of the ratios num[i]/den[i], skipping
+// non-positive entries.
+func Geomean(num, den []float64) float64 {
+	sum, cnt := 0.0, 0
+	for i := range num {
+		if num[i] <= 0 || den[i] <= 0 {
+			continue
+		}
+		sum += math.Log(num[i] / den[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return math.Exp(sum / float64(cnt))
+}
+
+// OptSummary aggregates Table I-top rows into the paper's §V.A headline
+// ratios (MIG relative to AIG and to BDS).
+type OptSummary struct {
+	DepthVsAIG, SizeVsAIG, ActivityVsAIG float64
+	DepthVsBDS, SizeVsBDS, ActivityVsBDS float64
+}
+
+// SummarizeOpt computes geometric-mean ratios over the rows.
+func SummarizeOpt(rows []OptRow) OptSummary {
+	var ms, md, ma, as, ad, aa, bs, bd, ba []float64
+	for _, r := range rows {
+		if !r.MIG.OK || !r.AIG.OK {
+			continue
+		}
+		ms = append(ms, float64(r.MIG.Size))
+		md = append(md, float64(r.MIG.Depth))
+		ma = append(ma, r.MIG.Activity)
+		as = append(as, float64(r.AIG.Size))
+		ad = append(ad, float64(r.AIG.Depth))
+		aa = append(aa, r.AIG.Activity)
+		if r.BDS.OK {
+			bs = append(bs, float64(r.BDS.Size))
+			bd = append(bd, float64(r.BDS.Depth))
+			ba = append(ba, r.BDS.Activity)
+		} else {
+			bs = append(bs, -1)
+			bd = append(bd, -1)
+			ba = append(ba, -1)
+		}
+	}
+	// For the BDS ratios, skip rows where BDS failed (negative marker).
+	mask := func(vals, bvals []float64) ([]float64, []float64) {
+		var v, b []float64
+		for i := range bvals {
+			if bvals[i] > 0 {
+				v = append(v, vals[i])
+				b = append(b, bvals[i])
+			}
+		}
+		return v, b
+	}
+	mdm, bdm := mask(md, bd)
+	msm, bsm := mask(ms, bs)
+	mam, bam := mask(ma, ba)
+	return OptSummary{
+		DepthVsAIG:    Geomean(md, ad),
+		SizeVsAIG:     Geomean(ms, as),
+		ActivityVsAIG: Geomean(ma, aa),
+		DepthVsBDS:    Geomean(mdm, bdm),
+		SizeVsBDS:     Geomean(msm, bsm),
+		ActivityVsBDS: Geomean(mam, bam),
+	}
+}
+
+// SynthSummary aggregates Table I-bottom rows: MIG flow relative to the
+// best of the two counterpart flows per circuit (the paper's comparison).
+type SynthSummary struct {
+	DelayVsBest, AreaVsBest, PowerVsBest float64
+	DelayVsAIG, AreaVsAIG, PowerVsAIG    float64
+	DelayVsCST, AreaVsCST, PowerVsCST    float64
+}
+
+// SummarizeSynth computes the synthesis ratios.
+func SummarizeSynth(rows []SynthRow) SynthSummary {
+	var md, ma, mp, ad, aa, ap, cd, ca, cp, bd, ba, bp []float64
+	for _, r := range rows {
+		md = append(md, r.MIG.Delay)
+		ma = append(ma, r.MIG.Area)
+		mp = append(mp, r.MIG.Power)
+		ad = append(ad, r.AIG.Delay)
+		aa = append(aa, r.AIG.Area)
+		ap = append(ap, r.AIG.Power)
+		cd = append(cd, r.CST.Delay)
+		ca = append(ca, r.CST.Area)
+		cp = append(cp, r.CST.Power)
+		bd = append(bd, math.Min(r.AIG.Delay, r.CST.Delay))
+		ba = append(ba, math.Min(r.AIG.Area, r.CST.Area))
+		bp = append(bp, math.Min(r.AIG.Power, r.CST.Power))
+	}
+	return SynthSummary{
+		DelayVsBest: Geomean(md, bd), AreaVsBest: Geomean(ma, ba), PowerVsBest: Geomean(mp, bp),
+		DelayVsAIG: Geomean(md, ad), AreaVsAIG: Geomean(ma, aa), PowerVsAIG: Geomean(mp, ap),
+		DelayVsCST: Geomean(md, cd), AreaVsCST: Geomean(ma, ca), PowerVsCST: Geomean(mp, cp),
+	}
+}

@@ -1,0 +1,236 @@
+// Package synth composes the repository's engines into the three flows the
+// paper evaluates:
+//
+//   - the MIG flow (the paper's contribution): MIG construction + the §IV
+//     depth optimization interlaced with size/activity recovery, then
+//     technology mapping;
+//   - the AIG flow (academic baseline, ABC stand-in): resyn2-style
+//     balance/rewrite/refactor, then the same mapper;
+//   - the CST flow (commercial stand-in): a SOP-heavy SIS-style script
+//     (refactoring through minimized factored covers), then the same mapper.
+//
+// plus the BDS logic-optimization baseline (BDD decomposition) used in
+// Table I-top. Each flow returns the measured metrics in the same units the
+// paper reports.
+package synth
+
+import (
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/bdd"
+	"repro/internal/mapping"
+	"repro/internal/mig"
+	"repro/internal/netlist"
+	"repro/internal/power"
+)
+
+// OptMetrics are the Table I-top columns for one representation.
+type OptMetrics struct {
+	Size     int
+	Depth    int
+	Activity float64
+	Seconds  float64
+	OK       bool // false = N.A. (tool failure, like BDS on clma)
+}
+
+// MIGOptimize runs the paper's logic-optimization flow on a netlist:
+// depth optimization interlaced with size and activity recovery (§V.A).
+func MIGOptimize(n *netlist.Network, effort int) (*mig.MIG, OptMetrics) {
+	start := time.Now()
+	m := mig.FromNetwork(n)
+	opt := mig.Optimize(m, effort)
+	return opt, OptMetrics{
+		Size:     opt.Size(),
+		Depth:    opt.Depth(),
+		Activity: opt.Activity(nil),
+		Seconds:  time.Since(start).Seconds(),
+		OK:       true,
+	}
+}
+
+// AIGOptimize runs the ABC-style baseline (resyn2 script + a final balance
+// for depth).
+func AIGOptimize(n *netlist.Network, rounds int) (*aig.AIG, OptMetrics) {
+	start := time.Now()
+	a := aig.FromNetwork(n)
+	opt := aig.Resyn2(a, rounds)
+	opt = opt.Balance()
+	return opt, OptMetrics{
+		Size:     opt.Size(),
+		Depth:    opt.Depth(),
+		Activity: opt.Activity(nil),
+		Seconds:  time.Since(start).Seconds(),
+		OK:       true,
+	}
+}
+
+// BDSOptimize runs the BDS-style baseline: global BDD construction (with
+// the static DFS variable order, falling back to the declaration order) and
+// dominator decomposition, then windowed (cone-partitioned) decomposition
+// when the global BDDs exceed the node limit. A windowed failure returns
+// OK=false (reported as N.A., as the paper does for BDS on clma and the
+// compression circuit).
+func BDSOptimize(n *netlist.Network, globalLimit int) (*netlist.Network, OptMetrics) {
+	start := time.Now()
+	// Candidate 1: global BDDs with the static DFS order, upgraded to a
+	// sifted order on small-input circuits (PLAs are where reordering
+	// matters most).
+	var order []int
+	if n.NumInputs() <= 16 {
+		order = bdd.SiftOrder(n, globalLimit, 16)
+	}
+	dec, err := bdd.DecomposeNetworkOrdered(n, globalLimit, order)
+	// Candidate 2: global BDDs with the declaration order.
+	if plain, err2 := bdd.DecomposeNetwork(n, globalLimit); err2 == nil {
+		if err != nil || plain.NumGates() < dec.NumGates() {
+			dec, err = plain, nil
+		}
+	}
+	// Candidate 3: partitioned (windowed) decomposition — what BDS-class
+	// tools do on functions whose monolithic BDDs are too large or too
+	// MUX-chain shaped.
+	if win, err2 := windowedBDS(n, 8); err2 == nil {
+		if err != nil || win.Clean().NumGates() < dec.Clean().NumGates() {
+			dec, err = win, nil
+		}
+	}
+	if err != nil {
+		return nil, OptMetrics{OK: false}
+	}
+	dec = dec.Clean()
+	return dec, OptMetrics{
+		Size:     dec.NumGates(),
+		Depth:    dec.Depth(),
+		Activity: power.Activity(dec, nil),
+		Seconds:  time.Since(start).Seconds(),
+		OK:       true,
+	}
+}
+
+// windowedBDS partitions the circuit into k-feasible cones (computed on an
+// AIG view), builds a small BDD per cone, and decomposes each cone
+// independently — the partitioned mode large circuits need.
+func windowedBDS(n *netlist.Network, k int) (*netlist.Network, error) {
+	a := aig.FromNetwork(n)
+	cuts := a.EnumerateCuts(k, 4)
+	out := netlist.New(n.Name)
+
+	// Map from AIG node to the signal of its decomposed implementation.
+	mapped := make(map[int]netlist.Signal)
+	mapped[0] = netlist.SigConst0
+	for i := 0; i < a.NumInputs(); i++ {
+		mapped[a.Input(i).Node()] = out.AddInput(a.InputName(i))
+	}
+
+	// chooseCut picks the widest non-trivial cut (fewest recursions).
+	chooseCut := func(node int) aig.Cut {
+		best := aig.Cut{Leaves: []int{node}}
+		for _, c := range cuts[node] {
+			if len(c.Leaves) == 1 && c.Leaves[0] == node {
+				continue
+			}
+			if len(best.Leaves) == 1 || len(c.Leaves) > len(best.Leaves) {
+				best = c
+			}
+		}
+		return best
+	}
+
+	var build func(node int) (netlist.Signal, error)
+	build = func(node int) (netlist.Signal, error) {
+		if s, ok := mapped[node]; ok {
+			return s, nil
+		}
+		cut := chooseCut(node)
+		if len(cut.Leaves) == 1 && cut.Leaves[0] == node {
+			// No usable cut (shouldn't happen for AND nodes): decompose
+			// structurally.
+			f := a.Fanins(node)
+			s0, err := build(f[0].Node())
+			if err != nil {
+				return 0, err
+			}
+			s1, err := build(f[1].Node())
+			if err != nil {
+				return 0, err
+			}
+			s := out.AddGate(netlist.And, s0.NotIf(f[0].Neg()), s1.NotIf(f[1].Neg()))
+			mapped[node] = s
+			return s, nil
+		}
+		leafSigs := make([]netlist.Signal, len(cut.Leaves))
+		for i, l := range cut.Leaves {
+			s, err := build(l)
+			if err != nil {
+				return 0, err
+			}
+			leafSigs[i] = s
+		}
+		f := a.CutFunction(node, cut)
+		man := bdd.NewManager(len(cut.Leaves), 1<<16)
+		root, err := man.FromTT(f)
+		if err != nil {
+			return 0, err
+		}
+		sigs, err := man.DecomposeInto(out, []bdd.Ref{root}, leafSigs)
+		if err != nil {
+			return 0, err
+		}
+		mapped[node] = sigs[0]
+		return sigs[0], nil
+	}
+
+	for _, o := range a.Outputs {
+		s, err := build(o.Sig.Node())
+		if err != nil {
+			return nil, err
+		}
+		out.AddOutput(o.Name, s.NotIf(o.Sig.Neg()))
+	}
+	return out, nil
+}
+
+// SynthResult is one Table I-bottom entry.
+type SynthResult struct {
+	Area    float64
+	Delay   float64
+	Power   float64
+	Seconds float64
+	OK      bool
+}
+
+func fromMapping(r *mapping.Result, secs float64) SynthResult {
+	return SynthResult{Area: r.Area, Delay: r.Delay, Power: r.Power, Seconds: secs, OK: true}
+}
+
+// MIGFlow is MIG optimization followed by technology mapping.
+func MIGFlow(n *netlist.Network, effort int, lib *mapping.Library) (SynthResult, *mapping.Result) {
+	start := time.Now()
+	m, _ := MIGOptimize(n, effort)
+	res := mapping.Map(m.ToNetwork(), lib, nil)
+	return fromMapping(res, time.Since(start).Seconds()), res
+}
+
+// AIGFlow is the academic baseline: resyn2 + mapping.
+func AIGFlow(n *netlist.Network, rounds int, lib *mapping.Library) (SynthResult, *mapping.Result) {
+	start := time.Now()
+	a, _ := AIGOptimize(n, rounds)
+	res := mapping.Map(a.ToNetwork(), lib, nil)
+	return fromMapping(res, time.Since(start).Seconds()), res
+}
+
+// CSTFlow simulates the commercial tool: a SOP-oriented script (cone
+// refactoring through minimized factored covers, twice, with balancing) and
+// the same mapper. See DESIGN.md for the substitution rationale.
+func CSTFlow(n *netlist.Network, lib *mapping.Library) (SynthResult, *mapping.Result) {
+	start := time.Now()
+	a := aig.FromNetwork(n)
+	a = a.Refactor().Cleanup()
+	a = a.Balance()
+	a = a.Refactor().Cleanup()
+	a = a.Rewrite().Cleanup()
+	a = a.Balance()
+	res := mapping.Map(a.ToNetwork(), lib, nil)
+	return fromMapping(res, time.Since(start).Seconds()), res
+}

@@ -1,0 +1,118 @@
+package tt
+
+// NPN canonicalization. Two functions are NPN-equivalent when one can be
+// obtained from the other by negating inputs (N), permuting inputs (P), and
+// negating the output (N). The canonical representative is the
+// lexicographically smallest truth table reachable by any such transform.
+// Exhaustive enumeration is used; it is intended for small functions (<= 5
+// variables), which is what the rewriting databases need.
+
+// NPNTransform describes how to map a function onto its canonical form:
+// first flip the inputs in FlipMask, then permute with Perm (variable i of
+// the original becomes variable Perm[i]), then flip the output if FlipOut.
+type NPNTransform struct {
+	Perm     []int
+	FlipMask uint32
+	FlipOut  bool
+}
+
+// Apply applies the transform to f.
+func (tr NPNTransform) Apply(f TT) TT {
+	r := f
+	for i := 0; i < f.NumVars(); i++ {
+		if tr.FlipMask&(1<<uint(i)) != 0 {
+			r = r.FlipVar(i)
+		}
+	}
+	r = r.Permute(tr.Perm)
+	if tr.FlipOut {
+		r = r.Not()
+	}
+	return r
+}
+
+// Inverse returns the transform mapping the canonical form back onto f.
+func (tr NPNTransform) Inverse() NPNTransform {
+	inv := NPNTransform{Perm: make([]int, len(tr.Perm)), FlipOut: tr.FlipOut}
+	for i, p := range tr.Perm {
+		inv.Perm[p] = i
+		if tr.FlipMask&(1<<uint(i)) != 0 {
+			inv.FlipMask |= 1 << uint(p)
+		}
+	}
+	return inv
+}
+
+// permutations returns all permutations of [0, n).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	var rec func(cur []int, used uint32)
+	rec = func(cur []int, used uint32) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used&(1<<uint(i)) == 0 {
+				rec(append(cur, i), used|1<<uint(i))
+			}
+		}
+	}
+	rec(nil, 0)
+	return out
+}
+
+// lessTT compares truth tables lexicographically (most significant word
+// first) and reports whether a < b.
+func lessTT(a, b TT) bool {
+	for i := len(a.words) - 1; i >= 0; i-- {
+		if a.words[i] != b.words[i] {
+			return a.words[i] < b.words[i]
+		}
+	}
+	return false
+}
+
+// NPNCanon returns the NPN-canonical representative of f together with the
+// transform that maps f onto it. Exhaustive; use only for small n.
+func NPNCanon(f TT) (TT, NPNTransform) {
+	n := f.NumVars()
+	perms := permutations(n)
+	best := f
+	bestTr := NPNTransform{Perm: identityPerm(n)}
+	first := true
+	for flip := uint32(0); flip < 1<<uint(n); flip++ {
+		g := f
+		for i := 0; i < n; i++ {
+			if flip&(1<<uint(i)) != 0 {
+				g = g.FlipVar(i)
+			}
+		}
+		for _, p := range perms {
+			h := g.Permute(p)
+			for _, fo := range []bool{false, true} {
+				cand := h
+				if fo {
+					cand = cand.Not()
+				}
+				if first || lessTT(cand, best) {
+					best = cand
+					bestTr = NPNTransform{Perm: p, FlipMask: flip, FlipOut: fo}
+					first = false
+				}
+			}
+		}
+	}
+	return best, bestTr
+}
+
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}

@@ -1,0 +1,268 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n := netlist.New("fa")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	ci := n.AddInput("ci")
+	n.AddOutput("sum", n.AddGate(netlist.Xor, a, b, ci))
+	n.AddOutput("cout", n.AddGate(netlist.Maj, a, b, ci))
+
+	src := Write(n)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	t1, err := n.CollapseTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := back.CollapseTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d changed in round trip", i)
+		}
+	}
+}
+
+func TestRoundTripAllOps(t *testing.T) {
+	n := netlist.New("ops")
+	var in []netlist.Signal
+	for i := 0; i < 4; i++ {
+		in = append(in, n.AddInput("i"))
+	}
+	n.AddOutput("a", n.AddGate(netlist.Nand, in[0], in[1]))
+	n.AddOutput("b", n.AddGate(netlist.Nor, in[2], in[3]))
+	n.AddOutput("c", n.AddGate(netlist.Xnor, in[0], in[3]))
+	n.AddOutput("d", n.AddGate(netlist.Mux, in[0], in[1], in[2]))
+	n.AddOutput("e", n.AddGate(netlist.Not, in[1]))
+	n.AddOutput("f", n.AddGate(netlist.Buf, in[2]))
+	n.AddOutput("g", netlist.SigConst1)
+	n.AddOutput("h", in[0].Not())
+	src := Write(n)
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	t1, _ := n.CollapseTT()
+	t2, _ := back.CollapseTT()
+	for i := range t1 {
+		if !t1[i].Equal(t2[i]) {
+			t.Errorf("output %d (%s) changed", i, n.Outputs[i].Name)
+		}
+	}
+}
+
+func TestRoundTripBenchmarks(t *testing.T) {
+	for _, name := range []string{"b9", "alu4", "my_adder"} {
+		n, err := mcnc.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := Write(n)
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		// Compare by simulation.
+		r := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 16; trial++ {
+			ins := make([]uint64, n.NumInputs())
+			for i := range ins {
+				ins[i] = r.Uint64()
+			}
+			w1 := n.OutputWords(ins)
+			w2 := back.OutputWords(ins)
+			for i := range w1 {
+				if w1[i] != w2[i] {
+					t.Fatalf("%s: output %d differs after round trip", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `
+module prec (a, b, c, z);
+  input a; input b; input c;
+  output z;
+  assign z = a | b & c;   // & binds tighter than |
+endmodule
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	// z = a | (b & c)
+	for m := 0; m < 8; m++ {
+		a, b, c := m&1 != 0, m&2 != 0, m&4 != 0
+		want := a || (b && c)
+		if tts[0].Bit(m) != want {
+			t.Errorf("precedence wrong at minterm %d", m)
+		}
+	}
+}
+
+func TestParseTernaryAndConst(t *testing.T) {
+	src := `
+module mx (s, a, z);
+  input s; input a;
+  output z;
+  wire w;
+  assign w = s ? a : 1'b1;
+  assign z = ~w ^ 1'b0;
+endmodule
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	for m := 0; m < 4; m++ {
+		s, a := m&1 != 0, m&2 != 0
+		w := true
+		if s {
+			w = a
+		}
+		if tts[0].Bit(m) != !w {
+			t.Errorf("ternary wrong at %d", m)
+		}
+	}
+}
+
+func TestParseOutOfOrderAssigns(t *testing.T) {
+	src := `
+module ooo (a, b, z);
+  input a; input b;
+  output z;
+  wire w1; wire w2;
+  assign z = w2;
+  assign w2 = w1 & b;
+  assign w1 = a | b;
+endmodule
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	for m := 0; m < 4; m++ {
+		a, b := m&1 != 0, m&2 != 0
+		if tts[0].Bit(m) != ((a || b) && b) {
+			t.Errorf("out-of-order assign wrong at %d", m)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"module x (a); input a; assign a = ; endmodule",
+		"module x (a, z); input a; output z; assign z = q; endmodule",
+		"module x (a, z); input a; output z; endmodule", // z never assigned
+		"not even verilog",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad source: %q", src)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	n := netlist.New("weird name!")
+	a := n.AddInput("in[3]")
+	n.AddOutput("out.x", a.Not())
+	src := Write(n)
+	if strings.Contains(src, "[") || strings.Contains(src, "!") {
+		t.Errorf("unsanitized identifiers:\n%s", src)
+	}
+	if _, err := Parse(src); err != nil {
+		t.Errorf("round trip of sanitized names failed: %v", err)
+	}
+}
+
+func TestParseGateInstances(t *testing.T) {
+	src := `
+module gates (a, b, c, f, g);
+  input a; input b; input c;
+  output f; output g;
+  wire w1; wire w2; wire nb;
+  and  u1 (w1, a, b);
+  not  u2 (nb, b);
+  nor  u3 (w2, nb, c);
+  xor  u4 (f, w1, w2);
+  nand (g, a, b, c);   // unnamed 3-input instance
+endmodule
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, err := n.CollapseTT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < 8; m++ {
+		a, b, c := m&1 != 0, m&2 != 0, m&4 != 0
+		w1 := a && b
+		w2 := !(!b || c)
+		if tts[0].Bit(m) != (w1 != w2) {
+			t.Errorf("f wrong at %d", m)
+		}
+		if tts[1].Bit(m) != !(a && b && c) {
+			t.Errorf("g wrong at %d", m)
+		}
+	}
+}
+
+func TestParseGateInstanceOutOfOrder(t *testing.T) {
+	src := `
+module ooo2 (a, b, z);
+  input a; input b;
+  output z;
+  wire w1; wire w2;
+  and u2 (z, w1, w2);
+  or  u1 (w1, a, b);
+  xor u0 (w2, a, b);
+endmodule
+`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts, _ := n.CollapseTT()
+	for m := 0; m < 4; m++ {
+		a, b := m&1 != 0, m&2 != 0
+		want := (a || b) && (a != b)
+		if tts[0].Bit(m) != want {
+			t.Errorf("wrong at %d", m)
+		}
+	}
+}
+
+func TestParseGateInstanceErrors(t *testing.T) {
+	bad := []string{
+		"module x (a, z); input a; output z; and u (z); endmodule",
+		"module x (a, z); input a; output z; and u (z, a,); endmodule",
+		"module x (a, z); input a; output z; and u z, a; endmodule",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad gate instance: %q", src)
+		}
+	}
+}

@@ -12,6 +12,13 @@
 // Absolute sizes differ (the MCNC originals are replaced by functional
 // stand-ins; see DESIGN.md), so the quantity to compare is the ratio
 // between flows.
+//
+// The benchmark engine is parallel: -jobs N distributes circuits over N
+// workers and runs the competing flows of each circuit concurrently. All
+// results are deterministic and ordered as in the serial run; only the
+// measured wall times vary (normalize them with -zero-time to diff runs
+// byte for byte). -json emits the per-circuit metrics as JSON instead of
+// tables, for tracking the performance trajectory across commits.
 package main
 
 import (
@@ -19,10 +26,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"repro/internal/mcnc"
 	"repro/internal/netlist"
 	"repro/internal/synth"
+)
+
+var (
+	jobs     = flag.Int("jobs", 1, "worker-pool size; N >= 2 also runs each circuit's flows concurrently")
+	asJSON   = flag.Bool("json", false, "emit per-circuit metrics as JSON instead of tables")
+	zeroTime = flag.Bool("zero-time", false, "report wall times as 0 for byte-reproducible output")
 )
 
 func main() {
@@ -79,41 +93,60 @@ func bench(name string) *netlist.Network {
 	return n
 }
 
+func benches(names []string) []*netlist.Network {
+	nets := make([]*netlist.Network, len(names))
+	for i, name := range names {
+		nets[i] = bench(name)
+	}
+	return nets
+}
+
 func optRows(names []string, cfg synth.Config) []synth.OptRow {
-	rows := make([]synth.OptRow, 0, len(names))
-	for _, name := range names {
-		rows = append(rows, synth.RunOptRow(bench(name), cfg))
+	rows := synth.RunOptRows(benches(names), cfg, *jobs)
+	if *zeroTime {
+		synth.ZeroTimes(rows)
 	}
 	return rows
 }
 
 func synthRows(names []string, cfg synth.Config) []synth.SynthRow {
-	rows := make([]synth.SynthRow, 0, len(names))
-	for _, name := range names {
-		rows = append(rows, synth.RunSynthRow(bench(name), cfg))
+	rows := synth.RunSynthRows(benches(names), cfg, *jobs)
+	if *zeroTime {
+		synth.ZeroSynthTimes(rows)
 	}
 	return rows
 }
 
-func fmtOpt(m synth.OptMetrics) string {
-	if !m.OK {
-		return fmt.Sprintf("%6s %5s %9s %6s", "N.A.", "N.A.", "N.A.", "N.A.")
+// emitJSON renders a report and reports whether JSON mode handled the
+// output.
+func emitJSON(r synth.Report) bool {
+	if !*asJSON {
+		return false
 	}
-	return fmt.Sprintf("%6d %5d %9.2f %6.2f", m.Size, m.Depth, m.Activity, m.Seconds)
+	s, err := r.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+	return true
+}
+
+func report(experiment string, cfg synth.Config) synth.Report {
+	return synth.Report{Experiment: experiment, Effort: cfg.Effort, AIGRounds: cfg.AIGRounds, Jobs: *jobs}
 }
 
 func runTable1Top(names []string, cfg synth.Config) {
-	fmt.Println("== Table I (top): logic optimization — measured ==")
-	fmt.Printf("%-10s %-9s | %-29s | %-29s | %-29s\n", "bench", "i/o",
-		"MIG size depth act time", "AIG size depth act time", "BDS size depth act time")
 	rows := optRows(names, cfg)
-	for _, r := range rows {
-		fmt.Printf("%-10s %4d/%-4d | %s | %s | %s\n",
-			r.Name, r.Inputs, r.Outputs, fmtOpt(r.MIG), fmtOpt(r.AIG), fmtOpt(r.BDS))
-		if r.VerifyErr != "" {
-			fmt.Printf("  !! VERIFY: %s\n", r.VerifyErr)
-		}
+	s := synth.SummarizeOpt(rows)
+	r := report("table1top", cfg)
+	r.Opt = rows
+	r.OptSummary = &s
+	if emitJSON(r) {
+		return
 	}
+	fmt.Println("== Table I (top): logic optimization — measured ==")
+	fmt.Print(synth.FormatOptTable(rows))
 	fmt.Println("\n-- paper reference (Table I-top) --")
 	for _, name := range names {
 		p, ok := mcnc.PaperRowByName(name)
@@ -129,24 +162,22 @@ func runTable1Top(names []string, cfg synth.Config) {
 			p.MIGSize, p.MIGDepth, p.MIGActivity,
 			p.AIGSize, p.AIGDepth, p.AIGActivity, bds)
 	}
-	s := synth.SummarizeOpt(rows)
 	fmt.Printf("\nmeasured geomean ratios: MIG/AIG depth %.3f size %.3f act %.3f | MIG/BDS depth %.3f size %.3f act %.3f\n",
 		s.DepthVsAIG, s.SizeVsAIG, s.ActivityVsAIG, s.DepthVsBDS, s.SizeVsBDS, s.ActivityVsBDS)
 	fmt.Printf("paper:                   MIG/AIG depth 0.814 (−18.6%%), size ≈1.01, act ≈1.00 | MIG/BDS depth 0.763 size 0.979 act 0.969\n\n")
 }
 
 func runTable1Bottom(names []string, cfg synth.Config) {
-	fmt.Println("== Table I (bottom): synthesis flows — measured ==")
-	fmt.Printf("%-10s | %-26s | %-26s | %-26s\n", "bench",
-		"MIG  A(µm²) D(ns) P(µW)", "AIG  A(µm²) D(ns) P(µW)", "CST  A(µm²) D(ns) P(µW)")
 	rows := synthRows(names, cfg)
-	for _, r := range rows {
-		fmt.Printf("%-10s | %8.2f %6.3f %9.2f | %8.2f %6.3f %9.2f | %8.2f %6.3f %9.2f\n",
-			r.Name,
-			r.MIG.Area, r.MIG.Delay, r.MIG.Power,
-			r.AIG.Area, r.AIG.Delay, r.AIG.Power,
-			r.CST.Area, r.CST.Delay, r.CST.Power)
+	s := synth.SummarizeSynth(rows)
+	r := report("table1bottom", cfg)
+	r.Synth = rows
+	r.SynthSummary = &s
+	if emitJSON(r) {
+		return
 	}
+	fmt.Println("== Table I (bottom): synthesis flows — measured ==")
+	fmt.Print(synth.FormatSynthTable(rows))
 	fmt.Println("\n-- paper reference (Table I-bottom) --")
 	for _, name := range names {
 		p, ok := mcnc.PaperRowByName(name)
@@ -158,15 +189,19 @@ func runTable1Bottom(names []string, cfg synth.Config) {
 			p.AIGArea, p.AIGDelay, p.AIGPower,
 			p.CSTArea, p.CSTDelay, p.CSTPower)
 	}
-	s := synth.SummarizeSynth(rows)
 	fmt.Printf("\nmeasured geomean MIG/best-counterpart: delay %.3f area %.3f power %.3f\n",
 		s.DelayVsBest, s.AreaVsBest, s.PowerVsBest)
 	fmt.Printf("paper:                                 delay 0.78 (−22%%) area 0.86 (−14%%) power 0.89 (−11%%)\n\n")
 }
 
 func runFig3(names []string, cfg synth.Config) {
-	fmt.Println("== Fig. 3: optimization space (size, depth, activity) ==")
 	rows := optRows(names, cfg)
+	r := report("fig3", cfg)
+	r.Opt = rows
+	if emitJSON(r) {
+		return
+	}
+	fmt.Println("== Fig. 3: optimization space (size, depth, activity) ==")
 	for _, series := range []struct {
 		label string
 		get   func(synth.OptRow) synth.OptMetrics
@@ -200,8 +235,13 @@ func runFig3(names []string, cfg synth.Config) {
 }
 
 func runFig4(names []string, cfg synth.Config) {
-	fmt.Println("== Fig. 4: synthesis space (area, delay, power) ==")
 	rows := synthRows(names, cfg)
+	r := report("fig4", cfg)
+	r.Synth = rows
+	if emitJSON(r) {
+		return
+	}
+	fmt.Println("== Fig. 4: synthesis space (area, delay, power) ==")
 	for _, series := range []struct {
 		label string
 		get   func(synth.SynthRow) synth.SynthResult
@@ -227,11 +267,34 @@ func runFig4(names []string, cfg synth.Config) {
 }
 
 func runCompress(words int, cfg synth.Config) {
-	fmt.Printf("== Compression circuit (words=%d; paper instance ~0.3M nodes) ==\n", words)
 	n := mcnc.Compress(words)
+	var mm, am synth.OptMetrics
+	rows := []synth.OptRow{{Name: n.Name, Inputs: n.NumInputs(), Outputs: n.NumOutputs()}}
+	if *jobs > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, am = synth.AIGOptimize(n, cfg.AIGRounds)
+		}()
+		_, mm = synth.MIGOptimize(n, cfg.Effort)
+		wg.Wait()
+	} else {
+		_, mm = synth.MIGOptimize(n, cfg.Effort)
+		_, am = synth.AIGOptimize(n, cfg.AIGRounds)
+	}
+	rows[0].MIG, rows[0].AIG = mm, am
+	if *zeroTime {
+		synth.ZeroTimes(rows)
+		mm, am = rows[0].MIG, rows[0].AIG
+	}
+	r := report("compress", cfg)
+	r.Opt = rows
+	if emitJSON(r) {
+		return
+	}
+	fmt.Printf("== Compression circuit (words=%d; paper instance ~0.3M nodes) ==\n", words)
 	fmt.Printf("unoptimized: %s\n", n.Stats())
-	_, mm := synth.MIGOptimize(n, cfg.Effort)
-	_, am := synth.AIGOptimize(n, cfg.AIGRounds)
 	fmt.Printf("MIG: size=%d depth=%d time=%.1fs\n", mm.Size, mm.Depth, mm.Seconds)
 	fmt.Printf("AIG: size=%d depth=%d time=%.1fs\n", am.Size, am.Depth, am.Seconds)
 	fmt.Printf("ratios: size %.3f (paper +1.7%%), depth %.3f (paper −9.6%%), time %.2fx (paper 1.9x)\n\n",
@@ -254,9 +317,19 @@ func runSweep(names []string, cfg synth.Config) {
 }
 
 func runSummary(names []string, cfg synth.Config) {
+	or := optRows(names, cfg)
+	sr := synthRows(names, cfg)
+	so := synth.SummarizeOpt(or)
+	ss := synth.SummarizeSynth(sr)
+	r := report("summary", cfg)
+	r.Opt = or
+	r.Synth = sr
+	r.OptSummary = &so
+	r.SynthSummary = &ss
+	if emitJSON(r) {
+		return
+	}
 	fmt.Println("== §V headline ratios ==")
-	so := synth.SummarizeOpt(optRows(names, cfg))
-	ss := synth.SummarizeSynth(synthRows(names, cfg))
 	fmt.Printf("logic optimization, MIG vs AIG:  depth %+.1f%% (paper −18.6%%)  size %+.1f%% (paper +0.9%%)  activity %+.1f%% (paper +0.3%%)\n",
 		100*(so.DepthVsAIG-1), 100*(so.SizeVsAIG-1), 100*(so.ActivityVsAIG-1))
 	fmt.Printf("logic optimization, MIG vs BDS:  depth %+.1f%% (paper −23.7%%)  size %+.1f%% (paper −2.1%%)  activity %+.1f%% (paper −3.1%%)\n",

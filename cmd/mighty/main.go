@@ -6,10 +6,18 @@
 //	mighty -in adder.v -opt depth -effort 3 -out adder_opt.v
 //	mighty -in ctrl.blif -opt size -out ctrl_opt.blif
 //	mighty -in adder.v -stats             # just print metrics
+//	mighty -in adder.v -script "eliminate(8); reshape-depth; eliminate"
+//	mighty -list-passes                   # show the scriptable passes
 //
 // The -opt flag selects the §IV algorithm: size (Alg. 1), depth (Alg. 2),
 // activity (§IV.C), or flow (the paper's experimental recipe:
 // depth-optimization interlaced with size and activity recovery).
+//
+// The -script flag replaces the canned algorithms with a user-defined
+// pipeline of named passes ("name" or "name(args)" statements separated by
+// ';', '#' comments allowed). The per-pass trace (size/depth/activity
+// deltas and wall time) is printed to stderr; with -verify every pass is
+// additionally checked for functional equivalence against the input.
 package main
 
 import (
@@ -22,18 +30,25 @@ import (
 	"repro/internal/equiv"
 	"repro/internal/mig"
 	"repro/internal/netlist"
+	"repro/internal/opt"
 	"repro/internal/verilog"
 )
 
 func main() {
 	in := flag.String("in", "", "input file (.v or .blif)")
 	out := flag.String("out", "", "output file (.v or .blif); default stdout")
-	opt := flag.String("opt", "flow", "optimization: size|depth|activity|flow|none")
+	optFlag := flag.String("opt", "flow", "optimization: size|depth|activity|flow|none")
+	script := flag.String("script", "", "pass script, e.g. \"eliminate(8); reshape-depth; eliminate\" (overrides -opt)")
+	listPasses := flag.Bool("list-passes", false, "list the scriptable passes and exit")
 	effort := flag.Int("effort", 3, "optimization effort (cycles)")
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.Bool("verify", true, "verify functional equivalence after optimization")
 	flag.Parse()
 
+	if *listPasses {
+		fmt.Print(mig.Passes().Help())
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "mighty: -in is required")
 		flag.Usage()
@@ -62,22 +77,38 @@ func main() {
 	before := fmt.Sprintf("size=%d depth=%d activity=%.2f", m.Size(), m.Depth(), m.Activity(nil))
 
 	var optimized *mig.MIG
-	switch *opt {
-	case "size":
-		optimized = mig.OptimizeSize(m, *effort)
-	case "depth":
-		optimized = mig.OptimizeDepth(m, *effort)
-	case "activity":
-		optimized = mig.OptimizeActivity(m, *effort)
-	case "flow":
-		optimized = mig.Optimize(m, *effort)
-	case "none":
-		optimized = m
-	default:
-		fatal(fmt.Errorf("mighty: unknown optimization %q", *opt))
+	if *script != "" {
+		pipe, err := mig.ParseScript(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if *verify {
+			pipe.Check = opt.EquivChecker(equiv.Options{})
+		}
+		res, trace, err := pipe.Run(m)
+		fmt.Fprint(os.Stderr, trace.Format())
+		if err != nil {
+			fatal(err)
+		}
+		optimized = res
+	} else {
+		switch *optFlag {
+		case "size":
+			optimized = mig.OptimizeSize(m, *effort)
+		case "depth":
+			optimized = mig.OptimizeDepth(m, *effort)
+		case "activity":
+			optimized = mig.OptimizeActivity(m, *effort)
+		case "flow":
+			optimized = mig.Optimize(m, *effort)
+		case "none":
+			optimized = m
+		default:
+			fatal(fmt.Errorf("mighty: unknown optimization %q", *optFlag))
+		}
 	}
 
-	if *verify && *opt != "none" {
+	if *verify && (*script != "" || *optFlag != "none") {
 		res, err := equiv.Check(n, optimized.ToNetwork(), equiv.Options{})
 		if err != nil {
 			fatal(err)

@@ -2,8 +2,43 @@
 // Graph: A Novel Data-Structure and Algorithms for Efficient Logic
 // Optimization" (Amarù, Gaillardon, De Micheli — DAC 2014).
 //
+// # Architecture: passes and pipelines
+//
+// The optimization spine is the generic pass engine in internal/opt. Each
+// local transformation sweep — the paper's Ω/Ψ rewrites on the MIG, the
+// ABC-style balance/rewrite/refactor on the AIG — is a named, registered
+// Pass, and the paper's Section IV algorithms are Pipelines: ordered
+// compositions of passes with a per-pass metrics trace (size, depth,
+// switching activity, wall time) and optional functional-equivalence
+// verification after every step.
+//
+//   - internal/mig registers eliminate, eliminate-budget, reshape-size,
+//     reshape-depth, pushup, activity, cut-rewrite and cleanup, and exposes
+//     Algorithm 1 (SizePipeline), Algorithm 2 (DepthPipeline), the §V.A
+//     experimental flow (FlowPipeline), the §IV.C activity flow
+//     (ActivityPipeline) and the Boolean extension (BooleanSizePipeline)
+//     as canned pipelines; mig.Optimize and friends run them.
+//   - internal/aig registers balance, rewrite, refactor and cleanup, and
+//     exposes the resyn2 recipe as Resyn2Pipeline.
+//   - Textual pass scripts ("eliminate(8); reshape-depth; eliminate")
+//     compile to pipelines via opt.Parse; the mighty CLI exposes this
+//     through -script and -list-passes.
+//
+// Cut enumeration (merge, dominance filtering, truth-table extraction) is
+// shared by both graph representations through internal/cut.
+//
+// # Benchmark engine
+//
+// internal/synth composes the flows the paper evaluates (MIG vs AIG vs
+// BDS/CST) and runs them through a parallel batch engine: circuits are
+// distributed over a worker pool and the competing flows of each circuit
+// run concurrently, with results in deterministic input order (migbench
+// -jobs). migbench -json emits per-circuit metrics for tracking the
+// performance trajectory across commits.
+//
 // The library lives under internal/: the MIG core (internal/mig), the AIG
-// and BDS baselines (internal/aig, internal/bdd), the SOP engine
+// and BDS baselines (internal/aig, internal/bdd), the pass engine
+// (internal/opt), shared cut machinery (internal/cut), the SOP engine
 // (internal/sop), technology mapping (internal/mapping), the MCNC benchmark
 // stand-ins (internal/mcnc), and the composed flows (internal/synth).
 // Executables are under cmd/ (mighty, migbench, miggen) and runnable

@@ -1,6 +1,7 @@
 // Quickstart: build a Majority-Inverter Graph for the two functions of the
 // paper's Fig. 1 — f = x⊕y⊕z and g = x·(y + u·v) — optimize them, and
-// print the metrics. Run with:
+// print the metrics; then run a custom optimization pipeline compiled from
+// a pass script, printing its per-pass trace. Run with:
 //
 //	go run ./examples/quickstart
 package main
@@ -8,7 +9,9 @@ package main
 import (
 	"fmt"
 
+	"repro/internal/equiv"
 	"repro/internal/mig"
+	"repro/internal/opt"
 )
 
 func main() {
@@ -42,6 +45,21 @@ func main() {
 	}
 	c.AddOutput("cout", carry)
 	report("16-bit carry chain", c, mig.OptimizeDepth(c, 8))
+
+	// The algorithms above are canned pipelines over named passes; any
+	// other composition can be scripted. Compile a custom scenario, verify
+	// equivalence after every pass, and show the per-pass trace.
+	pipe, err := mig.ParseScript("eliminate(8); reshape-depth; eliminate; pushup")
+	if err != nil {
+		panic(err)
+	}
+	pipe.Check = opt.EquivChecker(equiv.Options{})
+	res, trace, err := pipe.Run(c)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncustom pipeline %q on the carry chain:\n%s", pipe, trace.Format())
+	report("scripted pipeline", c, res)
 }
 
 func report(label string, before, after *mig.MIG) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/cut"
 	"repro/internal/netlist"
 	"repro/internal/tt"
 )
@@ -206,17 +207,17 @@ func TestCutEnumeration(t *testing.T) {
 func TestCutDominance(t *testing.T) {
 	a := Cut{Leaves: []int{1, 2}}
 	b := Cut{Leaves: []int{1, 2, 3}}
-	if !dominates(a, b) {
+	if !cut.Dominates(a, b) {
 		t.Error("subset must dominate")
 	}
-	if dominates(b, a) {
+	if cut.Dominates(b, a) {
 		t.Error("superset must not dominate")
 	}
-	m, ok := mergeCuts(a, b, 4)
+	m, ok := cut.Merge(4, a, b)
 	if !ok || len(m.Leaves) != 3 {
 		t.Error("merge wrong")
 	}
-	if _, ok := mergeCuts(Cut{Leaves: []int{1, 2, 3}}, Cut{Leaves: []int{4, 5}}, 4); ok {
+	if _, ok := cut.Merge(4, Cut{Leaves: []int{1, 2, 3}}, Cut{Leaves: []int{4, 5}}); ok {
 		t.Error("merge should overflow k=4")
 	}
 }

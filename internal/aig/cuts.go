@@ -1,136 +1,41 @@
 package aig
 
 import (
-	"sort"
-
+	"repro/internal/cut"
 	"repro/internal/tt"
 )
 
 // Cut is a set of leaf node indices (sorted) that covers a cone rooted at
-// some node.
-type Cut struct {
-	Leaves []int
-}
-
-// mergeCuts unions two cuts, returning ok=false when the result exceeds k
-// leaves.
-func mergeCuts(a, b Cut, k int) (Cut, bool) {
-	leaves := make([]int, 0, k)
-	i, j := 0, 0
-	for i < len(a.Leaves) || j < len(b.Leaves) {
-		var v int
-		switch {
-		case i >= len(a.Leaves):
-			v = b.Leaves[j]
-			j++
-		case j >= len(b.Leaves):
-			v = a.Leaves[i]
-			i++
-		case a.Leaves[i] < b.Leaves[j]:
-			v = a.Leaves[i]
-			i++
-		case a.Leaves[i] > b.Leaves[j]:
-			v = b.Leaves[j]
-			j++
-		default:
-			v = a.Leaves[i]
-			i++
-			j++
-		}
-		if len(leaves) == k {
-			return Cut{}, false
-		}
-		leaves = append(leaves, v)
-	}
-	return Cut{Leaves: leaves}, true
-}
-
-// dominates reports whether cut a's leaves are a subset of cut b's.
-func dominates(a, b Cut) bool {
-	if len(a.Leaves) > len(b.Leaves) {
-		return false
-	}
-	i := 0
-	for _, l := range b.Leaves {
-		if i < len(a.Leaves) && a.Leaves[i] == l {
-			i++
-		}
-	}
-	return i == len(a.Leaves)
-}
+// some node. The merge/dominance machinery is shared with the MIG in
+// internal/cut.
+type Cut = cut.Cut
 
 // EnumerateCuts computes up to maxCuts k-feasible cuts per node (the trivial
 // cut {node} is always included last). Standard bottom-up merge with
-// dominance filtering.
+// dominance filtering. Constants count as leaves here: an AND of a constant
+// is simplified away by strashing, so constant fanins are not worth special
+// cut capacity handling.
 func (a *AIG) EnumerateCuts(k, maxCuts int) [][]Cut {
-	cuts := make([][]Cut, len(a.nodes))
-	for i := range a.nodes {
+	return cut.Enumerate(len(a.nodes), k, maxCuts, func(i int) (cut.Role, []int) {
 		switch a.nodes[i].kind {
 		case kindConst, kindPI:
-			cuts[i] = []Cut{{Leaves: []int{i}}}
+			return cut.Leaf, nil
 		case kindAnd:
-			f0 := a.nodes[i].fanin[0].Node()
-			f1 := a.nodes[i].fanin[1].Node()
-			var set []Cut
-			for _, c0 := range cuts[f0] {
-				for _, c1 := range cuts[f1] {
-					m, ok := mergeCuts(c0, c1, k)
-					if !ok {
-						continue
-					}
-					dominated := false
-					for _, e := range set {
-						if dominates(e, m) {
-							dominated = true
-							break
-						}
-					}
-					if dominated {
-						continue
-					}
-					// Remove cuts dominated by m.
-					var kept []Cut
-					for _, e := range set {
-						if !dominates(m, e) {
-							kept = append(kept, e)
-						}
-					}
-					set = append(kept, m)
-				}
-			}
-			// Prefer smaller cuts; cap the set.
-			sort.Slice(set, func(x, y int) bool {
-				return len(set[x].Leaves) < len(set[y].Leaves)
-			})
-			if len(set) > maxCuts {
-				set = set[:maxCuts]
-			}
-			set = append(set, Cut{Leaves: []int{i}})
-			cuts[i] = set
+			return cut.Gate, []int{a.nodes[i].fanin[0].Node(), a.nodes[i].fanin[1].Node()}
 		}
-	}
-	return cuts
+		return cut.Skip, nil
+	})
 }
 
 // CutFunction computes the truth table of node root expressed over the cut
 // leaves (at most tt.MaxVars of them).
-func (a *AIG) CutFunction(root int, cut Cut) tt.TT {
-	n := len(cut.Leaves)
-	memo := make(map[int]tt.TT, 8)
-	for i, l := range cut.Leaves {
-		memo[l] = tt.Var(n, i)
-	}
-	var rec func(idx int) tt.TT
-	rec = func(idx int) tt.TT {
-		if f, ok := memo[idx]; ok {
-			return f
-		}
+func (a *AIG) CutFunction(root int, c Cut) tt.TT {
+	n := len(c.Leaves)
+	return cut.Function(root, c, n, func(idx int, rec func(int) tt.TT) tt.TT {
 		nd := &a.nodes[idx]
 		if nd.kind != kindAnd {
 			// Constant node outside the cut.
-			f := tt.Const(n, false)
-			memo[idx] = f
-			return f
+			return tt.Const(n, false)
 		}
 		f0 := rec(nd.fanin[0].Node())
 		if nd.fanin[0].Neg() {
@@ -140,9 +45,6 @@ func (a *AIG) CutFunction(root int, cut Cut) tt.TT {
 		if nd.fanin[1].Neg() {
 			f1 = f1.Not()
 		}
-		f := f0.And(f1)
-		memo[idx] = f
-		return f
-	}
-	return rec(root)
+		return f0.And(f1)
+	})
 }

@@ -246,19 +246,8 @@ func (a *AIG) rebuildWithRemap(remap map[int]Signal, f rebuildFunc) *AIG {
 
 // Resyn2 runs the balance–rewrite–refactor script to a fixpoint bounded by
 // rounds, mirroring ABC's resyn2 recipe, and returns the best AIG found
-// (smallest size, then depth).
+// (smallest size, then depth). The recipe is the Resyn2Pipeline composition
+// of registered passes.
 func Resyn2(a *AIG, rounds int) *AIG {
-	best := a.Cleanup()
-	cur := best
-	for r := 0; r < rounds; r++ {
-		cur = cur.Balance()
-		cur = cur.Rewrite().Cleanup()
-		cur = cur.Refactor().Cleanup()
-		cur = cur.Balance()
-		cur = cur.Rewrite().Cleanup()
-		if cur.Size() < best.Size() || (cur.Size() == best.Size() && cur.Depth() < best.Depth()) {
-			best = cur
-		}
-	}
-	return best
+	return run(Resyn2Pipeline(rounds), a)
 }

@@ -1,0 +1,153 @@
+// Package cut implements k-feasible cut enumeration shared by the graph
+// representations (internal/aig, internal/mig). A cut of a node is a set of
+// leaf nodes covering a cone rooted at the node; cut-based passes
+// resynthesize the cone from its truth table over the cut leaves.
+//
+// The package is representation-agnostic: enumeration is driven by a
+// per-node classification callback, and truth-table extraction by a per-node
+// combine callback, so both the 2-input AND graphs and the 3-input majority
+// graphs reuse the same merge, dominance-filtering and memoization
+// machinery.
+package cut
+
+import (
+	"sort"
+
+	"repro/internal/tt"
+)
+
+// Cut is a sorted set of leaf node indices covering a cone rooted at a node.
+type Cut struct {
+	Leaves []int
+}
+
+// Merge unions the given cuts, returning ok=false when the result would
+// exceed k leaves. Leaves stay sorted.
+func Merge(k int, cuts ...Cut) (Cut, bool) {
+	set := make([]int, 0, k)
+	add := func(l int) bool {
+		pos := sort.SearchInts(set, l)
+		if pos < len(set) && set[pos] == l {
+			return true
+		}
+		if len(set) == k {
+			return false
+		}
+		set = append(set, 0)
+		copy(set[pos+1:], set[pos:])
+		set[pos] = l
+		return true
+	}
+	for _, c := range cuts {
+		for _, l := range c.Leaves {
+			if !add(l) {
+				return Cut{}, false
+			}
+		}
+	}
+	return Cut{Leaves: set}, true
+}
+
+// Dominates reports whether cut a's leaves are a subset of cut b's. A
+// dominated cut is redundant: any cone covered by b is covered by a with
+// fewer (or equal) leaves.
+func Dominates(a, b Cut) bool {
+	if len(a.Leaves) > len(b.Leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range b.Leaves {
+		if i < len(a.Leaves) && a.Leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(a.Leaves)
+}
+
+// Role classifies a node for enumeration.
+type Role int
+
+// Node roles.
+const (
+	Skip Role = iota // node contributes no cuts (dead or unknown kind)
+	Leaf             // primary input: the only cut is {node}
+	Free             // constant: the empty cut (consumes no leaf capacity)
+	Gate             // internal node: cuts are merged from the fanin cuts
+)
+
+// Enumerate computes up to maxCuts k-feasible cuts per node, in topological
+// (index) order. classify reports each node's role and, for Gate nodes, its
+// fanin node indices. Gate nodes additionally receive the trivial cut
+// {node}, appended last. Standard bottom-up merge with dominance filtering;
+// when more than maxCuts survive, the smallest cuts are kept.
+func Enumerate(numNodes, k, maxCuts int, classify func(i int) (Role, []int)) [][]Cut {
+	cuts := make([][]Cut, numNodes)
+	for i := 0; i < numNodes; i++ {
+		role, fanins := classify(i)
+		switch role {
+		case Leaf:
+			cuts[i] = []Cut{{Leaves: []int{i}}}
+		case Free:
+			cuts[i] = []Cut{{}}
+		case Gate:
+			var set []Cut
+			pick := make([]Cut, len(fanins))
+			var walk func(d int)
+			walk = func(d int) {
+				if d == len(fanins) {
+					mg, ok := Merge(k, pick...)
+					if !ok {
+						return
+					}
+					for _, e := range set {
+						if Dominates(e, mg) {
+							return
+						}
+					}
+					kept := set[:0]
+					for _, e := range set {
+						if !Dominates(mg, e) {
+							kept = append(kept, e)
+						}
+					}
+					set = append(kept, mg)
+					return
+				}
+				for _, c := range cuts[fanins[d]] {
+					pick[d] = c
+					walk(d + 1)
+				}
+			}
+			walk(0)
+			sort.Slice(set, func(x, y int) bool {
+				return len(set[x].Leaves) < len(set[y].Leaves)
+			})
+			if len(set) > maxCuts {
+				set = set[:maxCuts]
+			}
+			cuts[i] = append(set, Cut{Leaves: []int{i}})
+		}
+	}
+	return cuts
+}
+
+// Function computes the truth table of node root over the cut leaves, which
+// are bound to tt.Var(nvars, i) in cut order. combine computes the function
+// of any other node reached during the cone walk; it receives a resolver for
+// fanin node indices (memoized across the walk).
+func Function(root int, c Cut, nvars int, combine func(idx int, rec func(fanin int) tt.TT) tt.TT) tt.TT {
+	memo := make(map[int]tt.TT, 8)
+	for i, l := range c.Leaves {
+		memo[l] = tt.Var(nvars, i)
+	}
+	var rec func(idx int) tt.TT
+	rec = func(idx int) tt.TT {
+		if f, ok := memo[idx]; ok {
+			return f
+		}
+		f := combine(idx, rec)
+		memo[idx] = f
+		return f
+	}
+	return rec(root)
+}

@@ -1,0 +1,116 @@
+package cut
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tt"
+)
+
+func TestMerge(t *testing.T) {
+	a := Cut{Leaves: []int{1, 3}}
+	b := Cut{Leaves: []int{2, 3}}
+	m, ok := Merge(4, a, b)
+	if !ok || !reflect.DeepEqual(m.Leaves, []int{1, 2, 3}) {
+		t.Fatalf("merge = %v, %v", m.Leaves, ok)
+	}
+	if _, ok := Merge(2, a, b); ok {
+		t.Fatal("merge must fail beyond k leaves")
+	}
+	// Three-way merge with duplicates.
+	m, ok = Merge(4, a, b, Cut{Leaves: []int{1, 4}})
+	if !ok || !reflect.DeepEqual(m.Leaves, []int{1, 2, 3, 4}) {
+		t.Fatalf("3-way merge = %v, %v", m.Leaves, ok)
+	}
+	// The empty cut consumes no capacity.
+	m, ok = Merge(2, Cut{}, a)
+	if !ok || !reflect.DeepEqual(m.Leaves, a.Leaves) {
+		t.Fatalf("empty merge = %v, %v", m.Leaves, ok)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Cut{Leaves: []int{1, 2}}
+	b := Cut{Leaves: []int{1, 2, 3}}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Fatal("dominance wrong")
+	}
+	if !Dominates(a, a) {
+		t.Fatal("a cut dominates itself")
+	}
+	if Dominates(Cut{Leaves: []int{4}}, b) {
+		t.Fatal("disjoint cut must not dominate")
+	}
+	if !Dominates(Cut{}, b) {
+		t.Fatal("the empty cut dominates everything")
+	}
+}
+
+// A tiny 2-input AND DAG: 0=const, 1=a, 2=b, 3=a&b, 4=(a&b)&a.
+func classify(i int) (Role, []int) {
+	switch i {
+	case 0:
+		return Free, nil
+	case 1, 2:
+		return Leaf, nil
+	case 3:
+		return Gate, []int{1, 2}
+	case 4:
+		return Gate, []int{3, 1}
+	}
+	return Skip, nil
+}
+
+func TestEnumerate(t *testing.T) {
+	cuts := Enumerate(5, 4, 8, classify)
+	if len(cuts[1]) != 1 || cuts[1][0].Leaves[0] != 1 {
+		t.Fatalf("leaf cut wrong: %v", cuts[1])
+	}
+	if len(cuts[0]) != 1 || len(cuts[0][0].Leaves) != 0 {
+		t.Fatalf("free cut wrong: %v", cuts[0])
+	}
+	// Node 3: {1,2} plus the trivial {3}.
+	if len(cuts[3]) != 2 || !reflect.DeepEqual(cuts[3][0].Leaves, []int{1, 2}) {
+		t.Fatalf("gate cuts wrong: %v", cuts[3])
+	}
+	last := cuts[3][len(cuts[3])-1]
+	if !reflect.DeepEqual(last.Leaves, []int{3}) {
+		t.Fatalf("trivial cut must be last: %v", cuts[3])
+	}
+	// Node 4 sees {1,2} (dominates {1,3}) and {1,3}, plus trivial {4}.
+	found := false
+	for _, c := range cuts[4] {
+		if reflect.DeepEqual(c.Leaves, []int{1, 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected {1,2} cut at node 4: %v", cuts[4])
+	}
+}
+
+func TestEnumerateMaxCuts(t *testing.T) {
+	cuts := Enumerate(5, 4, 1, classify)
+	// maxCuts=1: one merged cut plus the trivial one.
+	if len(cuts[4]) != 2 {
+		t.Fatalf("maxCuts not enforced: %v", cuts[4])
+	}
+}
+
+func TestFunction(t *testing.T) {
+	cuts := Enumerate(5, 4, 8, classify)
+	and := func(idx int, rec func(int) tt.TT) tt.TT {
+		_, fanins := classify(idx)
+		return rec(fanins[0]).And(rec(fanins[1]))
+	}
+	for _, c := range cuts[4] {
+		if len(c.Leaves) != 2 {
+			continue
+		}
+		f := Function(4, c, 2, and)
+		// (a&b)&a == a&b over leaves {1,2}.
+		if !f.Equal(tt.Var(2, 0).And(tt.Var(2, 1))) {
+			t.Fatalf("cut function wrong: %s", f.Hex())
+		}
+	}
+}

@@ -1,123 +1,41 @@
 package mig
 
 import (
-	"sort"
-
+	"repro/internal/cut"
 	"repro/internal/tt"
 )
 
-// Cut is a set of leaf node indices covering a cone rooted at a node.
-type Cut struct {
-	Leaves []int
-}
-
-// mergeCut3 unions three cuts, failing when the result exceeds k leaves.
-func mergeCut3(a, b, c Cut, k int) (Cut, bool) {
-	set := make([]int, 0, k+1)
-	add := func(l int) bool {
-		pos := sort.SearchInts(set, l)
-		if pos < len(set) && set[pos] == l {
-			return true
-		}
-		if len(set) == k {
-			return false
-		}
-		set = append(set, 0)
-		copy(set[pos+1:], set[pos:])
-		set[pos] = l
-		return true
-	}
-	for _, cut := range []Cut{a, b, c} {
-		for _, l := range cut.Leaves {
-			if !add(l) {
-				return Cut{}, false
-			}
-		}
-	}
-	return Cut{Leaves: set}, true
-}
-
-func cutDominates(a, b Cut) bool {
-	if len(a.Leaves) > len(b.Leaves) {
-		return false
-	}
-	i := 0
-	for _, l := range b.Leaves {
-		if i < len(a.Leaves) && a.Leaves[i] == l {
-			i++
-		}
-	}
-	return i == len(a.Leaves)
-}
+// Cut is a set of leaf node indices covering a cone rooted at a node. The
+// merge/dominance machinery is shared with the AIG in internal/cut.
+type Cut = cut.Cut
 
 // EnumerateCuts computes up to maxCuts k-feasible cuts per node, plus the
 // trivial cut. The constant node contributes no leaves (its cut is empty),
 // so constant fanins do not consume cut capacity.
 func (m *MIG) EnumerateCuts(k, maxCuts int) [][]Cut {
-	cuts := make([][]Cut, len(m.nodes))
-	for i := range m.nodes {
+	return cut.Enumerate(len(m.nodes), k, maxCuts, func(i int) (cut.Role, []int) {
 		switch m.nodes[i].kind {
 		case kindConst:
-			cuts[i] = []Cut{{}}
+			return cut.Free, nil
 		case kindPI:
-			cuts[i] = []Cut{{Leaves: []int{i}}}
+			return cut.Leaf, nil
 		case kindMaj:
 			f := m.nodes[i].fanin
-			var set []Cut
-			for _, c0 := range cuts[f[0].Node()] {
-				for _, c1 := range cuts[f[1].Node()] {
-					for _, c2 := range cuts[f[2].Node()] {
-						mg, ok := mergeCut3(c0, c1, c2, k)
-						if !ok {
-							continue
-						}
-						dominated := false
-						for _, e := range set {
-							if cutDominates(e, mg) {
-								dominated = true
-								break
-							}
-						}
-						if dominated {
-							continue
-						}
-						var kept []Cut
-						for _, e := range set {
-							if !cutDominates(mg, e) {
-								kept = append(kept, e)
-							}
-						}
-						set = append(kept, mg)
-					}
-				}
-			}
-			sort.Slice(set, func(x, y int) bool {
-				return len(set[x].Leaves) < len(set[y].Leaves)
-			})
-			if len(set) > maxCuts {
-				set = set[:maxCuts]
-			}
-			set = append(set, Cut{Leaves: []int{i}})
-			cuts[i] = set
+			return cut.Gate, []int{f[0].Node(), f[1].Node(), f[2].Node()}
 		}
-	}
-	return cuts
+		return cut.Skip, nil
+	})
 }
 
 // CutFunction computes the truth table of node root over the cut leaves.
-func (m *MIG) CutFunction(root int, cut Cut) tt.TT {
-	n := len(cut.Leaves)
-	memo := make(map[int]tt.TT, 8)
-	memo[0] = tt.Const(n, false)
-	for i, l := range cut.Leaves {
-		memo[l] = tt.Var(n, i)
-	}
-	var rec func(idx int) tt.TT
-	rec = func(idx int) tt.TT {
-		if f, ok := memo[idx]; ok {
-			return f
-		}
+func (m *MIG) CutFunction(root int, c Cut) tt.TT {
+	n := len(c.Leaves)
+	return cut.Function(root, c, n, func(idx int, rec func(int) tt.TT) tt.TT {
 		nd := &m.nodes[idx]
+		if nd.kind != kindMaj {
+			// The constant node (kind const) outside the cut.
+			return tt.Const(n, false)
+		}
 		get := func(s Signal) tt.TT {
 			f := rec(s.Node())
 			if s.Neg() {
@@ -125,9 +43,6 @@ func (m *MIG) CutFunction(root int, cut Cut) tt.TT {
 			}
 			return f
 		}
-		f := tt.Maj3(get(nd.fanin[0]), get(nd.fanin[1]), get(nd.fanin[2]))
-		memo[idx] = f
-		return f
-	}
-	return rec(root)
+		return tt.Maj3(get(nd.fanin[0]), get(nd.fanin[1]), get(nd.fanin[2]))
+	})
 }

@@ -387,53 +387,18 @@ func (m *MIG) coneOf(s Signal, limit int) (int, []int) {
 }
 
 // OptimizeSize implements Algorithm 1: iterated eliminate–reshape–eliminate
-// cycles. The best MIG found (by size, then depth) is returned.
+// cycles. The best MIG found (by size, then depth) is returned. The
+// algorithm is the SizePipeline composition of registered passes.
 func OptimizeSize(m *MIG, effort int) *MIG {
-	best := m.Cleanup()
-	cur := best
-	for cycle := 0; cycle < effort; cycle++ {
-		cur = cur.EliminatePass(3)
-		cur = cur.ReshapePass(3, cycle%2 == 1)
-		cur = cur.EliminatePass(3)
-		if cur.Size() < best.Size() || (cur.Size() == best.Size() && cur.Depth() < best.Depth()) {
-			best = cur
-		}
-	}
-	return best
+	return run(SizePipeline(effort), m)
 }
 
 // OptimizeDepth implements Algorithm 2: iterated push-up–reshape–push-up
 // cycles. Push-up runs to convergence inside each cycle. The best MIG found
-// (by depth, then size) is returned.
+// (by depth, then size) is returned. The algorithm is the DepthPipeline
+// composition of registered passes.
 func OptimizeDepth(m *MIG, effort int) *MIG {
-	best := m.Cleanup()
-	cur := best
-	for cycle := 0; cycle < effort; cycle++ {
-		cur = pushUpToConvergence(cur)
-		cur = cur.ReshapePass(3, cycle%2 == 1)
-		cur = cur.EliminatePass(3)
-		cur = pushUpToConvergence(cur)
-		if cur.Depth() < best.Depth() || (cur.Depth() == best.Depth() && cur.Size() < best.Size()) {
-			best = cur
-		}
-	}
-	return best
-}
-
-func pushUpToConvergence(m *MIG) *MIG {
-	cur := m
-	for i := 0; i < 64; i++ {
-		next := cur.PushUpPass(false)
-		if next.Depth() < cur.Depth() {
-			cur = next
-			continue
-		}
-		if next.Depth() == cur.Depth() && next.Size() < cur.Size() {
-			cur = next
-		}
-		break
-	}
-	return cur
+	return run(DepthPipeline(effort), m)
 }
 
 // OptimizeActivity reduces switching activity (§IV.C) under uniform input
@@ -444,18 +409,10 @@ func OptimizeActivity(m *MIG, effort int) *MIG {
 }
 
 // OptimizeActivityProbs is OptimizeActivity under the given input
-// probability profile (nil means uniform 0.5).
+// probability profile (nil means uniform 0.5). The algorithm is the
+// ActivityPipeline composition of registered passes.
 func OptimizeActivityProbs(m *MIG, effort int, inputProbs []float64) *MIG {
-	best := OptimizeSize(m, effort)
-	for i := 0; i < effort; i++ {
-		cur := best.ActivityPass(inputProbs)
-		if cur.Activity(inputProbs) < best.Activity(inputProbs) && cur.Size() <= best.Size() {
-			best = cur
-		} else {
-			break
-		}
-	}
-	return best
+	return run(ActivityPipeline(effort, inputProbs), m)
 }
 
 // ActivityPass performs relevance exchanges that lower the switching
@@ -575,25 +532,8 @@ func (m *MIG) ActivityPass(inputProbs []float64) *MIG {
 // optimization interlaced with size and activity recovery phases. The size
 // recovery is slack-aware: elimination may restructure any node whose level
 // budget allows it, undoing Ω.D duplication off the critical path at
-// constant depth.
+// constant depth. The flow is the FlowPipeline composition of registered
+// passes.
 func Optimize(m *MIG, effort int) *MIG {
-	cur := m.Cleanup()
-	cur = OptimizeDepth(cur, effort)
-	// Slack-aware size recovery at constant depth, to fixpoint.
-	budget := cur.Depth()
-	for i := 0; i < 8; i++ {
-		sz := cur.EliminatePassBudget(3, budget)
-		if sz.Depth() <= budget && sz.Size() < cur.Size() {
-			cur = sz
-			continue
-		}
-		break
-	}
-	// Activity recovery that must not worsen depth or size.
-	act := cur.ActivityPass(nil)
-	if act.Depth() <= cur.Depth() && act.Size() <= cur.Size() {
-		cur = act
-	}
-	cur = pushUpToConvergence(cur)
-	return cur
+	return run(FlowPipeline(effort), m)
 }

@@ -266,16 +266,8 @@ func (m *MIG) RewritePass() *MIG {
 
 // OptimizeSizeBoolean interleaves the algebraic size optimization with
 // cut-based functional rewriting, typically reaching smaller MIGs than
-// Algorithm 1 alone.
+// Algorithm 1 alone. The algorithm is the BooleanSizePipeline composition
+// of registered passes.
 func OptimizeSizeBoolean(m *MIG, effort int) *MIG {
-	best := m.Cleanup()
-	cur := best
-	for cycle := 0; cycle < effort; cycle++ {
-		cur = cur.RewritePass().Cleanup()
-		cur = OptimizeSize(cur, 1)
-		if cur.Size() < best.Size() || (cur.Size() == best.Size() && cur.Depth() < best.Depth()) {
-			best = cur
-		}
-	}
-	return best
+	return run(BooleanSizePipeline(effort), m)
 }

@@ -1,0 +1,204 @@
+// Package opt is the repository's optimization spine: a generic,
+// composable pass/pipeline engine over logic representations.
+//
+// The paper's Section IV algorithms are fixed interleavings of Ω/Ψ
+// rewrites. Instead of hard-coding those interleavings inside the graph
+// packages, each local transformation is exposed as a named Pass and the
+// algorithms become Pipelines — ordered compositions of passes with a
+// per-pass metrics trace (size, depth, switching activity, wall time) and
+// optional functional-equivalence verification after every step.
+//
+// The engine is generic over the representation (the Graph constraint), so
+// the MIG passes (internal/mig), the AIG passes (internal/aig) and any
+// future representation share one pipeline, trace and script front-end. A
+// Registry maps pass names to factories; Parse compiles textual pass
+// scripts such as
+//
+//	eliminate(8); reshape-depth; eliminate
+//
+// into pipelines, which is how the mighty CLI exposes user-defined
+// optimization scenarios.
+package opt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/equiv"
+	"repro/internal/netlist"
+)
+
+// Graph is the contract a logic representation must satisfy to be driven by
+// a Pipeline: the three metrics the paper tracks, plus export to the
+// generic netlist IR for equivalence checking.
+type Graph interface {
+	Size() int
+	Depth() int
+	Activity(inputProbs []float64) float64
+	ToNetwork() *netlist.Network
+}
+
+// Pass is a single named optimization step over graphs of type G. A pass
+// must be functionally sound: its output is equivalent to its input.
+type Pass[G Graph] interface {
+	Name() string
+	Apply(G) G
+}
+
+type passFunc[G Graph] struct {
+	name string
+	fn   func(G) G
+}
+
+func (p passFunc[G]) Name() string { return p.name }
+func (p passFunc[G]) Apply(g G) G  { return p.fn(g) }
+
+// New wraps fn as a named Pass.
+func New[G Graph](name string, fn func(G) G) Pass[G] {
+	return passFunc[G]{name: name, fn: fn}
+}
+
+// Rename returns p under a different display name (used by Parse to keep
+// the script's literal statement as the trace label).
+func Rename[G Graph](name string, p Pass[G]) Pass[G] {
+	return passFunc[G]{name: name, fn: p.Apply}
+}
+
+// Sequence composes passes into one compound pass.
+func Sequence[G Graph](name string, passes ...Pass[G]) Pass[G] {
+	return New(name, func(g G) G {
+		for _, p := range passes {
+			g = p.Apply(g)
+		}
+		return g
+	})
+}
+
+// Best iterates rounds cycles of the passes produced by body(cycle),
+// carrying the working graph from cycle to cycle (even through worsening
+// cycles — that is what lets the algorithms escape local minima), and
+// returns the best graph seen under better(candidate, incumbent). The
+// input graph is the initial incumbent.
+func Best[G Graph](name string, rounds int, better func(cand, best G) bool, body func(cycle int) []Pass[G]) Pass[G] {
+	return New(name, func(g G) G {
+		best, cur := g, g
+		for cycle := 0; cycle < rounds; cycle++ {
+			for _, p := range body(cycle) {
+				cur = p.Apply(cur)
+			}
+			if better(cur, best) {
+				best = cur
+			}
+		}
+		return best
+	})
+}
+
+// Step is one per-pass trace entry recorded by Pipeline.Run.
+type Step struct {
+	Pass                          string
+	SizeBefore, SizeAfter         int
+	DepthBefore, DepthAfter       int
+	ActivityBefore, ActivityAfter float64
+	Seconds                       float64
+	Equiv                         string // "" = not checked, "ok", or the failure detail
+}
+
+// Trace is the ordered per-pass record of one pipeline run.
+type Trace []Step
+
+// Format renders the trace as an aligned table (one line per pass).
+func (t Trace) Format() string {
+	var b strings.Builder
+	for _, s := range t {
+		fmt.Fprintf(&b, "%-28s size %5d -> %5d   depth %3d -> %3d   act %8.2f -> %8.2f   %7.3fs",
+			s.Pass, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter,
+			s.ActivityBefore, s.ActivityAfter, s.Seconds)
+		if s.Equiv != "" {
+			fmt.Fprintf(&b, "   equiv=%s", s.Equiv)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Checker verifies that got is functionally equivalent to ref, returning a
+// non-nil error when it is not (or when the check itself fails).
+type Checker func(ref, got *netlist.Network) error
+
+// EquivChecker adapts the equiv engine to the Checker contract.
+func EquivChecker(opts equiv.Options) Checker {
+	return func(ref, got *netlist.Network) error {
+		res, err := equiv.Check(ref, got, opts)
+		if err != nil {
+			return err
+		}
+		if !res.Equivalent {
+			return fmt.Errorf("not equivalent (%s)", res.Detail)
+		}
+		return nil
+	}
+}
+
+// Pipeline is an ordered composition of passes.
+type Pipeline[G Graph] struct {
+	Passes []Pass[G]
+	// Check, when non-nil, verifies after every pass that the working graph
+	// is still functionally equivalent to the pipeline's input.
+	Check Checker
+}
+
+// Append adds passes and returns the pipeline (builder style).
+func (p *Pipeline[G]) Append(passes ...Pass[G]) *Pipeline[G] {
+	p.Passes = append(p.Passes, passes...)
+	return p
+}
+
+// String renders the pipeline in script form; for pipelines produced by
+// Parse the result parses back to an identical pipeline.
+func (p *Pipeline[G]) String() string {
+	names := make([]string, len(p.Passes))
+	for i, ps := range p.Passes {
+		names[i] = ps.Name()
+	}
+	return strings.Join(names, "; ")
+}
+
+// Run applies the passes in order, recording one trace Step per pass. When
+// Check is set, every pass result is verified against the input graph; the
+// first violation aborts the run, returning the last good graph, the trace
+// up to and including the offending step, and an error.
+func (p *Pipeline[G]) Run(g G) (G, Trace, error) {
+	var ref *netlist.Network
+	if p.Check != nil {
+		ref = g.ToNetwork()
+	}
+	trace := make(Trace, 0, len(p.Passes))
+	cur := g
+	for _, ps := range p.Passes {
+		st := Step{
+			Pass:           ps.Name(),
+			SizeBefore:     cur.Size(),
+			DepthBefore:    cur.Depth(),
+			ActivityBefore: cur.Activity(nil),
+		}
+		start := time.Now()
+		next := ps.Apply(cur)
+		st.Seconds = time.Since(start).Seconds()
+		st.SizeAfter = next.Size()
+		st.DepthAfter = next.Depth()
+		st.ActivityAfter = next.Activity(nil)
+		if p.Check != nil {
+			if err := p.Check(ref, next.ToNetwork()); err != nil {
+				st.Equiv = err.Error()
+				trace = append(trace, st)
+				return cur, trace, fmt.Errorf("opt: pass %q broke equivalence: %w", ps.Name(), err)
+			}
+			st.Equiv = "ok"
+		}
+		trace = append(trace, st)
+		cur = next
+	}
+	return cur, trace, nil
+}

@@ -1,0 +1,214 @@
+package opt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// fake is a minimal Graph for engine tests: passes rewrite its metrics.
+type fake struct {
+	size, depth int
+	act         float64
+}
+
+func (f fake) Size() int                  { return f.size }
+func (f fake) Depth() int                 { return f.depth }
+func (f fake) Activity([]float64) float64 { return f.act }
+func (f fake) ToNetwork() *netlist.Network {
+	// A constant-0 single-output network; enough for Checker plumbing.
+	n := netlist.New("fake")
+	n.AddOutput("o", netlist.SigConst0)
+	return n
+}
+
+func shrink(by int) Pass[fake] {
+	return New("shrink", func(g fake) fake {
+		g.size -= by
+		return g
+	})
+}
+
+func deepen(by int) Pass[fake] {
+	return New("deepen", func(g fake) fake {
+		g.depth += by
+		return g
+	})
+}
+
+func TestPipelineTrace(t *testing.T) {
+	p := &Pipeline[fake]{Passes: []Pass[fake]{shrink(5), deepen(2), shrink(1)}}
+	got, trace, err := p.Run(fake{size: 10, depth: 3, act: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.size != 4 || got.depth != 5 {
+		t.Fatalf("result = %+v", got)
+	}
+	if len(trace) != 3 {
+		t.Fatalf("trace has %d steps", len(trace))
+	}
+	if trace[0].Pass != "shrink" || trace[0].SizeBefore != 10 || trace[0].SizeAfter != 5 {
+		t.Fatalf("step 0 = %+v", trace[0])
+	}
+	if trace[1].DepthBefore != 3 || trace[1].DepthAfter != 5 {
+		t.Fatalf("step 1 = %+v", trace[1])
+	}
+	if trace[2].SizeBefore != 5 || trace[2].SizeAfter != 4 {
+		t.Fatalf("step 2 = %+v", trace[2])
+	}
+	if trace[0].Equiv != "" {
+		t.Fatal("no checker: Equiv must be empty")
+	}
+	if !strings.Contains(trace.Format(), "shrink") {
+		t.Fatal("Format must include pass names")
+	}
+}
+
+func TestPipelineCheckAborts(t *testing.T) {
+	calls := 0
+	p := &Pipeline[fake]{
+		Passes: []Pass[fake]{shrink(1), shrink(1), shrink(1)},
+		Check: func(ref, got *netlist.Network) error {
+			calls++
+			if calls == 2 {
+				return errors.New("boom")
+			}
+			return nil
+		},
+	}
+	got, trace, err := p.Run(fake{size: 10})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// The run aborts at the second pass, returning the last good graph.
+	if got.size != 9 {
+		t.Fatalf("got = %+v, want last good size 9", got)
+	}
+	if len(trace) != 2 {
+		t.Fatalf("trace has %d steps, want 2", len(trace))
+	}
+	if trace[0].Equiv != "ok" || !strings.Contains(trace[1].Equiv, "boom") {
+		t.Fatalf("trace equiv = %q, %q", trace[0].Equiv, trace[1].Equiv)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s := Sequence("both", shrink(2), deepen(1))
+	g := s.Apply(fake{size: 10, depth: 0})
+	if g.size != 8 || g.depth != 1 {
+		t.Fatalf("sequence result %+v", g)
+	}
+	if s.Name() != "both" {
+		t.Fatal("sequence name")
+	}
+}
+
+func TestBestTracksIncumbentAndCarriesCurrent(t *testing.T) {
+	better := func(cand, best fake) bool { return cand.size < best.size }
+	// Cycle 0 worsens (+5), cycle 1 improves from the worsened graph (-7):
+	// cur goes 10 -> 15 -> 8, so Best must return 8, proving the working
+	// graph is carried through the worsening cycle.
+	pass := Best("b", 2, better, func(cycle int) []Pass[fake] {
+		if cycle == 0 {
+			return []Pass[fake]{shrink(-5)}
+		}
+		return []Pass[fake]{shrink(7)}
+	})
+	if got := pass.Apply(fake{size: 10}); got.size != 8 {
+		t.Fatalf("best = %+v, want size 8", got)
+	}
+	// A single worsening cycle returns the untouched input as incumbent.
+	worse := Best("w", 1, better, func(int) []Pass[fake] {
+		return []Pass[fake]{shrink(-5)}
+	})
+	if got := worse.Apply(fake{size: 10}); got.size != 10 {
+		t.Fatalf("incumbent = %+v, want input size 10", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry[fake]()
+	r.Register("shrink", "shrink(by=1)", func(args []int) (Pass[fake], error) {
+		a, err := IntArgs(args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return shrink(a[0]), nil
+	})
+	if got := r.Names(); len(got) != 1 || got[0] != "shrink" {
+		t.Fatalf("names = %v", got)
+	}
+	p, err := r.New("shrink", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := p.Apply(fake{size: 10}); g.size != 7 {
+		t.Fatalf("apply = %+v", g)
+	}
+	if _, err := r.New("nope"); err == nil || !strings.Contains(err.Error(), "unknown pass") {
+		t.Fatalf("unknown pass error = %v", err)
+	}
+	if _, err := r.New("shrink", 1, 2); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("arity error = %v", err)
+	}
+	if r.MustNew("shrink").Name() != "shrink" {
+		t.Fatal("MustNew")
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	r := NewRegistry[fake]()
+	r.Register("ok-name", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+	for _, bad := range []string{"", "Upper", "1start", "sp ace"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) must panic", bad)
+				}
+			}()
+			r.Register(bad, "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate Register must panic")
+			}
+		}()
+		r.Register("ok-name", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+	}()
+}
+
+func TestIntArgs(t *testing.T) {
+	got, err := IntArgs([]int{7}, 3, 8)
+	if err != nil || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("IntArgs = %v, %v", got, err)
+	}
+	if _, err := IntArgs([]int{1, 2, 3}, 3, 8); err == nil {
+		t.Fatal("too many args must error")
+	}
+	got, err = IntArgs(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("IntArgs() = %v, %v", got, err)
+	}
+}
+
+func TestIntArgsMin(t *testing.T) {
+	got, err := IntArgsMin([]int{2}, 1, 3, 8)
+	if err != nil || got[0] != 2 || got[1] != 8 {
+		t.Fatalf("IntArgsMin = %v, %v", got, err)
+	}
+	if _, err := IntArgsMin([]int{0}, 1, 3); err == nil || !strings.Contains(err.Error(), "must be >= 1") {
+		t.Fatalf("below-min err = %v", err)
+	}
+	if _, err := IntArgsMin([]int{3, -2}, 0, 3, 8); err == nil || !strings.Contains(err.Error(), "arg 2") {
+		t.Fatalf("second-arg err = %v", err)
+	}
+	// Defaults are not range-checked — only user-provided values are.
+	if _, err := IntArgsMin(nil, 1, 0); err != nil {
+		t.Fatalf("defaults must be exempt: %v", err)
+	}
+}

@@ -1,0 +1,271 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Factory builds a pass instance from the integer arguments of a script
+// statement (possibly empty).
+type Factory[G Graph] func(args []int) (Pass[G], error)
+
+// Registry maps pass names to factories for one graph representation.
+type Registry[G Graph] struct {
+	order   []string
+	entries map[string]regEntry[G]
+}
+
+type regEntry[G Graph] struct {
+	factory Factory[G]
+	usage   string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[G Graph]() *Registry[G] {
+	return &Registry[G]{entries: make(map[string]regEntry[G])}
+}
+
+// Register adds a named pass factory. The name must be a valid script
+// identifier (lowercase letter, then lowercase letters, digits or dashes);
+// duplicate registration panics (registries are built at package init).
+func (r *Registry[G]) Register(name, usage string, f Factory[G]) {
+	if !validPassName(name) {
+		panic(fmt.Sprintf("opt: invalid pass name %q", name))
+	}
+	if _, dup := r.entries[name]; dup {
+		panic(fmt.Sprintf("opt: duplicate pass %q", name))
+	}
+	r.order = append(r.order, name)
+	r.entries[name] = regEntry[G]{factory: f, usage: usage}
+}
+
+// Names lists the registered pass names in registration order.
+func (r *Registry[G]) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// Usage returns the one-line usage string of a registered pass ("" when the
+// pass is unknown).
+func (r *Registry[G]) Usage(name string) string { return r.entries[name].usage }
+
+// Help renders one usage line per registered pass.
+func (r *Registry[G]) Help() string {
+	var b strings.Builder
+	for _, n := range r.order {
+		fmt.Fprintf(&b, "  %s\n", r.entries[n].usage)
+	}
+	return b.String()
+}
+
+// New instantiates a registered pass.
+func (r *Registry[G]) New(name string, args ...int) (Pass[G], error) {
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("opt: unknown pass %q (have %s)", name, strings.Join(r.closest(name), ", "))
+	}
+	p, err := e.factory(args)
+	if err != nil {
+		return nil, fmt.Errorf("opt: pass %q: %w (usage: %s)", name, err, e.usage)
+	}
+	return p, nil
+}
+
+// MustNew is New panicking on error, for building canned pipelines from
+// statically known names.
+func (r *Registry[G]) MustNew(name string, args ...int) Pass[G] {
+	p, err := r.New(name, args...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// closest returns the registered names, most similar first, to make
+// unknown-pass errors actionable.
+func (r *Registry[G]) closest(name string) []string {
+	names := r.Names()
+	sort.SliceStable(names, func(i, j int) bool {
+		return commonPrefix(names[i], name) > commonPrefix(names[j], name)
+	})
+	if len(names) > 5 {
+		names = names[:5]
+	}
+	return names
+}
+
+func commonPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+func validPassName(name string) bool {
+	if name == "" || name[0] < 'a' || name[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// IntArgs validates optional integer arguments against defaults: at most
+// len(defaults) arguments are accepted and missing trailing arguments take
+// the default values.
+func IntArgs(args []int, defaults ...int) ([]int, error) {
+	if len(args) > len(defaults) {
+		return nil, fmt.Errorf("got %d args, want at most %d", len(args), len(defaults))
+	}
+	out := append([]int(nil), defaults...)
+	copy(out, args)
+	return out, nil
+}
+
+// IntArgsMin is IntArgs additionally requiring every provided argument to
+// be at least lo, so scripts fail at parse time instead of compiling
+// degenerate no-op passes (e.g. a negative iteration count).
+func IntArgsMin(args []int, lo int, defaults ...int) ([]int, error) {
+	out, err := IntArgs(args, defaults...)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range args {
+		if v < lo {
+			return nil, fmt.Errorf("arg %d is %d, must be >= %d", i+1, v, lo)
+		}
+	}
+	return out, nil
+}
+
+// stmt is one parsed script statement.
+type stmt struct {
+	name string
+	args []int
+	expl bool // args were written explicitly (kept for canonical rendering)
+	pos  int  // byte offset, for error messages
+}
+
+// canonical renders the statement exactly as Pipeline.String round-trips it.
+func (s stmt) canonical() string {
+	if !s.expl {
+		return s.name
+	}
+	parts := make([]string, len(s.args))
+	for i, a := range s.args {
+		parts[i] = strconv.Itoa(a)
+	}
+	return s.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Parse compiles a pass script into a pipeline over the registry's passes.
+//
+// Grammar (whitespace and newlines are free; '#' comments to end of line):
+//
+//	script := stmt (';' stmt)* [';']
+//	stmt   := name [ '(' [int (',' int)*] ')' ]
+//	name   := lowercase letter, then lowercase letters, digits or '-'
+//
+// Each statement becomes one pipeline pass whose trace label is the
+// statement's canonical text, so Parse(p.String()) reproduces p.
+func Parse[G Graph](r *Registry[G], script string) (*Pipeline[G], error) {
+	stmts, err := parseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("opt: empty script")
+	}
+	p := &Pipeline[G]{}
+	for _, s := range stmts {
+		pass, err := r.New(s.name, s.args...)
+		if err != nil {
+			return nil, fmt.Errorf("%w (at offset %d)", err, s.pos)
+		}
+		p.Passes = append(p.Passes, Rename(s.canonical(), pass))
+	}
+	return p, nil
+}
+
+func parseScript(src string) ([]stmt, error) {
+	var stmts []stmt
+	i := 0
+	skip := func() {
+		for i < len(src) {
+			switch {
+			case src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r':
+				i++
+			case src[i] == '#':
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			default:
+				return
+			}
+		}
+	}
+	for {
+		skip()
+		if i >= len(src) {
+			return stmts, nil
+		}
+		pos := i
+		if src[i] < 'a' || src[i] > 'z' {
+			return nil, fmt.Errorf("opt: script offset %d: expected pass name, got %q", i, src[i])
+		}
+		start := i
+		for i < len(src) && (src[i] == '-' || (src[i] >= 'a' && src[i] <= 'z') || (src[i] >= '0' && src[i] <= '9')) {
+			i++
+		}
+		s := stmt{name: src[start:i], pos: pos}
+		skip()
+		if i < len(src) && src[i] == '(' {
+			s.expl = true
+			i++
+			skip()
+			for i < len(src) && src[i] != ')' {
+				astart := i
+				if src[i] == '-' || src[i] == '+' {
+					i++
+				}
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+				v, err := strconv.Atoi(src[astart:i])
+				if err != nil {
+					return nil, fmt.Errorf("opt: script offset %d: expected integer argument", astart)
+				}
+				s.args = append(s.args, v)
+				skip()
+				if i < len(src) && src[i] == ',' {
+					i++
+					skip()
+					if i >= len(src) || src[i] == ')' {
+						return nil, fmt.Errorf("opt: script offset %d: trailing comma", i)
+					}
+				} else if i < len(src) && src[i] != ')' {
+					return nil, fmt.Errorf("opt: script offset %d: expected ',' or ')'", i)
+				}
+			}
+			if i >= len(src) {
+				return nil, fmt.Errorf("opt: script offset %d: unterminated argument list", pos)
+			}
+			i++ // ')'
+		}
+		stmts = append(stmts, s)
+		skip()
+		if i >= len(src) {
+			return stmts, nil
+		}
+		if src[i] != ';' {
+			return nil, fmt.Errorf("opt: script offset %d: expected ';' between statements, got %q", i, src[i])
+		}
+		i++
+	}
+}

@@ -1,0 +1,106 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+)
+
+func scriptRegistry() *Registry[fake] {
+	r := NewRegistry[fake]()
+	for _, name := range []string{"eliminate", "reshape-depth", "pushup2"} {
+		n := name
+		r.Register(n, n+"(a=1, b=2)", func(args []int) (Pass[fake], error) {
+			a, err := IntArgs(args, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			return New(n, func(g fake) fake {
+				g.size -= a[0]
+				g.depth += a[1]
+				return g
+			}), nil
+		})
+	}
+	return r
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	r := scriptRegistry()
+	for _, script := range []string{
+		"eliminate",
+		"eliminate(8)",
+		"eliminate(8); reshape-depth; eliminate",
+		"eliminate(8, -2); pushup2(0)",
+		"eliminate()",
+	} {
+		p, err := Parse(r, script)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", script, err)
+		}
+		canonical := p.String()
+		p2, err := Parse(r, canonical)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q): %v", canonical, err)
+		}
+		if p2.String() != canonical {
+			t.Fatalf("round trip: %q -> %q -> %q", script, canonical, p2.String())
+		}
+	}
+}
+
+func TestParseCanonicalization(t *testing.T) {
+	r := scriptRegistry()
+	p, err := Parse(r, "  eliminate ( 8 ,3 ) ;\n\t reshape-depth;# comment\n pushup2 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "eliminate(8, 3); reshape-depth; pushup2"
+	if p.String() != want {
+		t.Fatalf("canonical = %q, want %q", p.String(), want)
+	}
+	if len(p.Passes) != 3 {
+		t.Fatalf("have %d passes", len(p.Passes))
+	}
+}
+
+func TestParseAppliesArgs(t *testing.T) {
+	r := scriptRegistry()
+	p, err := Parse(r, "eliminate(5); eliminate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := p.Run(fake{size: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 - 5 - 1 (default).
+	if g.size != 4 {
+		t.Fatalf("size = %d, want 4", g.size)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	r := scriptRegistry()
+	cases := []struct {
+		script, wantErr string
+	}{
+		{"", "empty script"},
+		{"  # only a comment\n", "empty script"},
+		{"unknown-pass", "unknown pass"},
+		{"Eliminate", "expected pass name"},
+		{"eliminate(", "unterminated argument list"},
+		{"eliminate(1,", "trailing comma"},
+		{"eliminate(1,)", "trailing comma"},
+		{"eliminate(x)", "expected integer argument"},
+		{"eliminate(1 2)", "expected ',' or ')'"},
+		{"eliminate reshape-depth", "expected ';'"},
+		{"eliminate(1, 2, 3)", "at most 2"},
+		{"eliminate;; reshape-depth", "expected pass name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(r, c.script)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.script, err, c.wantErr)
+		}
+	}
+}

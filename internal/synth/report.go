@@ -1,0 +1,74 @@
+package synth
+
+// Report rendering shared by cmd/migbench and the determinism tests: the
+// measured tables as aligned text, and a machine-readable JSON form used to
+// track the performance trajectory across PRs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// FormatOptMetrics renders one Table I-top cell.
+func FormatOptMetrics(m OptMetrics) string {
+	if !m.OK {
+		return fmt.Sprintf("%6s %5s %9s %6s", "N.A.", "N.A.", "N.A.", "N.A.")
+	}
+	return fmt.Sprintf("%6d %5d %9.2f %6.2f", m.Size, m.Depth, m.Activity, m.Seconds)
+}
+
+// FormatOptTable renders the measured Table I-top (header plus one line per
+// row, with any verification failures flagged).
+func FormatOptTable(rows []OptRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s | %-29s | %-29s | %-29s\n", "bench", "i/o",
+		"MIG size depth act time", "AIG size depth act time", "BDS size depth act time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %4d/%-4d | %s | %s | %s\n",
+			r.Name, r.Inputs, r.Outputs,
+			FormatOptMetrics(r.MIG), FormatOptMetrics(r.AIG), FormatOptMetrics(r.BDS))
+		if r.VerifyErr != "" {
+			fmt.Fprintf(&b, "  !! VERIFY: %s\n", r.VerifyErr)
+		}
+	}
+	return b.String()
+}
+
+// FormatSynthTable renders the measured Table I-bottom.
+func FormatSynthTable(rows []SynthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s | %-26s | %-26s | %-26s\n", "bench",
+		"MIG  A(µm²) D(ns) P(µW)", "AIG  A(µm²) D(ns) P(µW)", "CST  A(µm²) D(ns) P(µW)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %8.2f %6.3f %9.2f | %8.2f %6.3f %9.2f | %8.2f %6.3f %9.2f\n",
+			r.Name,
+			r.MIG.Area, r.MIG.Delay, r.MIG.Power,
+			r.AIG.Area, r.AIG.Delay, r.AIG.Power,
+			r.CST.Area, r.CST.Delay, r.CST.Power)
+	}
+	return b.String()
+}
+
+// Report is the machine-readable result of a benchmark run (migbench
+// -json), keyed per circuit and per flow so successive PRs can diff the
+// perf trajectory.
+type Report struct {
+	Experiment   string        `json:"experiment"`
+	Effort       int           `json:"effort"`
+	AIGRounds    int           `json:"aig_rounds"`
+	Jobs         int           `json:"jobs"`
+	Opt          []OptRow      `json:"opt,omitempty"`
+	Synth        []SynthRow    `json:"synth,omitempty"`
+	OptSummary   *OptSummary   `json:"opt_summary,omitempty"`
+	SynthSummary *SynthSummary `json:"synth_summary,omitempty"`
+}
+
+// JSON renders the report with stable field order and indentation.
+func (r *Report) JSON() (string, error) {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(buf) + "\n", nil
+}

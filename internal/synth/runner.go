@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/aig"
 	"repro/internal/equiv"
 	"repro/internal/mapping"
+	"repro/internal/mig"
 	"repro/internal/netlist"
 )
 
@@ -40,23 +42,34 @@ func (c *Config) Defaults() {
 
 // OptRow is one benchmark's Table I-top measurement.
 type OptRow struct {
-	Name            string
-	Inputs, Outputs int
-	MIG, AIG, BDS   OptMetrics
-	VerifyErr       string
+	Name      string     `json:"name"`
+	Inputs    int        `json:"inputs"`
+	Outputs   int        `json:"outputs"`
+	MIG       OptMetrics `json:"mig"`
+	AIG       OptMetrics `json:"aig"`
+	BDS       OptMetrics `json:"bds"`
+	VerifyErr string     `json:"verify_err,omitempty"`
 }
 
 // RunOptRow measures logic optimization (Table I-top) for one circuit.
 func RunOptRow(n *netlist.Network, cfg Config) OptRow {
+	return runOptRow(n, cfg, false)
+}
+
+// runOptRow is RunOptRow with the three flows optionally run concurrently
+// (they are independent pure functions of n).
+func runOptRow(n *netlist.Network, cfg Config, concurrent bool) OptRow {
 	cfg.Defaults()
 	row := OptRow{Name: n.Name, Inputs: n.NumInputs(), Outputs: n.NumOutputs()}
 
-	m, mm := MIGOptimize(n, cfg.Effort)
-	row.MIG = mm
-	a, am := AIGOptimize(n, cfg.AIGRounds)
-	row.AIG = am
-	d, dm := BDSOptimize(n, cfg.BDDLimit)
-	row.BDS = dm
+	var m *mig.MIG
+	var a *aig.AIG
+	var d *netlist.Network
+	parallel3(concurrent,
+		func() { m, row.MIG = MIGOptimize(n, cfg.Effort) },
+		func() { a, row.AIG = AIGOptimize(n, cfg.AIGRounds) },
+		func() { d, row.BDS = BDSOptimize(n, cfg.BDDLimit) },
+	)
 
 	if cfg.Verify {
 		opts := equiv.Options{SimRounds: cfg.SimRounds}
@@ -70,9 +83,13 @@ func RunOptRow(n *netlist.Network, cfg Config) OptRow {
 				row.VerifyErr += fmt.Sprintf("%s NOT equivalent (%s); ", label, res.Detail)
 			}
 		}
-		check("mig", m.ToNetwork())
-		check("aig", a.ToNetwork())
-		if dm.OK {
+		if row.MIG.OK {
+			check("mig", m.ToNetwork())
+		}
+		if row.AIG.OK {
+			check("aig", a.ToNetwork())
+		}
+		if row.BDS.OK {
 			check("bds", d)
 		}
 	}
@@ -81,18 +98,27 @@ func RunOptRow(n *netlist.Network, cfg Config) OptRow {
 
 // SynthRow is one benchmark's Table I-bottom measurement.
 type SynthRow struct {
-	Name          string
-	MIG, AIG, CST SynthResult
+	Name string      `json:"name"`
+	MIG  SynthResult `json:"mig"`
+	AIG  SynthResult `json:"aig"`
+	CST  SynthResult `json:"cst"`
 }
 
 // RunSynthRow measures the three synthesis flows (Table I-bottom) for one
 // circuit.
 func RunSynthRow(n *netlist.Network, cfg Config) SynthRow {
+	return runSynthRow(n, cfg, false)
+}
+
+// runSynthRow is RunSynthRow with the three flows optionally concurrent.
+func runSynthRow(n *netlist.Network, cfg Config, concurrent bool) SynthRow {
 	cfg.Defaults()
 	row := SynthRow{Name: n.Name}
-	row.MIG, _ = MIGFlow(n, cfg.Effort, cfg.Lib)
-	row.AIG, _ = AIGFlow(n, cfg.AIGRounds, cfg.Lib)
-	row.CST, _ = CSTFlow(n, cfg.Lib)
+	parallel3(concurrent,
+		func() { row.MIG, _ = MIGFlow(n, cfg.Effort, cfg.Lib) },
+		func() { row.AIG, _ = AIGFlow(n, cfg.AIGRounds, cfg.Lib) },
+		func() { row.CST, _ = CSTFlow(n, cfg.Lib) },
+	)
 	return row
 }
 
@@ -116,8 +142,12 @@ func Geomean(num, den []float64) float64 {
 // OptSummary aggregates Table I-top rows into the paper's §V.A headline
 // ratios (MIG relative to AIG and to BDS).
 type OptSummary struct {
-	DepthVsAIG, SizeVsAIG, ActivityVsAIG float64
-	DepthVsBDS, SizeVsBDS, ActivityVsBDS float64
+	DepthVsAIG    float64 `json:"depth_vs_aig"`
+	SizeVsAIG     float64 `json:"size_vs_aig"`
+	ActivityVsAIG float64 `json:"activity_vs_aig"`
+	DepthVsBDS    float64 `json:"depth_vs_bds"`
+	SizeVsBDS     float64 `json:"size_vs_bds"`
+	ActivityVsBDS float64 `json:"activity_vs_bds"`
 }
 
 // SummarizeOpt computes geometric-mean ratios over the rows.
@@ -170,9 +200,15 @@ func SummarizeOpt(rows []OptRow) OptSummary {
 // SynthSummary aggregates Table I-bottom rows: MIG flow relative to the
 // best of the two counterpart flows per circuit (the paper's comparison).
 type SynthSummary struct {
-	DelayVsBest, AreaVsBest, PowerVsBest float64
-	DelayVsAIG, AreaVsAIG, PowerVsAIG    float64
-	DelayVsCST, AreaVsCST, PowerVsCST    float64
+	DelayVsBest float64 `json:"delay_vs_best"`
+	AreaVsBest  float64 `json:"area_vs_best"`
+	PowerVsBest float64 `json:"power_vs_best"`
+	DelayVsAIG  float64 `json:"delay_vs_aig"`
+	AreaVsAIG   float64 `json:"area_vs_aig"`
+	PowerVsAIG  float64 `json:"power_vs_aig"`
+	DelayVsCST  float64 `json:"delay_vs_cst"`
+	AreaVsCST   float64 `json:"area_vs_cst"`
+	PowerVsCST  float64 `json:"power_vs_cst"`
 }
 
 // SummarizeSynth computes the synthesis ratios.

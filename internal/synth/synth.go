@@ -22,47 +22,62 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/mig"
 	"repro/internal/netlist"
+	"repro/internal/opt"
 	"repro/internal/power"
 )
 
 // OptMetrics are the Table I-top columns for one representation.
 type OptMetrics struct {
-	Size     int
-	Depth    int
-	Activity float64
-	Seconds  float64
-	OK       bool // false = N.A. (tool failure, like BDS on clma)
+	Size     int     `json:"size"`
+	Depth    int     `json:"depth"`
+	Activity float64 `json:"activity"`
+	Seconds  float64 `json:"seconds"`
+	OK       bool    `json:"ok"` // false = N.A. (tool failure, like BDS on clma)
+}
+
+// metricsOf packages a graph's metrics with the elapsed wall time.
+func metricsOf(g opt.Graph, start time.Time) OptMetrics {
+	return OptMetrics{
+		Size:     g.Size(),
+		Depth:    g.Depth(),
+		Activity: g.Activity(nil),
+		Seconds:  time.Since(start).Seconds(),
+		OK:       true,
+	}
+}
+
+// MIGOptPipeline is the MIG leg of the optimization comparison: the paper's
+// §V.A flow as a pass pipeline.
+func MIGOptPipeline(effort int) *opt.Pipeline[*mig.MIG] {
+	return mig.FlowPipeline(effort)
+}
+
+// AIGOptPipeline is the AIG leg: the resyn2 recipe plus a final balance for
+// depth, as a pass pipeline.
+func AIGOptPipeline(rounds int) *opt.Pipeline[*aig.AIG] {
+	return aig.Resyn2Pipeline(rounds).Append(aig.Passes().MustNew("balance"))
 }
 
 // MIGOptimize runs the paper's logic-optimization flow on a netlist:
 // depth optimization interlaced with size and activity recovery (§V.A).
 func MIGOptimize(n *netlist.Network, effort int) (*mig.MIG, OptMetrics) {
 	start := time.Now()
-	m := mig.FromNetwork(n)
-	opt := mig.Optimize(m, effort)
-	return opt, OptMetrics{
-		Size:     opt.Size(),
-		Depth:    opt.Depth(),
-		Activity: opt.Activity(nil),
-		Seconds:  time.Since(start).Seconds(),
-		OK:       true,
+	res, _, err := MIGOptPipeline(effort).Run(mig.FromNetwork(n))
+	if err != nil {
+		return nil, OptMetrics{OK: false}
 	}
+	return res, metricsOf(res, start)
 }
 
 // AIGOptimize runs the ABC-style baseline (resyn2 script + a final balance
 // for depth).
 func AIGOptimize(n *netlist.Network, rounds int) (*aig.AIG, OptMetrics) {
 	start := time.Now()
-	a := aig.FromNetwork(n)
-	opt := aig.Resyn2(a, rounds)
-	opt = opt.Balance()
-	return opt, OptMetrics{
-		Size:     opt.Size(),
-		Depth:    opt.Depth(),
-		Activity: opt.Activity(nil),
-		Seconds:  time.Since(start).Seconds(),
-		OK:       true,
+	res, _, err := AIGOptPipeline(rounds).Run(aig.FromNetwork(n))
+	if err != nil {
+		return nil, OptMetrics{OK: false}
 	}
+	return res, metricsOf(res, start)
 }
 
 // BDSOptimize runs the BDS-style baseline: global BDD construction (with
@@ -193,11 +208,11 @@ func windowedBDS(n *netlist.Network, k int) (*netlist.Network, error) {
 
 // SynthResult is one Table I-bottom entry.
 type SynthResult struct {
-	Area    float64
-	Delay   float64
-	Power   float64
-	Seconds float64
-	OK      bool
+	Area    float64 `json:"area"`
+	Delay   float64 `json:"delay"`
+	Power   float64 `json:"power"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
 }
 
 func fromMapping(r *mapping.Result, secs float64) SynthResult {
@@ -220,17 +235,28 @@ func AIGFlow(n *netlist.Network, rounds int, lib *mapping.Library) (SynthResult,
 	return fromMapping(res, time.Since(start).Seconds()), res
 }
 
-// CSTFlow simulates the commercial tool: a SOP-oriented script (cone
-// refactoring through minimized factored covers, twice, with balancing) and
-// the same mapper. See DESIGN.md for the substitution rationale.
+// CSTOptPipeline is the commercial stand-in's SOP-oriented script (cone
+// refactoring through minimized factored covers, twice, with balancing) as
+// a pass pipeline.
+func CSTOptPipeline() *opt.Pipeline[*aig.AIG] {
+	r := aig.Passes()
+	return &opt.Pipeline[*aig.AIG]{Passes: []opt.Pass[*aig.AIG]{
+		r.MustNew("refactor"),
+		r.MustNew("balance"),
+		r.MustNew("refactor"),
+		r.MustNew("rewrite"),
+		r.MustNew("balance"),
+	}}
+}
+
+// CSTFlow simulates the commercial tool: the CSTOptPipeline script and the
+// same mapper. See DESIGN.md for the substitution rationale.
 func CSTFlow(n *netlist.Network, lib *mapping.Library) (SynthResult, *mapping.Result) {
 	start := time.Now()
-	a := aig.FromNetwork(n)
-	a = a.Refactor().Cleanup()
-	a = a.Balance()
-	a = a.Refactor().Cleanup()
-	a = a.Rewrite().Cleanup()
-	a = a.Balance()
+	a, _, err := CSTOptPipeline().Run(aig.FromNetwork(n))
+	if err != nil {
+		return SynthResult{OK: false}, nil
+	}
 	res := mapping.Map(a.ToNetwork(), lib, nil)
 	return fromMapping(res, time.Since(start).Seconds()), res
 }

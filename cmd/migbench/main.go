@@ -14,11 +14,23 @@
 // between flows.
 //
 // The benchmark engine is parallel: -jobs N distributes circuits over N
-// workers and runs the competing flows of each circuit concurrently. All
-// results are deterministic and ordered as in the serial run; only the
-// measured wall times vary (normalize them with -zero-time to diff runs
-// byte for byte). -json emits the per-circuit metrics as JSON instead of
-// tables, for tracking the performance trajectory across commits.
+// workers, runs the competing flows of each circuit concurrently, and sets
+// the worker budget of window-parallel passes (window-rewrite). All results
+// are deterministic and ordered as in the serial run; only the measured
+// wall times vary (normalize them with -zero-time to diff runs byte for
+// byte). -json emits the per-circuit metrics as JSON instead of tables,
+// for tracking the performance trajectory across commits: the checked-in
+// bench_baseline.json snapshot (migbench -experiment summary -effort 2
+// -json -zero-time) is compared against fresh runs by cmd/benchdiff, which
+// CI gates at a 10% size/depth regression.
+//
+// -mig-script replaces the canned §V.A MIG flow with a pass script, e.g.
+//
+//	migbench -experiment table1top -jobs 8 \
+//	    -mig-script "cleanup; window-rewrite; eliminate"
+//
+// which is how the window-parallel rewriting is exercised end to end; its
+// output is byte-identical for every -jobs value.
 package main
 
 import (
@@ -29,12 +41,14 @@ import (
 	"sync"
 
 	"repro/internal/mcnc"
+	"repro/internal/mig"
 	"repro/internal/netlist"
+	"repro/internal/opt"
 	"repro/internal/synth"
 )
 
 var (
-	jobs     = flag.Int("jobs", 1, "worker-pool size; N >= 2 also runs each circuit's flows concurrently")
+	jobs     = flag.Int("jobs", 1, "worker-pool size; N >= 2 also runs each circuit's flows concurrently and fans window-parallel passes over N workers")
 	asJSON   = flag.Bool("json", false, "emit per-circuit metrics as JSON instead of tables")
 	zeroTime = flag.Bool("zero-time", false, "report wall times as 0 for byte-reproducible output")
 )
@@ -46,10 +60,20 @@ func main() {
 	verify := flag.Bool("verify", false, "verify functional equivalence of optimized results")
 	only := flag.String("only", "", "comma-separated benchmark subset (default: all of Table I)")
 	compressWords := flag.Int("compress-words", 1200, "size parameter for the compression circuit")
+	migScript := flag.String("mig-script", "", "pass script replacing the canned MIG flow, e.g. \"cleanup; window-rewrite; eliminate\"")
 	flag.Parse()
 
-	cfg := synth.Config{Effort: *effort, AIGRounds: *rounds, Verify: *verify}
+	// Parallel-safe passes (window-rewrite) read the process worker budget.
+	opt.SetWorkers(*jobs)
+
+	cfg := synth.Config{Effort: *effort, AIGRounds: *rounds, Verify: *verify, MIGScript: *migScript}
 	cfg.Defaults()
+	if *migScript != "" {
+		if _, err := mig.ParseScript(*migScript); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -mig-script: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	names := mcnc.Names()
 	if *only != "" {
@@ -277,10 +301,10 @@ func runCompress(words int, cfg synth.Config) {
 			defer wg.Done()
 			_, am = synth.AIGOptimize(n, cfg.AIGRounds)
 		}()
-		_, mm = synth.MIGOptimize(n, cfg.Effort)
+		_, mm = synth.MIGOptimizeCfg(n, cfg)
 		wg.Wait()
 	} else {
-		_, mm = synth.MIGOptimize(n, cfg.Effort)
+		_, mm = synth.MIGOptimizeCfg(n, cfg)
 		_, am = synth.AIGOptimize(n, cfg.AIGRounds)
 	}
 	rows[0].MIG, rows[0].AIG = mm, am

@@ -43,7 +43,10 @@ func main() {
 	effort := flag.Int("effort", 3, "optimization effort (cycles)")
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.Bool("verify", true, "verify functional equivalence after optimization")
+	jobs := flag.Int("jobs", 1, "worker budget for window-parallel passes (window-rewrite); results are identical for any value")
 	flag.Parse()
+
+	opt.SetWorkers(*jobs)
 
 	if *listPasses {
 		fmt.Print(mig.Passes().Help())

@@ -27,6 +27,43 @@
 // Cut enumeration (merge, dominance filtering, truth-table extraction) is
 // shared by both graph representations through internal/cut.
 //
+// # Performance architecture
+//
+// The data plane of both graph packages is allocation-free on its hot
+// paths:
+//
+//   - Structural hashing (strash) is an open-addressing hash table
+//     (internal/hashed) keyed on packed fanin signals, with linear probing
+//     over power-of-two capacities and tombstone-free backward-shift
+//     deletion. Rollback-heavy candidate probing (checkpoint, build, roll
+//     back) deletes as often as it inserts; deletion is value-guarded
+//     (DeleteAbove), so a rollback can never evict a surviving node's
+//     entry, and graph Clone is a flat slice copy.
+//   - Every old→new remap of the topological rebuilds is a dense []Signal
+//     slice drawn from pooled slabs, and the cone traversals
+//     (replaceInCone, coneContains, local activity, truth-table walks)
+//     memoize in epoch-stamped arrays owned by the graph — clearing is a
+//     counter increment, not an allocation.
+//   - Cut enumeration writes into an arena-backed cut.Cache: all leaves in
+//     one flat array, spans per cut, offsets per node. The cache lives on
+//     the graph and is maintained incrementally — appended nodes are
+//     enumerated on demand (Extend) and rolled-back nodes are dropped in
+//     O(1) (Truncate) — so repeated passes over an unchanged region never
+//     re-enumerate the whole graph.
+//   - Functions of up to six variables (every 4-input cut) are synthesized
+//     and extracted as single uint64 words (internal/mig synth6.go):
+//     cofactors, projections and matching are pure word arithmetic.
+//   - Candidate probing in the Ω/Ψ passes records (shape, parameters)
+//     records instead of capturing rebuild closures, keeping the probe
+//     inner loop off the heap.
+//
+// Window-parallel rewriting (mig.WindowRewritePass, pass name
+// "window-rewrite") partitions the live nodes into maximal fanout-free
+// cones, evaluates cut candidates per cone on a worker pool (each worker
+// probes against a private clone), and commits the chosen rewrites in one
+// serial topological rebuild. Results are byte-identical for every worker
+// count; opt.SetWorkers (the CLIs' -jobs flag) sets the budget.
+//
 // # Benchmark engine
 //
 // internal/synth composes the flows the paper evaluates (MIG vs AIG vs

@@ -8,6 +8,8 @@ package aig
 import (
 	"fmt"
 
+	"repro/internal/cut"
+	"repro/internal/hashed"
 	"repro/internal/netlist"
 )
 
@@ -74,15 +76,21 @@ type AIG struct {
 	inputs  []int
 	names   []string
 	Outputs []Output
-	strash  map[[2]Signal]int
+	// strash is the structural-hashing index (canonical fanin pair ->
+	// node index) as an open-addressing table; see internal/hashed.
+	strash hashed.Table2
+	// cutCache lazily holds the k-feasible cuts of this graph (extended
+	// incrementally, truncated on rollback; see cuts.go).
+	cutCache *cut.Cache
+	// fscr memoizes cone truth-table walks.
+	fscr cut.FuncScratch
 }
 
 // New returns an empty AIG containing only the constant node.
 func New(name string) *AIG {
 	return &AIG{
-		Name:   name,
-		nodes:  []node{{kind: kindConst}},
-		strash: make(map[[2]Signal]int),
+		Name:  name,
+		nodes: []node{{kind: kindConst}},
 	}
 }
 
@@ -148,17 +156,17 @@ func (a *AIG) And(x, y Signal) Signal {
 	if x > y {
 		x, y = y, x
 	}
-	key := [2]Signal{x, y}
-	if idx, ok := a.strash[key]; ok {
-		return MakeSignal(idx, false)
+	key := [2]uint32{uint32(x), uint32(y)}
+	if idx, ok := a.strash.Get(key); ok {
+		return MakeSignal(int(idx), false)
 	}
 	lv := a.nodes[x.Node()].level
 	if l := a.nodes[y.Node()].level; l > lv {
 		lv = l
 	}
 	idx := len(a.nodes)
-	a.nodes = append(a.nodes, node{fanin: key, level: lv + 1, kind: kindAnd})
-	a.strash[key] = idx
+	a.nodes = append(a.nodes, node{fanin: [2]Signal{x, y}, level: lv + 1, kind: kindAnd})
+	a.strash.Put(key, int32(idx))
 	return MakeSignal(idx, false)
 }
 

@@ -10,32 +10,52 @@ import (
 // internal/cut.
 type Cut = cut.Cut
 
+// classifyCut adapts the node table to the cut enumerator. Constants count
+// as leaves here: an AND of a constant is simplified away by strashing, so
+// constant fanins are not worth special cut capacity handling.
+func (a *AIG) classifyCut(i int) (cut.Role, [3]int32, int) {
+	switch a.nodes[i].kind {
+	case kindConst, kindPI:
+		return cut.Leaf, [3]int32{}, 0
+	case kindAnd:
+		f := a.nodes[i].fanin
+		return cut.Gate, [3]int32{int32(f[0].Node()), int32(f[1].Node()), 0}, 2
+	}
+	return cut.Skip, [3]int32{}, 0
+}
+
+// CutSet returns the AIG's arena-backed cut cache for the given parameters,
+// enumerating only nodes appended since the previous call (the cache is
+// truncated on rollback). The cache is owned by the AIG; its views are
+// invalidated by And and rollback.
+func (a *AIG) CutSet(k, maxCuts int) *cut.Cache {
+	if a.cutCache == nil || a.cutCache.K() != k || a.cutCache.MaxCuts() != maxCuts {
+		a.cutCache = cut.NewCache(k, maxCuts)
+	}
+	a.cutCache.Extend(len(a.nodes), a.classifyCut)
+	return a.cutCache
+}
+
 // EnumerateCuts computes up to maxCuts k-feasible cuts per node (the trivial
-// cut {node} is always included last). Standard bottom-up merge with
-// dominance filtering. Constants count as leaves here: an AND of a constant
-// is simplified away by strashing, so constant fanins are not worth special
-// cut capacity handling.
+// cut {node} is always included last) as a materialized forest
+// (compatibility wrapper around the cache; hot paths use CutSet).
 func (a *AIG) EnumerateCuts(k, maxCuts int) [][]Cut {
 	return cut.Enumerate(len(a.nodes), k, maxCuts, func(i int) (cut.Role, []int) {
-		switch a.nodes[i].kind {
-		case kindConst, kindPI:
-			return cut.Leaf, nil
-		case kindAnd:
-			return cut.Gate, []int{a.nodes[i].fanin[0].Node(), a.nodes[i].fanin[1].Node()}
+		role, fanins, nf := a.classifyCut(i)
+		if nf == 0 {
+			return role, nil
 		}
-		return cut.Skip, nil
+		return role, []int{int(fanins[0]), int(fanins[1])}[:nf]
 	})
 }
 
-// CutFunction computes the truth table of node root expressed over the cut
-// leaves (at most tt.MaxVars of them).
-func (a *AIG) CutFunction(root int, c Cut) tt.TT {
-	n := len(c.Leaves)
-	return cut.Function(root, c, n, func(idx int, rec func(int) tt.TT) tt.TT {
+// combineTT evaluates one node during a cone walk.
+func (a *AIG) combineTT(nvars int) func(idx int, rec func(int) tt.TT) tt.TT {
+	return func(idx int, rec func(int) tt.TT) tt.TT {
 		nd := &a.nodes[idx]
 		if nd.kind != kindAnd {
 			// Constant node outside the cut.
-			return tt.Const(n, false)
+			return tt.Const(nvars, false)
 		}
 		f0 := rec(nd.fanin[0].Node())
 		if nd.fanin[0].Neg() {
@@ -46,5 +66,22 @@ func (a *AIG) CutFunction(root int, c Cut) tt.TT {
 			f1 = f1.Not()
 		}
 		return f0.And(f1)
-	})
+	}
+}
+
+// CutFunction computes the truth table of node root expressed over the cut
+// leaves (at most tt.MaxVars of them).
+func (a *AIG) CutFunction(root int, c Cut) tt.TT {
+	leaves := make([]int32, len(c.Leaves))
+	for i, l := range c.Leaves {
+		leaves[i] = int32(l)
+	}
+	return a.cutFunc(root, leaves)
+}
+
+// cutFunc is CutFunction over an arena leaf view, memoized in the AIG's
+// reusable scratch.
+func (a *AIG) cutFunc(root int, leaves []int32) tt.TT {
+	n := len(leaves)
+	return cut.FunctionDense(root, leaves, n, &a.fscr, a.combineTT(n))
 }

@@ -16,39 +16,21 @@ import (
 // checkpoint returns a rollback token.
 func (a *AIG) checkpoint() int { return len(a.nodes) }
 
-// rollback removes nodes created after the checkpoint.
+// rollback removes nodes created after the checkpoint. Strash deletion is
+// value-guarded so an entry of a surviving node can never be evicted (see
+// the MIG twin in internal/mig/rewrite.go), and the cut cache is truncated
+// back to the checkpoint.
 func (a *AIG) rollback(cp int) {
 	for i := len(a.nodes) - 1; i >= cp; i-- {
 		if a.nodes[i].kind == kindAnd {
-			delete(a.strash, a.nodes[i].fanin)
+			f := a.nodes[i].fanin
+			a.strash.DeleteAbove([2]uint32{uint32(f[0]), uint32(f[1])}, int32(cp))
 		}
 	}
 	a.nodes = a.nodes[:cp]
-}
-
-type rebuildFunc func(out *AIG, oldIdx int, x, y Signal) Signal
-
-// rebuildWith reconstructs the AIG through f, skipping dead nodes.
-func (a *AIG) rebuildWith(f rebuildFunc) *AIG {
-	out := New(a.Name)
-	remap := make([]Signal, len(a.nodes))
-	for idx, in := range a.inputs {
-		remap[in] = out.AddInput(a.names[idx])
+	if a.cutCache != nil {
+		a.cutCache.Truncate(cp)
 	}
-	live := a.LiveMask()
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if !live[i] || nd.kind != kindAnd {
-			continue
-		}
-		x := remap[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
-		y := remap[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
-		remap[i] = f(out, i, x, y)
-	}
-	for _, o := range a.Outputs {
-		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
-	}
-	return out
 }
 
 // Balance rebuilds AND trees as balanced (minimum-depth) trees, the analogue
@@ -156,90 +138,86 @@ func (a *AIG) Refactor() *AIG {
 	return a.cutResynth(10, 2)
 }
 
+// badSignal marks unset slots of the dense remap table (no valid signal:
+// the node index exceeds any real graph).
+const badSignal = ^Signal(0)
+
 // cutResynth rebuilds the AIG, resynthesizing each node from the best of
 // its k-feasible cuts via minimized factored SOP. A candidate is accepted
 // when it creates fewer nodes than the default reconstruction (exploiting
 // sharing found by structural hashing), or the same number at lower level.
+// Cuts come from the AIG's arena-backed cache; the remap is a dense pooled
+// slice rather than a map.
 func (a *AIG) cutResynth(k, maxCuts int) *AIG {
-	cuts := a.EnumerateCuts(k, maxCuts)
-	remap := make(map[int]Signal, len(a.nodes))
-	res := a.rebuildWithRemap(remap, func(out *AIG, oldIdx int, x, y Signal) Signal {
+	cuts := a.CutSet(k, maxCuts)
+	out := New(a.Name)
+	out.strash.Reserve(len(a.nodes))
+	remap := make([]Signal, len(a.nodes))
+	for i := range remap {
+		remap[i] = badSignal
+	}
+	remap[0] = Const0
+	for idx, in := range a.inputs {
+		remap[in] = out.AddInput(a.names[idx])
+	}
+	live := a.LiveMask()
+	var leafBuf, bestSigs []Signal
+	for i := range a.nodes {
+		nd := &a.nodes[i]
+		if !live[i] || nd.kind != kindAnd {
+			continue
+		}
+		x := remap[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
+		y := remap[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
+
 		cp := out.checkpoint()
 		def := out.And(x, y)
 		defAdded := len(out.nodes) - cp
 		defLevel := out.Level(def)
 		out.rollback(cp)
 
-		type cand struct {
-			cut   Cut
-			added int
-			level int
-			f     tt.TT
-			sigs  []Signal
-		}
-		best := cand{added: defAdded, level: defLevel}
+		var bestF tt.TT
 		haveBest := false
-		for _, cut := range cuts[oldIdx] {
-			if len(cut.Leaves) < 2 {
+		bestAdded, bestLevel := defAdded, defLevel
+		for ci := 0; ci < cuts.NumCuts(i); ci++ {
+			leaves := cuts.Leaves(i, ci)
+			if len(leaves) < 2 {
 				continue
 			}
-			leafSigs := make([]Signal, len(cut.Leaves))
+			leafBuf = leafBuf[:0]
 			ok := true
-			for i, l := range cut.Leaves {
-				s, found := remap[l]
-				if !found {
+			for _, l := range leaves {
+				s := remap[l]
+				if s == badSignal {
 					ok = false
 					break
 				}
-				leafSigs[i] = s
+				leafBuf = append(leafBuf, s)
 			}
 			if !ok {
 				continue
 			}
-			f := a.CutFunction(oldIdx, cut)
+			f := a.cutFunc(i, leaves)
 			cp := out.checkpoint()
-			s := SynthesizeTT(out, f, leafSigs)
+			s := SynthesizeTT(out, f, leafBuf)
 			added := len(out.nodes) - cp
 			level := out.Level(s)
 			out.rollback(cp)
-			if added < best.added || (added == best.added && level < best.level) {
-				best = cand{cut: cut, added: added, level: level, f: f, sigs: leafSigs}
+			if added < bestAdded || (added == bestAdded && level < bestLevel) {
+				bestF = f
+				bestSigs = append(bestSigs[:0], leafBuf...)
 				haveBest = true
+				bestAdded, bestLevel = added, level
 			}
 		}
 		if !haveBest {
-			return out.And(x, y)
+			remap[i] = out.And(x, y)
+		} else {
+			remap[i] = SynthesizeTT(out, bestF, bestSigs)
 		}
-		return SynthesizeTT(out, best.f, best.sigs)
-	})
-	return res
-}
-
-// rebuildWithRemap is rebuildWith, additionally exposing the old→new signal
-// map to the callback (the map is updated as nodes are processed).
-func (a *AIG) rebuildWithRemap(remap map[int]Signal, f rebuildFunc) *AIG {
-	out := New(a.Name)
-	remapArr := make([]Signal, len(a.nodes))
-	remap[0] = Const0
-	for idx, in := range a.inputs {
-		s := out.AddInput(a.names[idx])
-		remapArr[in] = s
-		remap[in] = s
-	}
-	live := a.LiveMask()
-	for i := range a.nodes {
-		nd := &a.nodes[i]
-		if !live[i] || nd.kind != kindAnd {
-			continue
-		}
-		x := remapArr[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
-		y := remapArr[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
-		s := f(out, i, x, y)
-		remapArr[i] = s
-		remap[i] = s
 	}
 	for _, o := range a.Outputs {
-		out.AddOutput(o.Name, remapArr[o.Sig.Node()].NotIf(o.Sig.Neg()))
+		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
 	}
 	return out
 }

@@ -1,0 +1,58 @@
+package cut
+
+// Micro-benchmarks for the shared cut machinery on a synthetic layered
+// majority graph (each gate consumes three earlier nodes), sized like a
+// mid-size MCNC circuit.
+
+import "testing"
+
+// benchGraph returns classify for a deterministic layered 3-fanin DAG with
+// nPI inputs and nGate gates.
+func benchGraph(nPI, nGate int) (int, func(i int) (Role, []int)) {
+	numNodes := 1 + nPI + nGate
+	return numNodes, func(i int) (Role, []int) {
+		switch {
+		case i == 0:
+			return Free, nil
+		case i <= nPI:
+			return Leaf, nil
+		default:
+			// Three distinct earlier nodes, skewed toward recent ones so
+			// cuts overlap and the merge/dominance machinery is exercised.
+			a := 1 + (i*7)%(i-1)
+			b := 1 + (i*13)%(i-1)
+			c := 1 + (i*29)%(i-1)
+			if b == a {
+				b = 1 + (b % (i - 1))
+			}
+			if c == a || c == b {
+				c = 1 + ((c + 1) % (i - 1))
+			}
+			return Gate, []int{a, b, c}
+		}
+	}
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	numNodes, classify := benchGraph(64, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cuts := Enumerate(numNodes, 4, 5, classify)
+		if len(cuts) != numNodes {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	x := Cut{Leaves: []int{1, 5, 9}}
+	y := Cut{Leaves: []int{3, 5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Merge(4, x, y); !ok {
+			b.Fatal("merge overflow")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package cut
+
+import (
+	"testing"
+)
+
+// chainClassifier builds a linear majority chain: node 0 constant, nodes
+// 1..nPI inputs, every later gate consuming the three preceding nodes.
+func chainClassifier(nPI int) Classifier {
+	return func(i int) (Role, [3]int32, int) {
+		switch {
+		case i == 0:
+			return Free, [3]int32{}, 0
+		case i <= nPI:
+			return Leaf, [3]int32{}, 0
+		default:
+			return Gate, [3]int32{int32(i - 1), int32(i - 2), int32(i - 3)}, 3
+		}
+	}
+}
+
+func TestCacheMatchesEnumerate(t *testing.T) {
+	const numNodes = 40
+	cl := chainClassifier(5)
+	c := NewCache(4, 5)
+	c.Extend(numNodes, cl)
+	ref := Enumerate(numNodes, 4, 5, func(i int) (Role, []int) {
+		role, f, nf := cl(i)
+		fs := make([]int, nf)
+		for j := 0; j < nf; j++ {
+			fs[j] = int(f[j])
+		}
+		return role, fs
+	})
+	if c.NumNodes() != numNodes {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+	for i := 0; i < numNodes; i++ {
+		if c.NumCuts(i) != len(ref[i]) {
+			t.Fatalf("node %d: %d cuts, want %d", i, c.NumCuts(i), len(ref[i]))
+		}
+		for j := 0; j < c.NumCuts(i); j++ {
+			view := c.Leaves(i, j)
+			want := ref[i][j].Leaves
+			if len(view) != len(want) {
+				t.Fatalf("node %d cut %d: %v vs %v", i, j, view, want)
+			}
+			for x := range view {
+				if int(view[x]) != want[x] {
+					t.Fatalf("node %d cut %d: %v vs %v", i, j, view, want)
+				}
+			}
+		}
+	}
+}
+
+// Incremental extension must be equivalent to one-shot enumeration.
+func TestCacheIncrementalExtend(t *testing.T) {
+	const numNodes = 60
+	cl := chainClassifier(4)
+	whole := NewCache(4, 5)
+	whole.Extend(numNodes, cl)
+	inc := NewCache(4, 5)
+	for n := 10; n <= numNodes; n += 10 {
+		inc.Extend(n, cl)
+	}
+	if !cachesEqual(whole, inc) {
+		t.Fatal("incremental Extend differs from one-shot enumeration")
+	}
+}
+
+// Truncate must drop exactly the rolled-back suffix; re-extending restores
+// the identical state (the dirty-region invalidation rollback relies on).
+func TestCacheTruncateRestore(t *testing.T) {
+	const numNodes = 50
+	cl := chainClassifier(4)
+	c := NewCache(4, 5)
+	c.Extend(numNodes, cl)
+	ref := NewCache(4, 5)
+	ref.Extend(numNodes, cl)
+
+	c.Truncate(20)
+	if c.NumNodes() != 20 {
+		t.Fatalf("NumNodes after Truncate = %d", c.NumNodes())
+	}
+	// Truncating to a larger count is a no-op.
+	c.Truncate(500)
+	if c.NumNodes() != 20 {
+		t.Fatal("Truncate past end changed the cache")
+	}
+	c.Extend(numNodes, cl)
+	if !cachesEqual(c, ref) {
+		t.Fatal("Truncate + Extend differs from straight enumeration")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	cl := chainClassifier(3)
+	c := NewCache(3, 4)
+	c.Extend(30, cl)
+	c.Reset()
+	if c.NumNodes() != 0 {
+		t.Fatalf("NumNodes after Reset = %d", c.NumNodes())
+	}
+	c.Extend(30, cl)
+	ref := NewCache(3, 4)
+	ref.Extend(30, cl)
+	if !cachesEqual(c, ref) {
+		t.Fatal("Reset + Extend differs from fresh enumeration")
+	}
+}
+
+func cachesEqual(a, b *Cache) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.NumCuts(i) != b.NumCuts(i) {
+			return false
+		}
+		for j := 0; j < a.NumCuts(i); j++ {
+			av, bv := a.Leaves(i, j), b.Leaves(i, j)
+			if len(av) != len(bv) {
+				return false
+			}
+			for x := range av {
+				if av[x] != bv[x] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// The arena-backed path must dominance-filter: no cut may be a superset of
+// another cut of the same node.
+func TestCacheDominanceFiltered(t *testing.T) {
+	cl := chainClassifier(5)
+	c := NewCache(4, 16)
+	c.Extend(40, cl)
+	for i := 0; i < c.NumNodes(); i++ {
+		n := c.NumCuts(i)
+		// The trivial cut {i} is appended last and legitimately dominates
+		// nothing (no other cut contains i); check non-trivial pairs.
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				if x == y {
+					continue
+				}
+				a, b := c.Leaves(i, x), c.Leaves(i, y)
+				if len(a) == 1 && int(a[0]) == i {
+					continue
+				}
+				if subset(a, b) && len(a) < len(b) {
+					t.Fatalf("node %d: cut %v dominates kept cut %v", i, a, b)
+				}
+			}
+		}
+	}
+}

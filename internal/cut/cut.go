@@ -10,11 +10,7 @@
 // machinery.
 package cut
 
-import (
-	"sort"
-
-	"repro/internal/tt"
-)
+import "sort"
 
 // Cut is a sorted set of leaf node indices covering a cone rooted at a node.
 type Cut struct {
@@ -77,77 +73,42 @@ const (
 
 // Enumerate computes up to maxCuts k-feasible cuts per node, in topological
 // (index) order. classify reports each node's role and, for Gate nodes, its
-// fanin node indices. Gate nodes additionally receive the trivial cut
-// {node}, appended last. Standard bottom-up merge with dominance filtering;
-// when more than maxCuts survive, the smallest cuts are kept.
+// fanin node indices (at most three). Gate nodes additionally receive the
+// trivial cut {node}, appended last. Standard bottom-up merge with dominance
+// filtering; when more than maxCuts survive, the smallest cuts are kept.
+//
+// Enumerate is the compatibility entry point: it materializes a [][]Cut
+// forest from a throwaway Cache. Hot paths keep a Cache on the graph
+// instead (see mig.CutSet / aig.CutSet) and read arena views.
 func Enumerate(numNodes, k, maxCuts int, classify func(i int) (Role, []int)) [][]Cut {
+	c := NewCache(k, maxCuts)
+	c.Extend(numNodes, func(i int) (Role, [3]int32, int) {
+		role, fanins := classify(i)
+		if len(fanins) > 3 {
+			panic("cut: Enumerate supports at most 3 fanins per gate")
+		}
+		var f [3]int32
+		for j, x := range fanins {
+			f[j] = int32(x)
+		}
+		return role, f, len(fanins)
+	})
 	cuts := make([][]Cut, numNodes)
 	for i := 0; i < numNodes; i++ {
-		role, fanins := classify(i)
-		switch role {
-		case Leaf:
-			cuts[i] = []Cut{{Leaves: []int{i}}}
-		case Free:
-			cuts[i] = []Cut{{}}
-		case Gate:
-			var set []Cut
-			pick := make([]Cut, len(fanins))
-			var walk func(d int)
-			walk = func(d int) {
-				if d == len(fanins) {
-					mg, ok := Merge(k, pick...)
-					if !ok {
-						return
-					}
-					for _, e := range set {
-						if Dominates(e, mg) {
-							return
-						}
-					}
-					kept := set[:0]
-					for _, e := range set {
-						if !Dominates(mg, e) {
-							kept = append(kept, e)
-						}
-					}
-					set = append(kept, mg)
-					return
-				}
-				for _, c := range cuts[fanins[d]] {
-					pick[d] = c
-					walk(d + 1)
-				}
-			}
-			walk(0)
-			sort.Slice(set, func(x, y int) bool {
-				return len(set[x].Leaves) < len(set[y].Leaves)
-			})
-			if len(set) > maxCuts {
-				set = set[:maxCuts]
-			}
-			cuts[i] = append(set, Cut{Leaves: []int{i}})
+		n := c.NumCuts(i)
+		if n == 0 {
+			continue
 		}
+		set := make([]Cut, n)
+		for j := 0; j < n; j++ {
+			view := c.Leaves(i, j)
+			leaves := make([]int, len(view))
+			for x, l := range view {
+				leaves[x] = int(l)
+			}
+			set[j] = Cut{Leaves: leaves}
+		}
+		cuts[i] = set
 	}
 	return cuts
-}
-
-// Function computes the truth table of node root over the cut leaves, which
-// are bound to tt.Var(nvars, i) in cut order. combine computes the function
-// of any other node reached during the cone walk; it receives a resolver for
-// fanin node indices (memoized across the walk).
-func Function(root int, c Cut, nvars int, combine func(idx int, rec func(fanin int) tt.TT) tt.TT) tt.TT {
-	memo := make(map[int]tt.TT, 8)
-	for i, l := range c.Leaves {
-		memo[l] = tt.Var(nvars, i)
-	}
-	var rec func(idx int) tt.TT
-	rec = func(idx int) tt.TT {
-		if f, ok := memo[idx]; ok {
-			return f
-		}
-		f := combine(idx, rec)
-		memo[idx] = f
-		return f
-	}
-	return rec(root)
 }

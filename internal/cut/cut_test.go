@@ -97,20 +97,29 @@ func TestEnumerateMaxCuts(t *testing.T) {
 	}
 }
 
-func TestFunction(t *testing.T) {
+func TestFunctionDense(t *testing.T) {
 	cuts := Enumerate(5, 4, 8, classify)
 	and := func(idx int, rec func(int) tt.TT) tt.TT {
 		_, fanins := classify(idx)
 		return rec(fanins[0]).And(rec(fanins[1]))
 	}
+	var scr FuncScratch
 	for _, c := range cuts[4] {
 		if len(c.Leaves) != 2 {
 			continue
 		}
-		f := Function(4, c, 2, and)
-		// (a&b)&a == a&b over leaves {1,2}.
-		if !f.Equal(tt.Var(2, 0).And(tt.Var(2, 1))) {
-			t.Fatalf("cut function wrong: %s", f.Hex())
+		leaves := make([]int32, len(c.Leaves))
+		for i, l := range c.Leaves {
+			leaves[i] = int32(l)
+		}
+		// Twice through the same scratch: the epoch reset must isolate
+		// consecutive walks.
+		for rep := 0; rep < 2; rep++ {
+			f := FunctionDense(4, leaves, 2, &scr, and)
+			// (a&b)&a == a&b over leaves {1,2}.
+			if !f.Equal(tt.Var(2, 0).And(tt.Var(2, 1))) {
+				t.Fatalf("cut function wrong: %s", f.Hex())
+			}
 		}
 	}
 }

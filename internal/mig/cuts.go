@@ -9,32 +9,59 @@ import (
 // merge/dominance machinery is shared with the AIG in internal/cut.
 type Cut = cut.Cut
 
+// classifyCut adapts the node table to the cut enumerator.
+func (m *MIG) classifyCut(i int) (cut.Role, [3]int32, int) {
+	switch m.nodes[i].kind {
+	case kindConst:
+		return cut.Free, [3]int32{}, 0
+	case kindPI:
+		return cut.Leaf, [3]int32{}, 0
+	case kindMaj:
+		f := m.nodes[i].fanin
+		return cut.Gate, [3]int32{int32(f[0].Node()), int32(f[1].Node()), int32(f[2].Node())}, 3
+	}
+	return cut.Skip, [3]int32{}, 0
+}
+
+// CutSet returns the MIG's arena-backed cut cache for the given parameters,
+// enumerating only nodes appended since the previous call (the cache is
+// truncated on rollback, so the dirty region is always the tail). The
+// returned cache is owned by the MIG; its views are invalidated by Maj and
+// rollback.
+func (m *MIG) CutSet(k, maxCuts int) *cut.Cache {
+	if m.cutCache == nil || m.cutCache.K() != k || m.cutCache.MaxCuts() != maxCuts {
+		m.cutCache = cut.NewCache(k, maxCuts)
+	}
+	m.cutCache.Extend(len(m.nodes), m.classifyCut)
+	return m.cutCache
+}
+
+// InvalidateCuts drops the MIG's cut cache (benchmarks and callers that
+// want a cold enumeration).
+func (m *MIG) InvalidateCuts() { m.cutCache = nil }
+
 // EnumerateCuts computes up to maxCuts k-feasible cuts per node, plus the
-// trivial cut. The constant node contributes no leaves (its cut is empty),
-// so constant fanins do not consume cut capacity.
+// trivial cut, as a materialized forest (compatibility wrapper around
+// CutSet; hot paths read the cache directly). The constant node contributes
+// no leaves (its cut is empty), so constant fanins do not consume cut
+// capacity.
 func (m *MIG) EnumerateCuts(k, maxCuts int) [][]Cut {
 	return cut.Enumerate(len(m.nodes), k, maxCuts, func(i int) (cut.Role, []int) {
-		switch m.nodes[i].kind {
-		case kindConst:
-			return cut.Free, nil
-		case kindPI:
-			return cut.Leaf, nil
-		case kindMaj:
-			f := m.nodes[i].fanin
-			return cut.Gate, []int{f[0].Node(), f[1].Node(), f[2].Node()}
+		role, fanins, nf := m.classifyCut(i)
+		if nf == 0 {
+			return role, nil
 		}
-		return cut.Skip, nil
+		return role, []int{int(fanins[0]), int(fanins[1]), int(fanins[2])}[:nf]
 	})
 }
 
-// CutFunction computes the truth table of node root over the cut leaves.
-func (m *MIG) CutFunction(root int, c Cut) tt.TT {
-	n := len(c.Leaves)
-	return cut.Function(root, c, n, func(idx int, rec func(int) tt.TT) tt.TT {
+// combineTT evaluates one node during a cone walk.
+func (m *MIG) combineTT(nvars int) func(idx int, rec func(int) tt.TT) tt.TT {
+	return func(idx int, rec func(int) tt.TT) tt.TT {
 		nd := &m.nodes[idx]
 		if nd.kind != kindMaj {
 			// The constant node (kind const) outside the cut.
-			return tt.Const(n, false)
+			return tt.Const(nvars, false)
 		}
 		get := func(s Signal) tt.TT {
 			f := rec(s.Node())
@@ -44,5 +71,21 @@ func (m *MIG) CutFunction(root int, c Cut) tt.TT {
 			return f
 		}
 		return tt.Maj3(get(nd.fanin[0]), get(nd.fanin[1]), get(nd.fanin[2]))
-	})
+	}
+}
+
+// CutFunction computes the truth table of node root over the cut leaves.
+func (m *MIG) CutFunction(root int, c Cut) tt.TT {
+	leaves := make([]int32, len(c.Leaves))
+	for i, l := range c.Leaves {
+		leaves[i] = int32(l)
+	}
+	return m.cutFunc(root, leaves)
+}
+
+// cutFunc is CutFunction over an arena leaf view, memoized in the MIG's
+// reusable scratch.
+func (m *MIG) cutFunc(root int, leaves []int32) tt.TT {
+	n := len(leaves)
+	return cut.FunctionDense(root, leaves, n, &m.fscr, m.combineTT(n))
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cut"
+	"repro/internal/hashed"
 	"repro/internal/netlist"
 )
 
@@ -88,15 +90,30 @@ type MIG struct {
 	inputs  []int // node indices of PIs in declaration order
 	names   []string
 	Outputs []Output
-	strash  map[[3]Signal]int
+	// strash is the structural-hashing index: canonical fanin triple ->
+	// node index. Open addressing (internal/hashed) keeps the rewrite
+	// inner loop free of map allocations and makes Clone a flat copy.
+	strash hashed.Table3
+	// scr is reusable traversal scratch (epoch-stamped memos); see
+	// scratch.go. Never shared across goroutines.
+	scr scratch
+	// cutCache lazily holds the k-feasible cuts of this graph; it is
+	// extended incrementally as nodes are appended and truncated on
+	// rollback (see cuts.go).
+	cutCache *cut.Cache
+	// fscr memoizes cone truth-table walks (cuts.go); wscr is its
+	// word-level twin for cuts of at most six leaves (synth6.go).
+	fscr cut.FuncScratch
+	wscr wordScratch
+	// synthMemo is the reusable memo of SynthesizeTT (synth.go).
+	synthMemo ttMemo
 }
 
 // New returns an empty MIG containing only the constant node.
 func New(name string) *MIG {
 	return &MIG{
-		Name:   name,
-		nodes:  []node{{kind: kindConst}},
-		strash: make(map[[3]Signal]int),
+		Name:  name,
+		nodes: []node{{kind: kindConst}},
 	}
 }
 
@@ -204,9 +221,9 @@ func (m *MIG) Maj(a, b, c Signal) Signal {
 		a, b = b, a
 	}
 
-	key := [3]Signal{a, b, c}
-	if idx, ok := m.strash[key]; ok {
-		return MakeSignal(idx, outNeg)
+	key := [3]uint32{uint32(a), uint32(b), uint32(c)}
+	if idx, ok := m.strash.Get(key); ok {
+		return MakeSignal(int(idx), outNeg)
 	}
 	lv := m.nodes[a.Node()].level
 	if l := m.nodes[b.Node()].level; l > lv {
@@ -216,8 +233,8 @@ func (m *MIG) Maj(a, b, c Signal) Signal {
 		lv = l
 	}
 	idx := len(m.nodes)
-	m.nodes = append(m.nodes, node{fanin: key, level: lv + 1, kind: kindMaj})
-	m.strash[key] = idx
+	m.nodes = append(m.nodes, node{fanin: [3]Signal{a, b, c}, level: lv + 1, kind: kindMaj})
+	m.strash.Put(key, int32(idx))
 	return MakeSignal(idx, outNeg)
 }
 
@@ -255,8 +272,14 @@ func (m *MIG) majView(s Signal) (a, b, c Signal, ok bool) {
 
 // LiveMask marks nodes in the transitive fanin of the outputs.
 func (m *MIG) LiveMask() []bool {
-	live := make([]bool, len(m.nodes))
-	var stack []int
+	return m.liveInto(make([]bool, len(m.nodes)))
+}
+
+// liveInto fills live (length len(nodes), all false) with the live mask and
+// returns it; internal callers pass pooled slices.
+func (m *MIG) liveInto(live []bool) []bool {
+	sp := intSlab.Get().(*[]int)
+	stack := (*sp)[:0]
 	for _, o := range m.Outputs {
 		stack = append(stack, o.Sig.Node())
 	}
@@ -273,18 +296,23 @@ func (m *MIG) LiveMask() []bool {
 			}
 		}
 	}
+	*sp = stack
+	intSlab.Put(sp)
 	return live
 }
 
 // Size returns the number of live majority nodes (the paper's size metric).
 func (m *MIG) Size() int {
-	live := m.LiveMask()
+	lp := takeBools(len(m.nodes))
+	live := *lp
+	m.liveInto(live)
 	c := 0
 	for i, nd := range m.nodes {
 		if live[i] && nd.kind == kindMaj {
 			c++
 		}
 	}
+	releaseBools(lp)
 	return c
 }
 
@@ -345,20 +373,17 @@ func (m *MIG) OutputWords(inputs []uint64) []uint64 {
 	return out
 }
 
-// Clone returns a deep copy of the MIG.
+// Clone returns a deep copy of the MIG. The structural hash is cloned as a
+// flat slice copy; scratch memory and the cut cache are not carried over.
 func (m *MIG) Clone() *MIG {
-	c := &MIG{
+	return &MIG{
 		Name:    m.Name,
 		nodes:   append([]node(nil), m.nodes...),
 		inputs:  append([]int(nil), m.inputs...),
 		names:   append([]string(nil), m.names...),
 		Outputs: append([]Output(nil), m.Outputs...),
-		strash:  make(map[[3]Signal]int, len(m.strash)),
+		strash:  m.strash.Clone(),
 	}
-	for k, v := range m.strash {
-		c.strash[k] = v
-	}
-	return c
 }
 
 // Cleanup rebuilds the MIG dropping dead nodes. Returns the compacted MIG.
@@ -387,7 +412,9 @@ func (m *MIG) Cleanup() *MIG {
 // FanoutCounts returns, for every node, the number of live references to it
 // (from live majority nodes and primary outputs).
 func (m *MIG) FanoutCounts() []int {
-	live := m.LiveMask()
+	lp := takeBools(len(m.nodes))
+	live := m.liveInto(*lp)
+	defer releaseBools(lp)
 	refs := make([]int, len(m.nodes))
 	for i, nd := range m.nodes {
 		if !live[i] || nd.kind != kindMaj {

@@ -17,35 +17,68 @@ package mig
 // pass preserves functional equivalence (the rules are the paper's sound Ω/Ψ
 // transformations) — this is verified extensively in the tests.
 
-// candidate describes a probed local construction.
+// candidate describes a probed local construction. Instead of capturing a
+// rebuild closure (which escapes to the heap on every probe), a candidate
+// records its shape and parameter signals; buildCand re-materializes it.
+// This keeps the probing inner loop allocation-free.
 type candidate struct {
-	build func() Signal
-	added int
-	level int
+	shape  candShape
+	sig    [5]Signal
+	window int
+	added  int
+	level  int
 }
 
-// probe evaluates a construction without committing it.
-func probe(out *MIG, build func() Signal) candidate {
-	cp := out.checkpoint()
-	s := build()
-	c := candidate{
-		build: build,
-		added: len(out.nodes) - cp,
-		level: out.Level(s),
+// candShape enumerates the local construction templates of the Ω/Ψ passes.
+type candShape uint8
+
+const (
+	// shapeMaj: M(s0, s1, s2) — the default reconstruction.
+	shapeMaj candShape = iota
+	// shapeNested: M(s0, s1, M(s2, s3, s4)) — Ω.D R→L, Ω.A, Ψ.C.
+	shapeNested
+	// shapeDist: M(M(s0,s1,s2), M(s0,s1,s3), s4) — Ω.D L→R.
+	shapeDist
+	// shapeRelevance: M(s0, s1, s2[s0/s1']) — Ψ.R with the replacement
+	// cone bounded by window.
+	shapeRelevance
+)
+
+// buildCand constructs the candidate in the MIG and returns its signal.
+func (m *MIG) buildCand(c *candidate) Signal {
+	switch c.shape {
+	case shapeMaj:
+		return m.Maj(c.sig[0], c.sig[1], c.sig[2])
+	case shapeNested:
+		return m.Maj(c.sig[0], c.sig[1], m.Maj(c.sig[2], c.sig[3], c.sig[4]))
+	case shapeDist:
+		return m.Maj(m.Maj(c.sig[0], c.sig[1], c.sig[2]), m.Maj(c.sig[0], c.sig[1], c.sig[3]), c.sig[4])
+	case shapeRelevance:
+		nz := m.replaceInCone(c.sig[2], c.sig[0], c.sig[1].Not(), c.window)
+		return m.Maj(c.sig[0], c.sig[1], nz)
 	}
-	out.rollback(cp)
-	return c
+	panic("mig: unknown candidate shape")
+}
+
+// probeCand evaluates the candidate without committing it, filling in its
+// cost fields.
+func (m *MIG) probeCand(c *candidate) {
+	cp := m.checkpoint()
+	s := m.buildCand(c)
+	c.added = len(m.nodes) - cp
+	c.level = m.Level(s)
+	m.rollback(cp)
 }
 
 // better reports whether a beats b under (primary, secondary) ordering.
-func betterSize(a, b candidate) bool {
+func betterSize(a, b *candidate) bool {
 	if a.added != b.added {
 		return a.added < b.added
 	}
 	return a.level < b.level
 }
 
-func betterDepth(a, b candidate) bool {
+func betterDepth(a, b *candidate) bool {
 	if a.level != b.level {
 		return a.level < b.level
 	}
@@ -86,9 +119,10 @@ func (m *MIG) eliminate(window, depthBudget int) *MIG {
 		}
 	}
 	return m.rebuildWith(func(out *MIG, oldIdx int, a, b, c Signal) Signal {
-		def := probe(out, func() Signal { return out.Maj(a, b, c) })
+		def := candidate{shape: shapeMaj, sig: [5]Signal{a, b, c}}
+		out.probeCand(&def)
 		best := def
-		within := func(cand candidate) bool {
+		within := func(cand *candidate) bool {
 			return required == nil || cand.level <= required[oldIdx]
 		}
 
@@ -129,11 +163,10 @@ func (m *MIG) eliminate(window, depthBudget int) *MIG {
 					if !found {
 						continue
 					}
-					xx, yy, uu, vv, rr := x, y, u, v, r
-					cand := probe(out, func() Signal {
-						return out.Maj(xx, yy, out.Maj(uu, vv, rr))
-					})
-					if within(cand) && betterSize(cand, best) {
+					// M(x, y, M(u, v, r)).
+					cand := candidate{shape: shapeNested, sig: [5]Signal{x, y, u, v, r}}
+					out.probeCand(&cand)
+					if within(&cand) && betterSize(&cand, &best) {
 						best = cand
 					}
 				}
@@ -151,17 +184,14 @@ func (m *MIG) eliminate(window, depthBudget int) *MIG {
 				if !out.coneContains(z, x, window) {
 					continue
 				}
-				xx, yy, zz := x, y, z
-				cand := probe(out, func() Signal {
-					nz := out.replaceInCone(zz, xx, yy.Not(), window)
-					return out.Maj(xx, yy, nz)
-				})
-				if within(cand) && cand.added < def.added && betterSize(cand, best) {
+				cand := candidate{shape: shapeRelevance, sig: [5]Signal{x, y, z}, window: window}
+				out.probeCand(&cand)
+				if within(&cand) && cand.added < def.added && betterSize(&cand, &best) {
 					best = cand
 				}
 			}
 		}
-		return best.build()
+		return out.buildCand(&best)
 	})
 }
 
@@ -172,7 +202,8 @@ func (m *MIG) eliminate(window, depthBudget int) *MIG {
 func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 	crit := m.criticalMask()
 	return m.rebuildWith(func(out *MIG, oldIdx int, a, b, c Signal) Signal {
-		def := probe(out, func() Signal { return out.Maj(a, b, c) })
+		def := candidate{shape: shapeMaj, sig: [5]Signal{a, b, c}}
+		out.probeCand(&def)
 		best := def
 
 		fan := [3]Signal{a, b, c}
@@ -209,11 +240,10 @@ func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 						}
 						z := gf[zi]
 						y := gf[3-k-zi]
-						uu, xx, yy, zz := u, x, y, z
-						cand := probe(out, func() Signal {
-							return out.Maj(zz, uu, out.Maj(yy, uu, xx))
-						})
-						if betterDepth(cand, best) {
+						// M(z, u, M(y, u, x)).
+						cand := candidate{shape: shapeNested, sig: [5]Signal{z, u, y, u, x}}
+						out.probeCand(&cand)
+						if betterDepth(&cand, &best) {
 							best = cand
 						}
 					}
@@ -232,11 +262,10 @@ func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 					}
 					y := gf[(k+1)%3]
 					z := gf[(k+2)%3]
-					uu, xx, yy, zz := u, x, y, z
-					cand := probe(out, func() Signal {
-						return out.Maj(xx, uu, out.Maj(yy, xx, zz))
-					})
-					if betterDepth(cand, best) {
+					// M(x, u, M(y, x, z)).
+					cand := candidate{shape: shapeNested, sig: [5]Signal{x, u, y, x, z}}
+					out.probeCand(&cand)
+					if betterDepth(&cand, &best) {
 						best = cand
 					}
 					// Composed Ψ.C → Ω.A: after the exchange the top node is
@@ -245,11 +274,10 @@ func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 					// moves is what shortens g = x(y+uv) in the paper's
 					// Fig. 2(c) even though Ψ.C alone is depth-neutral.
 					for _, w := range [][2]Signal{{y, z}, {z, y}} {
-						w0, w1 := w[0], w[1]
-						cand2 := probe(out, func() Signal {
-							return out.Maj(w0, xx, out.Maj(w1, xx, uu))
-						})
-						if betterDepth(cand2, best) {
+						// M(w0, x, M(w1, x, u)).
+						cand2 := candidate{shape: shapeNested, sig: [5]Signal{w[0], x, w[1], x, u}}
+						out.probeCand(&cand2)
+						if betterDepth(&cand2, &best) {
 							best = cand2
 						}
 					}
@@ -271,17 +299,14 @@ func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 				z := gf[zi]
 				u := gf[(zi+1)%3]
 				v := gf[(zi+2)%3]
-				x, y := t1, t2
-				xx, yy, uu, vv, zz := x, y, u, v, z
-				cand := probe(out, func() Signal {
-					return out.Maj(out.Maj(xx, yy, uu), out.Maj(xx, yy, vv), zz)
-				})
-				if cand.level < def.level && betterDepth(cand, best) {
+				cand := candidate{shape: shapeDist, sig: [5]Signal{t1, t2, u, v, z}}
+				out.probeCand(&cand)
+				if cand.level < def.level && betterDepth(&cand, &best) {
 					best = cand
 				}
 			}
 		}
-		return best.build()
+		return out.buildCand(&best)
 	})
 }
 
@@ -290,26 +315,24 @@ func (m *MIG) PushUpPass(allowInflate bool) *MIG {
 // when aggressive, substitution Ψ.S on small output cones.
 func (m *MIG) ReshapePass(window int, aggressive bool) *MIG {
 	res := m.rebuildWith(func(out *MIG, oldIdx int, a, b, c Signal) Signal {
-		def := probe(out, func() Signal { return out.Maj(a, b, c) })
+		def := candidate{shape: shapeMaj, sig: [5]Signal{a, b, c}}
+		out.probeCand(&def)
 		best := def
 		for _, perm := range relevanceCandidates(a, b, c) {
 			x, y, z := perm[0], perm[1], perm[2]
 			if !out.coneContains(z, x, window) {
 				continue
 			}
-			xx, yy, zz := x, y, z
-			cand := probe(out, func() Signal {
-				nz := out.replaceInCone(zz, xx, yy.Not(), window)
-				return out.Maj(xx, yy, nz)
-			})
+			cand := candidate{shape: shapeRelevance, sig: [5]Signal{x, y, z}, window: window}
+			out.probeCand(&cand)
 			// Accept sharing-increasing or level-reducing exchanges.
 			if cand.added <= def.added && (cand.added < def.added || cand.level < def.level) {
-				if betterSize(cand, best) {
+				if betterSize(&cand, &best) {
 					best = cand
 				}
 			}
 		}
-		return best.build()
+		return out.buildCand(&best)
 	})
 	if !aggressive {
 		return res
@@ -460,13 +483,13 @@ func (m *MIG) ActivityPass(inputProbs []float64) *MIG {
 	// root's majority fanins (each node once).
 	localActivity := func(out *MIG, cp int, root Signal) float64 {
 		extend(out)
-		seen := map[int]bool{}
+		seen := out.scr.begin(len(out.nodes))
 		total := 0.0
 		add := func(idx int) {
-			if seen[idx] || out.nodes[idx].kind != kindMaj {
+			if seen.seen(idx) || out.nodes[idx].kind != kindMaj {
 				return
 			}
-			seen[idx] = true
+			seen.mark(idx)
 			p := probs[idx]
 			total += 2 * p * (1 - p)
 		}
@@ -482,21 +505,18 @@ func (m *MIG) ActivityPass(inputProbs []float64) *MIG {
 		return total
 	}
 	return m.rebuildWith(func(out *MIG, oldIdx int, a, b, c Signal) Signal {
-		type actCand struct {
-			build func() Signal
-			added int
-			act   float64
-		}
-		eval := func(build func() Signal) actCand {
+		evalAct := func(c *candidate) float64 {
 			cp := out.checkpoint()
-			s := build()
-			ac := actCand{build: build, added: len(out.nodes) - cp, act: localActivity(out, cp, s)}
+			s := out.buildCand(c)
+			c.added = len(out.nodes) - cp
+			act := localActivity(out, cp, s)
 			out.rollback(cp)
 			probs = probs[:len(out.nodes)]
-			return ac
+			return act
 		}
-		def := eval(func() Signal { return out.Maj(a, b, c) })
-		best := def
+		def := candidate{shape: shapeMaj, sig: [5]Signal{a, b, c}}
+		defAct := evalAct(&def)
+		best, bestAct := def, defAct
 		// The cone position of each relevance permutation, as an old fanin
 		// index (relevanceCandidates order: cone is c, c, b, b, a, a).
 		coneOldIdx := [6]int{2, 2, 1, 1, 0, 0}
@@ -513,16 +533,13 @@ func (m *MIG) ActivityPass(inputProbs []float64) *MIG {
 			if m.nodes[oldCone.Node()].kind == kindMaj && refs[oldCone.Node()] == 1 {
 				allow = 1
 			}
-			xx, yy, zz := x, y, z
-			cand := eval(func() Signal {
-				nz := out.replaceInCone(zz, xx, yy.Not(), 3)
-				return out.Maj(xx, yy, nz)
-			})
-			if cand.added <= def.added+allow && cand.act < best.act {
-				best = cand
+			cand := candidate{shape: shapeRelevance, sig: [5]Signal{x, y, z}, window: 3}
+			act := evalAct(&cand)
+			if cand.added <= def.added+allow && act < bestAct {
+				best, bestAct = cand, act
 			}
 		}
-		s := best.build()
+		s := out.buildCand(&best)
 		extend(out)
 		return s
 	})

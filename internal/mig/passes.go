@@ -8,6 +8,8 @@ package mig
 // other composition.
 
 import (
+	"fmt"
+
 	"repro/internal/opt"
 )
 
@@ -115,6 +117,15 @@ func passActivityRecover(inputProbs []float64) opt.Pass[*MIG] {
 
 func passCutRewrite() opt.Pass[*MIG] {
 	return opt.New("cut-rewrite", func(m *MIG) *MIG { return m.RewritePass().Cleanup() })
+}
+
+// passWindowRewrite is cut rewriting with candidate evaluation fanned out
+// over the process worker budget (opt.SetWorkers, wired to -jobs in the
+// CLIs). Deterministic: the result is byte-identical for any worker count.
+func passWindowRewrite(k, maxCuts int) opt.Pass[*MIG] {
+	return opt.New("window-rewrite", func(m *MIG) *MIG {
+		return m.WindowRewritePass(k, maxCuts, opt.Workers()).Cleanup()
+	})
 }
 
 // sizeBest is the Algorithm 1 cycle: eliminate–reshape–eliminate, iterated
@@ -276,6 +287,17 @@ func buildRegistry() *opt.Registry[*MIG] {
 				return nil, err
 			}
 			return passCutRewrite(), nil
+		})
+	r.Register("window-rewrite", "window-rewrite(k=4, cuts=5): cut rewriting with window-parallel candidate evaluation (workers = -jobs); byte-identical to serial",
+		func(args []int) (opt.Pass[*MIG], error) {
+			a, err := opt.IntArgsMin(args, 2, 4, 5)
+			if err != nil {
+				return nil, err
+			}
+			if a[0] > 6 {
+				return nil, fmt.Errorf("window-rewrite: cut size %d exceeds the word-level synthesis bound of 6", a[0])
+			}
+			return passWindowRewrite(a[0], a[1]), nil
 		})
 	return r
 }

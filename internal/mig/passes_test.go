@@ -137,6 +137,44 @@ func TestScriptedRunVerified(t *testing.T) {
 	}
 }
 
+// Window-parallel rewriting must be byte-identical to its serial run on
+// the whole MCNC suite, both as a bare pass and inside a scripted pipeline
+// under different worker budgets.
+func TestWindowRewriteParallelSerialIdentityMCNC(t *testing.T) {
+	for _, bench := range mcnc.Names() {
+		m := migFor(t, bench)
+		serial := m.Clone().WindowRewritePass(4, 5, 1)
+		parallel := m.Clone().WindowRewritePass(4, 5, 8)
+		if fingerprint(serial) != fingerprint(parallel) {
+			t.Errorf("%s: parallel window rewrite differs from serial", bench)
+		}
+	}
+}
+
+// The scripted form must equally be jobs-invariant: the same script under
+// worker budgets 1 and 6 yields identical graphs.
+func TestScriptedWindowRewriteJobsInvariant(t *testing.T) {
+	defer opt.SetWorkers(1)
+	script := "cleanup; window-rewrite; eliminate(3); window-rewrite(4, 8)"
+	results := map[int]string{}
+	for _, jobs := range []int{1, 6} {
+		opt.SetWorkers(jobs)
+		m := migFor(t, "dalu")
+		p, err := ParseScript(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := p.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[jobs] = fingerprint(res)
+	}
+	if results[1] != results[6] {
+		t.Fatal("scripted window rewrite depends on the worker budget")
+	}
+}
+
 // An unsound pass must be caught by the pipeline checker.
 func TestCheckerCatchesUnsoundPass(t *testing.T) {
 	m := migFor(t, "b9")

@@ -10,14 +10,23 @@ package mig
 func (m *MIG) checkpoint() int { return len(m.nodes) }
 
 // rollback removes all majority nodes created after the checkpoint,
-// including their structural-hash entries.
+// including their structural-hash entries. Deletion is value-guarded
+// (DeleteAbove): an entry is evicted only when it maps to a node at or past
+// the checkpoint, so a key that aliases a surviving node — possible if a
+// caller ever mutated fanins in place — can never leave the strash without
+// the survivor's entry. A dangling entry would let a later Maj call
+// "resurrect" a rolled-back node index; see TestRollbackNeverResurrects.
 func (m *MIG) rollback(cp int) {
 	for i := len(m.nodes) - 1; i >= cp; i-- {
 		if m.nodes[i].kind == kindMaj {
-			delete(m.strash, m.nodes[i].fanin)
+			f := m.nodes[i].fanin
+			m.strash.DeleteAbove([3]uint32{uint32(f[0]), uint32(f[1]), uint32(f[2])}, int32(cp))
 		}
 	}
 	m.nodes = m.nodes[:cp]
+	if m.cutCache != nil {
+		m.cutCache.Truncate(cp)
+	}
 }
 
 // rebuildFunc constructs (in out) the replacement for the old node oldIdx
@@ -25,14 +34,20 @@ func (m *MIG) rollback(cp int) {
 type rebuildFunc func(out *MIG, oldIdx int, a, b, c Signal) Signal
 
 // rebuildWith reconstructs the MIG through f. Dead nodes are skipped, so
-// every rebuild is also a cleanup.
+// every rebuild is also a cleanup. The remap and liveness scratch comes from
+// the shared slabs, so a rebuild allocates only the output graph itself.
 func (m *MIG) rebuildWith(f rebuildFunc) *MIG {
 	out := New(m.Name)
-	remap := make([]Signal, len(m.nodes))
+	out.strash.Reserve(len(m.nodes))
+	rp := takeSignals(len(m.nodes), 0)
+	remap := *rp
+	defer releaseSignals(rp)
+	lp := takeBools(len(m.nodes))
+	live := m.liveInto(*lp)
+	defer releaseBools(lp)
 	for idx, in := range m.inputs {
 		remap[in] = out.AddInput(m.names[idx])
 	}
-	live := m.LiveMask()
 	for i := range m.nodes {
 		nd := &m.nodes[i]
 		if !live[i] || nd.kind != kindMaj {
@@ -93,15 +108,15 @@ func (m *MIG) criticalMask() []bool {
 // any subset of occurrences preserves the function (see the tests).
 //
 // The rebuilt cone lives in the same MIG (self-rebuild), relying on
-// structural hashing for sharing. A per-call memo keeps the traversal linear
-// in the cone size; memoization across different residual depths can only
-// cause fewer occurrences to be replaced, which remains sound.
+// structural hashing for sharing. An epoch-stamped dense memo (the MIG's
+// scratch) keeps the traversal linear in the cone size without allocating;
+// memoization across different residual depths can only cause fewer
+// occurrences to be replaced, which remains sound.
 func (m *MIG) replaceInCone(root, from, to Signal, depth int) Signal {
-	memo := make(map[int]Signal)
-	return m.replaceRec(root, from, to, depth, memo)
+	return m.replaceRec(root, from, to, depth, m.scr.begin(len(m.nodes)))
 }
 
-func (m *MIG) replaceRec(root, from, to Signal, depth int, memo map[int]Signal) Signal {
+func (m *MIG) replaceRec(root, from, to Signal, depth int, memo *scratch) Signal {
 	if root == from {
 		return to
 	}
@@ -114,7 +129,7 @@ func (m *MIG) replaceRec(root, from, to Signal, depth int, memo map[int]Signal) 
 	// Replacement commutes with complementation (Ω.I), so memoize on the
 	// positive polarity only.
 	pos := MakeSignal(root.Node(), false)
-	if r, ok := memo[root.Node()]; ok {
+	if r, ok := memo.get(root.Node()); ok {
 		return r.NotIf(root.Neg())
 	}
 	a, b, c, ok := m.majView(pos)
@@ -130,23 +145,23 @@ func (m *MIG) replaceRec(root, from, to Signal, depth int, memo map[int]Signal) 
 	} else {
 		res = m.Maj(na, nb, nc)
 	}
-	memo[root.Node()] = res
+	memo.put(root.Node(), res)
 	return res.NotIf(root.Neg())
 }
 
 // coneContains reports whether the node of target appears in the transitive
 // fanin of root within the given majority depth.
 func (m *MIG) coneContains(root, target Signal, depth int) bool {
-	seen := make(map[int]bool)
+	seen := m.scr.begin(len(m.nodes))
 	var rec func(s Signal, d int) bool
 	rec = func(s Signal, d int) bool {
 		if s.Node() == target.Node() {
 			return true
 		}
-		if d == 0 || seen[s.Node()] {
+		if d == 0 || seen.seen(s.Node()) {
 			return false
 		}
-		seen[s.Node()] = true
+		seen.mark(s.Node())
 		a, b, c, ok := m.majView(s)
 		if !ok {
 			return false

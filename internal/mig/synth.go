@@ -19,29 +19,71 @@ import (
 	"repro/internal/tt"
 )
 
+// ttMemo memoizes synthesized sub-functions of one SynthesizeTT call. For
+// functions of up to six variables (every cut-rewriting call) the key is
+// the truth table's single word, so the memo is a reusable map[uint64]
+// cleared per call instead of a fresh map of hex-string keys; larger
+// functions fall back to the string form.
+type ttMemo struct {
+	small map[uint64]Signal
+	big   map[string]Signal
+}
+
+// reset prepares the memo for a function over n variables.
+func (t *ttMemo) reset(n int) {
+	if n <= 6 {
+		if t.small == nil {
+			t.small = make(map[uint64]Signal, 32)
+		} else {
+			clear(t.small)
+		}
+		return
+	}
+	if t.big == nil {
+		t.big = make(map[string]Signal, 32)
+	} else {
+		clear(t.big)
+	}
+}
+
+// get looks f up, in either polarity. Only the >6-variable recursion uses
+// it (synthRec); the word path reads the small map directly (synth6.go).
+func (t *ttMemo) get(f tt.TT) (Signal, bool) {
+	if s, ok := t.big[f.Hex()]; ok {
+		return s, true
+	}
+	if s, ok := t.big[f.Not().Hex()]; ok {
+		return s.Not(), true
+	}
+	return 0, false
+}
+
+// put memoizes the synthesized signal for f.
+func (t *ttMemo) put(f tt.TT, s Signal) { t.big[f.Hex()] = s }
+
 // SynthesizeTT builds f over the given leaf signals and returns the root.
+// Functions of up to six variables take the allocation-free word path
+// (synth6.go); larger functions use the generic truth-table recursion.
 func (m *MIG) SynthesizeTT(f tt.TT, leaves []Signal) Signal {
 	if f.NumVars() != len(leaves) {
 		panic("mig: SynthesizeTT leaf count mismatch")
 	}
-	memo := make(map[string]Signal)
-	return m.synthRec(f, leaves, memo)
+	if f.NumVars() <= 6 {
+		return m.synthW(f.Word(0), f.NumVars(), leaves)
+	}
+	m.synthMemo.reset(f.NumVars())
+	return m.synthRec(f, leaves, &m.synthMemo)
 }
 
-func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal {
+func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo *ttMemo) Signal {
 	if f.IsConst0() {
 		return Const0
 	}
 	if f.IsConst1() {
 		return Const1
 	}
-	key := f.Hex()
-	if s, ok := memo[key]; ok {
+	if s, ok := memo.get(f); ok {
 		return s
-	}
-	nk := f.Not().Hex()
-	if s, ok := memo[nk]; ok {
-		return s.Not()
 	}
 	n := f.NumVars()
 
@@ -51,10 +93,10 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 		v := support[0]
 		s := leaves[v]
 		if f.Equal(tt.Var(n, v)) {
-			memo[key] = s
+			memo.put(f, s)
 			return s
 		}
-		memo[key] = s.Not()
+		memo.put(f, s.Not())
 		return s.Not()
 	}
 
@@ -74,23 +116,23 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 				switch {
 				case f.Equal(la.And(lb)):
 					s := m.And(leaves[a].NotIf(pa), leaves[b].NotIf(pb))
-					memo[key] = s
+					memo.put(f, s)
 					return s
 				case f.Equal(la.Or(lb)):
 					s := m.Or(leaves[a].NotIf(pa), leaves[b].NotIf(pb))
-					memo[key] = s
+					memo.put(f, s)
 					return s
 				}
 			}
 		}
 		if f.Equal(va.Xor(vb)) {
 			s := m.Xor(leaves[a], leaves[b])
-			memo[key] = s
+			memo.put(f, s)
 			return s
 		}
 		if f.Equal(va.Xor(vb).Not()) {
 			s := m.Xor(leaves[a], leaves[b]).Not()
-			memo[key] = s
+			memo.put(f, s)
 			return s
 		}
 	}
@@ -119,7 +161,7 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 					leaves[b].NotIf(variant&2 != 0),
 					leaves[c].NotIf(variant&4 != 0),
 				).NotIf(variant&8 != 0)
-				memo[key] = s
+				memo.put(f, s)
 				return s
 			}
 		}
@@ -127,7 +169,7 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 		par := tt.Var(n, a).Xor(tt.Var(n, b)).Xor(tt.Var(n, c))
 		if f.Equal(par) || f.Equal(par.Not()) {
 			s := m.Xor(m.Xor(leaves[a], leaves[b]), leaves[c]).NotIf(f.Equal(par.Not()))
-			memo[key] = s
+			memo.put(f, s)
 			return s
 		}
 	}
@@ -163,7 +205,7 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 				h := m.synthRec(f1, leaves, memo)
 				s = m.Maj(leaves[v].Not(), g, h)
 			}
-			memo[key] = s
+			memo.put(f, s)
 			return s
 		}
 	}
@@ -184,24 +226,36 @@ func (m *MIG) synthRec(f tt.TT, leaves []Signal, memo map[string]Signal) Signal 
 	x := leaves[bestV]
 	// f = (x' + f1)(x + f0) = M(M(x', f1, 1), M(x, f0, 1), 0).
 	s := m.And(m.Or(x.Not(), g1), m.Or(x, g0))
-	memo[key] = s
+	memo.put(f, s)
 	return s
 }
+
+// badSignal marks unset slots of dense remap tables. It is no valid signal:
+// its node index exceeds any real graph.
+const badSignal = ^Signal(0)
 
 // RewritePass performs cut-based functional rewriting: each node's 4-input
 // cut functions are re-synthesized from their truth tables and the variant
 // creating the fewest new nodes (exploiting structural sharing) replaces
 // the node. This is the Boolean extension of the algebraic Alg. 1.
+//
+// The pass reads the MIG's cut cache and keeps all per-node state in dense
+// pooled slices; the only allocations are the output graph itself.
 func (m *MIG) RewritePass() *MIG {
-	cuts := m.EnumerateCuts(4, 5)
-	remap := make(map[int]Signal, len(m.nodes))
-	remap[0] = Const0
+	cuts := m.CutSet(4, 5)
 	out := New(m.Name)
+	out.strash.Reserve(len(m.nodes))
+	rp := takeSignals(len(m.nodes), badSignal)
+	remap := *rp
+	defer releaseSignals(rp)
+	remap[0] = Const0
 	for idx, in := range m.inputs {
-		s := out.AddInput(m.names[idx])
-		remap[in] = s
+		remap[in] = out.AddInput(m.names[idx])
 	}
-	live := m.LiveMask()
+	lp := takeBools(len(m.nodes))
+	live := m.liveInto(*lp)
+	defer releaseBools(lp)
+	var leafBuf, bestSigs []Signal
 	for i := range m.nodes {
 		nd := &m.nodes[i]
 		if !live[i] || nd.kind != kindMaj {
@@ -217,43 +271,44 @@ func (m *MIG) RewritePass() *MIG {
 		defLevel := out.Level(def)
 		out.rollback(cp)
 
-		type cand struct {
-			f    tt.TT
-			sigs []Signal
-			ok   bool
-		}
-		best := cand{}
+		var bestW uint64
+		bestN := 0
+		haveBest := false
 		bestAdded, bestLevel := defAdded, defLevel
-		for _, cut := range cuts[i] {
-			if len(cut.Leaves) < 2 || (len(cut.Leaves) == 1 && cut.Leaves[0] == i) {
+		for ci := 0; ci < cuts.NumCuts(i); ci++ {
+			leaves := cuts.Leaves(i, ci)
+			if len(leaves) < 2 {
 				continue
 			}
-			leafSigs := make([]Signal, len(cut.Leaves))
+			leafBuf = leafBuf[:0]
 			okAll := true
-			for k, l := range cut.Leaves {
-				s, found := remap[l]
-				if !found {
+			for _, l := range leaves {
+				s := remap[l]
+				if s == badSignal {
 					okAll = false
 					break
 				}
-				leafSigs[k] = s
+				leafBuf = append(leafBuf, s)
 			}
 			if !okAll {
 				continue
 			}
-			f := m.CutFunction(i, cut)
+			w := m.cutFuncW(i, leaves)
 			cp := out.checkpoint()
-			s := out.SynthesizeTT(f, leafSigs)
+			s := out.synthW(w, len(leafBuf), leafBuf)
 			added := len(out.nodes) - cp
 			level := out.Level(s)
 			out.rollback(cp)
 			if added < bestAdded || (added == bestAdded && level < bestLevel) {
-				best = cand{f: f, sigs: leafSigs, ok: true}
+				bestW = w
+				bestN = len(leafBuf)
+				bestSigs = append(bestSigs[:0], leafBuf...)
+				haveBest = true
 				bestAdded, bestLevel = added, level
 			}
 		}
-		if best.ok {
-			remap[i] = out.SynthesizeTT(best.f, best.sigs)
+		if haveBest {
+			remap[i] = out.synthW(bestW, bestN, bestSigs)
 		} else {
 			remap[i] = out.Maj(a, b, c)
 		}

@@ -1,0 +1,247 @@
+package mig
+
+// Window-parallel cut rewriting.
+//
+// RewritePass is inherently sequential: each node's candidates are probed
+// against the partially built output graph, so node n's decision depends on
+// every decision before it. WindowRewritePass restructures the pass into
+// two phases so the expensive part parallelizes:
+//
+//  1. Evaluation (parallel). The live nodes are partitioned into windows —
+//     maximal fanout-free cones (every node with a single live fanout
+//     belongs to the window of its unique parent; multi-fanout nodes and
+//     output drivers root their own window). Windows are distributed over a
+//     worker pool; each worker owns a private clone of the input graph and,
+//     per window, probes every cut candidate of every window node against
+//     that clone (checkpoint/commit inside the window, rollback at window
+//     end). A window's decisions therefore depend only on the input graph
+//     and the window's own earlier decisions — never on another window or
+//     on worker scheduling.
+//
+//  2. Commit (serial). A single topological rebuild replays the chosen
+//     candidate of every node with full structural hashing, exactly as a
+//     serial run of the same pass would. The output is byte-identical for
+//     every worker count, including 1.
+//
+// Quality differs slightly from RewritePass (candidates are costed against
+// the input graph plus window-local context instead of the partially built
+// output), but functional equivalence holds by the same argument: every
+// replacement realizes the node's cut function over equivalent leaf
+// signals.
+
+import (
+	"repro/internal/cut"
+	"repro/internal/opt"
+)
+
+// windowChoice records the evaluation result for one node: the cut index
+// that won (-1 keeps the default reconstruction) and the cut function.
+type windowChoice struct {
+	cutIdx int32
+	nvars  int32
+	w      uint64
+}
+
+// Windows partitions the live majority nodes into maximal fanout-free
+// cones, each in topological (index) order, ordered by first member. This
+// is the unit of work of the window-parallel passes.
+func (m *MIG) Windows() [][]int {
+	refs := m.FanoutCounts()
+	lp := takeBools(len(m.nodes))
+	live := m.liveInto(*lp)
+	defer releaseBools(lp)
+	return m.windows(live, refs)
+}
+
+func (m *MIG) windows(live []bool, refs []int) [][]int {
+	// wroot[i] is the root of i's window: nodes referenced once belong to
+	// their unique parent's window, so scanning parents in descending
+	// index order propagates roots down whole cones.
+	wrp := takeInts(len(m.nodes))
+	wroot := *wrp
+	defer releaseInts(wrp)
+	for i := range wroot {
+		wroot[i] = i
+	}
+	for i := len(m.nodes) - 1; i >= 0; i-- {
+		if !live[i] || m.nodes[i].kind != kindMaj {
+			continue
+		}
+		for _, f := range m.nodes[i].fanin {
+			fn := f.Node()
+			if live[fn] && m.nodes[fn].kind == kindMaj && refs[fn] == 1 {
+				wroot[fn] = wroot[i]
+			}
+		}
+	}
+	sp := takeInts(len(m.nodes))
+	slot := *sp
+	defer releaseInts(sp)
+	for i := range slot {
+		slot[i] = -1
+	}
+	var windows [][]int
+	for i := 0; i < len(m.nodes); i++ {
+		if !live[i] || m.nodes[i].kind != kindMaj {
+			continue
+		}
+		r := wroot[i]
+		if slot[r] < 0 {
+			slot[r] = len(windows)
+			windows = append(windows, nil)
+		}
+		windows[slot[r]] = append(windows[slot[r]], i)
+	}
+	return windows
+}
+
+// WindowRewritePass runs cut rewriting with candidate evaluation fanned out
+// over jobs workers. jobs <= 1 evaluates serially; the committed result is
+// byte-identical for every jobs value.
+func (m *MIG) WindowRewritePass(k, maxCuts, jobs int) *MIG {
+	cuts := m.CutSet(k, maxCuts)
+	refs := m.FanoutCounts()
+	lp := takeBools(len(m.nodes))
+	live := m.liveInto(*lp)
+	defer releaseBools(lp)
+	windows := m.windows(live, refs)
+
+	// Phase 1: evaluate windows on worker-private clones.
+	choices := make([]windowChoice, len(m.nodes))
+	if jobs > len(windows) {
+		jobs = len(windows)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	clones := make(chan *MIG, jobs)
+	for w := 0; w < jobs; w++ {
+		if w == 0 && jobs == 1 {
+			// A serial run can probe on m itself: every probe is rolled
+			// back, so the graph is unchanged on return.
+			clones <- m
+		} else {
+			clones <- m.Clone()
+		}
+	}
+	opt.ForEach(len(windows), jobs, func(wi int) {
+		cl := <-clones
+		cl.evalWindow(windows[wi], cuts, choices)
+		clones <- cl
+	})
+
+	// Phase 2: serial deterministic commit.
+	out := New(m.Name)
+	out.strash.Reserve(len(m.nodes))
+	rp := takeSignals(len(m.nodes), badSignal)
+	remap := *rp
+	defer releaseSignals(rp)
+	remap[0] = Const0
+	for idx, in := range m.inputs {
+		remap[in] = out.AddInput(m.names[idx])
+	}
+	var leafBuf []Signal
+	for i := range m.nodes {
+		nd := &m.nodes[i]
+		if !live[i] || nd.kind != kindMaj {
+			continue
+		}
+		ch := choices[i]
+		if ch.cutIdx >= 0 {
+			leaves := cuts.Leaves(i, int(ch.cutIdx))
+			leafBuf = leafBuf[:0]
+			ok := true
+			for _, l := range leaves {
+				s := remap[l]
+				if s == badSignal {
+					ok = false
+					break
+				}
+				leafBuf = append(leafBuf, s)
+			}
+			if ok {
+				remap[i] = out.synthW(ch.w, int(ch.nvars), leafBuf)
+				continue
+			}
+		}
+		a := remap[nd.fanin[0].Node()].NotIf(nd.fanin[0].Neg())
+		b := remap[nd.fanin[1].Node()].NotIf(nd.fanin[1].Neg())
+		c := remap[nd.fanin[2].Node()].NotIf(nd.fanin[2].Neg())
+		remap[i] = out.Maj(a, b, c)
+	}
+	for _, o := range m.Outputs {
+		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
+	}
+	return out
+}
+
+// evalWindow probes the cut candidates of every node of one window against
+// the worker's private clone cl and records the winning choices. cl is
+// rolled back to its entry state before returning, so the next window on
+// this worker sees the unmodified input graph. cuts is the (read-only) cut
+// cache of the original graph; node indices are identical in the clone.
+func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice) {
+	wcp := cl.checkpoint()
+	// Window-local remap: nodes of this window already rewritten, so later
+	// window nodes are costed against the structure they will actually
+	// have.
+	wp := takeSignals(len(cl.nodes), badSignal)
+	wremap := *wp
+	defer releaseSignals(wp)
+	remapped := func(s Signal) Signal {
+		if r := wremap[s.Node()]; r != badSignal {
+			return r.NotIf(s.Neg())
+		}
+		return s
+	}
+
+	var leafBuf, bestSigs []Signal
+	for _, i := range window {
+		a := remapped(cl.nodes[i].fanin[0])
+		b := remapped(cl.nodes[i].fanin[1])
+		c := remapped(cl.nodes[i].fanin[2])
+
+		cp := cl.checkpoint()
+		def := cl.Maj(a, b, c)
+		defAdded := len(cl.nodes) - cp
+		defLevel := cl.Level(def)
+		cl.rollback(cp)
+
+		choice := windowChoice{cutIdx: -1}
+		var bestW uint64
+		bestN := 0
+		haveBest := false
+		bestAdded, bestLevel := defAdded, defLevel
+		for ci := 0; ci < cuts.NumCuts(i); ci++ {
+			leaves := cuts.Leaves(i, ci)
+			if len(leaves) < 2 || len(leaves) > 6 {
+				continue
+			}
+			leafBuf = leafBuf[:0]
+			for _, l := range leaves {
+				leafBuf = append(leafBuf, remapped(MakeSignal(int(l), false)))
+			}
+			w := cl.cutFuncW(i, leaves)
+			cp := cl.checkpoint()
+			s := cl.synthW(w, len(leafBuf), leafBuf)
+			added := len(cl.nodes) - cp
+			level := cl.Level(s)
+			cl.rollback(cp)
+			if added < bestAdded || (added == bestAdded && level < bestLevel) {
+				bestW, bestN = w, len(leafBuf)
+				bestSigs = append(bestSigs[:0], leafBuf...)
+				choice = windowChoice{cutIdx: int32(ci), nvars: int32(len(leafBuf)), w: w}
+				haveBest = true
+				bestAdded, bestLevel = added, level
+			}
+		}
+		choices[i] = choice
+		// Commit the winner into the clone so later window nodes see it.
+		if haveBest {
+			wremap[i] = cl.synthW(bestW, bestN, bestSigs)
+		} else {
+			wremap[i] = cl.Maj(a, b, c)
+		}
+	}
+	cl.rollback(wcp)
+}

@@ -1,0 +1,69 @@
+package opt
+
+// Worker-pool plumbing for parallel-safe passes. The batch engine
+// (internal/synth) distributes whole circuits over workers; passes that
+// parallelize *inside* one graph (the MIG's window-parallel rewriting) need
+// the same machinery below the pipeline layer, so it lives here, free of
+// representation dependencies.
+//
+// The process-wide worker budget is configured once at startup by the CLIs
+// (migbench/mighty -jobs) and read by registered passes when a pipeline is
+// built or run. Parallel passes must stay deterministic: the worker count
+// may change how work is scheduled, never what is computed.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workerBudget is the process-wide degree of parallelism for parallel-safe
+// passes; 1 = serial.
+var workerBudget atomic.Int64
+
+// SetWorkers configures the worker budget for parallel-safe passes.
+// Values below 1 are clamped to 1 (serial).
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	workerBudget.Store(int64(n))
+}
+
+// Workers returns the configured worker budget (at least 1).
+func Workers() int {
+	if n := workerBudget.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// ForEach runs fn(0), ..., fn(n-1) on up to jobs workers; jobs <= 1 runs
+// serially on the calling goroutine. Work items are handed out through a
+// channel, so uneven item costs balance across workers.
+func ForEach(n, jobs int, fn func(i int)) {
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}

@@ -12,36 +12,13 @@ import (
 	"sync"
 
 	"repro/internal/netlist"
+	"repro/internal/opt"
 )
 
 // forEach runs fn(0..n-1) on up to jobs workers; jobs <= 1 runs serially.
-func forEach(n, jobs int, fn func(i int)) {
-	if jobs > n {
-		jobs = n
-	}
-	if jobs <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	work := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(jobs)
-	for w := 0; w < jobs; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-}
+// The pool implementation is shared with the parallel-safe passes in
+// internal/opt.
+func forEach(n, jobs int, fn func(i int)) { opt.ForEach(n, jobs, fn) }
 
 // parallel3 runs three independent measurements, concurrently when on is
 // true.

@@ -13,11 +13,12 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Effort    int  // MIG optimization effort (Alg. 1/2 cycles)
-	AIGRounds int  // resyn2 iterations
-	BDDLimit  int  // global BDD node budget before windowed fallback
-	Verify    bool // check functional equivalence of every optimized result
-	SimRounds int  // equivalence simulation rounds when verifying
+	Effort    int    // MIG optimization effort (Alg. 1/2 cycles)
+	AIGRounds int    // resyn2 iterations
+	BDDLimit  int    // global BDD node budget before windowed fallback
+	Verify    bool   // check functional equivalence of every optimized result
+	SimRounds int    // equivalence simulation rounds when verifying
+	MIGScript string // optional pass script replacing the canned MIG flow
 	Lib       *mapping.Library
 }
 
@@ -66,7 +67,7 @@ func runOptRow(n *netlist.Network, cfg Config, concurrent bool) OptRow {
 	var a *aig.AIG
 	var d *netlist.Network
 	parallel3(concurrent,
-		func() { m, row.MIG = MIGOptimize(n, cfg.Effort) },
+		func() { m, row.MIG = MIGOptimizeCfg(n, cfg) },
 		func() { a, row.AIG = AIGOptimize(n, cfg.AIGRounds) },
 		func() { d, row.BDS = BDSOptimize(n, cfg.BDDLimit) },
 	)

@@ -15,6 +15,8 @@
 package synth
 
 import (
+	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/aig"
@@ -64,6 +66,30 @@ func MIGOptimize(n *netlist.Network, effort int) (*mig.MIG, OptMetrics) {
 	start := time.Now()
 	res, _, err := MIGOptPipeline(effort).Run(mig.FromNetwork(n))
 	if err != nil {
+		return nil, OptMetrics{OK: false}
+	}
+	return res, metricsOf(res, start)
+}
+
+// MIGOptimizeCfg is MIGOptimize honoring cfg.MIGScript: when a pass script
+// is configured (migbench -mig-script) it replaces the canned §V.A flow, so
+// experimental pipelines — window-parallel rewriting in particular — can be
+// benchmarked through the standard experiment harness. A script failure is
+// reported on stderr (the row only carries OK=false) so a broken script is
+// diagnosable from the run log.
+func MIGOptimizeCfg(n *netlist.Network, cfg Config) (*mig.MIG, OptMetrics) {
+	if cfg.MIGScript == "" {
+		return MIGOptimize(n, cfg.Effort)
+	}
+	p, err := mig.ParseScript(cfg.MIGScript)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synth: %s: bad MIG script: %v\n", n.Name, err)
+		return nil, OptMetrics{OK: false}
+	}
+	start := time.Now()
+	res, _, err := p.Run(mig.FromNetwork(n))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synth: %s: MIG script failed: %v\n", n.Name, err)
 		return nil, OptMetrics{OK: false}
 	}
 	return res, metricsOf(res, start)

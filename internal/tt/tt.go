@@ -149,6 +149,11 @@ func (t TT) Words() []uint64 {
 	return w
 }
 
+// Word returns the i-th underlying word without copying. For tables of up
+// to six variables, Word(0) is the whole function and serves as a compact
+// memoization key.
+func (t TT) Word(i int) uint64 { return t.words[i] }
+
 // Bit reports the value of minterm m.
 func (t TT) Bit(m int) bool {
 	return t.words[m>>6]&(1<<(uint(m)&63)) != 0

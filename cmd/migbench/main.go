@@ -31,6 +31,15 @@
 //
 // which is how the window-parallel rewriting is exercised end to end; its
 // output is byte-identical for every -jobs value.
+//
+// -verify selects an equivalence engine (auto|exact|bdd|sim|sat) and checks
+// every optimized result against its input, exiting nonzero on any
+// mismatch — the SAT engine is exact at any circuit size, so
+//
+//	migbench -experiment table1top -mig-script "fraig" -verify=sat
+//
+// proves the SAT-sweeping pass sound over the whole suite. -fraig appends
+// the fraig pass to the canned MIG and AIG flows instead of replacing them.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/aig"
 	"repro/internal/mcnc"
 	"repro/internal/mig"
 	"repro/internal/netlist"
@@ -57,16 +67,33 @@ func main() {
 	experiment := flag.String("experiment", "all", "table1top|table1bottom|fig3|fig4|compress|summary|all")
 	effort := flag.Int("effort", 3, "MIG optimization effort (cycles)")
 	rounds := flag.Int("rounds", 2, "AIG resyn2 rounds")
-	verify := flag.Bool("verify", false, "verify functional equivalence of optimized results")
+	verify := flag.String("verify", "", "verify functional equivalence of optimized results with the given engine: auto|exact|bdd|sim|sat (empty/none = off); any failure exits nonzero")
+	fraig := flag.Bool("fraig", false, "append the SAT-sweeping fraig pass to the canned MIG and AIG flows")
 	only := flag.String("only", "", "comma-separated benchmark subset (default: all of Table I)")
 	compressWords := flag.Int("compress-words", 1200, "size parameter for the compression circuit")
-	migScript := flag.String("mig-script", "", "pass script replacing the canned MIG flow, e.g. \"cleanup; window-rewrite; eliminate\"")
+	migScript := flag.String("mig-script", "", "pass script replacing the canned MIG flow, e.g. \"cleanup; fraig; window-rewrite\"")
 	flag.Parse()
 
-	// Parallel-safe passes (window-rewrite) read the process worker budget.
+	// Parallel-safe passes (window-rewrite, fraig) read the process worker
+	// budget.
 	opt.SetWorkers(*jobs)
 
-	cfg := synth.Config{Effort: *effort, AIGRounds: *rounds, Verify: *verify, MIGScript: *migScript}
+	verifyEngine := ""
+	switch *verify {
+	case "", "none", "off", "false":
+	case "true": // legacy boolean spelling
+		verifyEngine = "auto"
+	case "auto", "exact", "bdd", "sim", "sat":
+		verifyEngine = *verify
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -verify engine %q (want auto, exact, bdd, sim, sat or none)\n", *verify)
+		os.Exit(2)
+	}
+	cfg := synth.Config{
+		Effort: *effort, AIGRounds: *rounds,
+		Verify: verifyEngine != "", VerifyEngine: verifyEngine,
+		MIGScript: *migScript, Fraig: *fraig,
+	}
 	cfg.Defaults()
 	if *migScript != "" {
 		if _, err := mig.ParseScript(*migScript); err != nil {
@@ -127,6 +154,16 @@ func benches(names []string) []*netlist.Network {
 
 func optRows(names []string, cfg synth.Config) []synth.OptRow {
 	rows := synth.RunOptRows(benches(names), cfg, *jobs)
+	failed := false
+	for _, r := range rows {
+		if r.VerifyErr != "" {
+			fmt.Fprintf(os.Stderr, "migbench: VERIFY FAILED %s: %s\n", r.Name, r.VerifyErr)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 	if *zeroTime {
 		synth.ZeroTimes(rows)
 	}
@@ -293,21 +330,38 @@ func runFig4(names []string, cfg synth.Config) {
 func runCompress(words int, cfg synth.Config) {
 	n := mcnc.Compress(words)
 	var mm, am synth.OptMetrics
+	var mg *mig.MIG
+	var ag *aig.AIG
 	rows := []synth.OptRow{{Name: n.Name, Inputs: n.NumInputs(), Outputs: n.NumOutputs()}}
 	if *jobs > 1 {
 		var wg sync.WaitGroup
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, am = synth.AIGOptimize(n, cfg.AIGRounds)
+			ag, am = synth.AIGOptimizeCfg(n, cfg)
 		}()
-		_, mm = synth.MIGOptimizeCfg(n, cfg)
+		mg, mm = synth.MIGOptimizeCfg(n, cfg)
 		wg.Wait()
 	} else {
-		_, mm = synth.MIGOptimizeCfg(n, cfg)
-		_, am = synth.AIGOptimize(n, cfg.AIGRounds)
+		mg, mm = synth.MIGOptimizeCfg(n, cfg)
+		ag, am = synth.AIGOptimizeCfg(n, cfg)
 	}
 	rows[0].MIG, rows[0].AIG = mm, am
+	if cfg.Verify {
+		var labels []string
+		var nets []*netlist.Network
+		if mm.OK {
+			labels, nets = append(labels, "mig"), append(nets, mg.ToNetwork())
+		}
+		if am.OK {
+			labels, nets = append(labels, "aig"), append(nets, ag.ToNetwork())
+		}
+		rows[0].VerifyErr = synth.VerifyNetworks(n, cfg, labels, nets)
+		if rows[0].VerifyErr != "" {
+			fmt.Fprintf(os.Stderr, "migbench: VERIFY FAILED %s: %s\n", n.Name, rows[0].VerifyErr)
+			os.Exit(1)
+		}
+	}
 	if *zeroTime {
 		synth.ZeroTimes(rows)
 		mm, am = rows[0].MIG, rows[0].AIG

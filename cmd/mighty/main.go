@@ -18,6 +18,11 @@
 // ';', '#' comments allowed). The per-pass trace (size/depth/activity
 // deltas and wall time) is printed to stderr; with -verify every pass is
 // additionally checked for functional equivalence against the input.
+//
+// The -verify flag selects the equivalence engine: auto (default; layers
+// exact -> BDD -> SAT -> simulation by circuit size), exact, bdd, sim, sat,
+// or none to skip verification. The SAT engine is exact at any size and
+// reports a concrete counterexample input assignment on mismatch.
 package main
 
 import (
@@ -42,11 +47,24 @@ func main() {
 	listPasses := flag.Bool("list-passes", false, "list the scriptable passes and exit")
 	effort := flag.Int("effort", 3, "optimization effort (cycles)")
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
-	verify := flag.Bool("verify", true, "verify functional equivalence after optimization")
-	jobs := flag.Int("jobs", 1, "worker budget for window-parallel passes (window-rewrite); results are identical for any value")
+	verify := flag.String("verify", "auto", "equivalence engine for verification: auto|exact|bdd|sim|sat, or none/off/false to skip")
+	jobs := flag.Int("jobs", 1, "worker budget for parallel passes (window-rewrite, fraig); results are identical for any value")
 	flag.Parse()
 
 	opt.SetWorkers(*jobs)
+
+	var verifyOn bool
+	var verifyOpts equiv.Options
+	switch *verify {
+	case "none", "off", "false", "":
+	case "auto", "true":
+		verifyOn = true
+	case "exact", "bdd", "sim", "sat":
+		verifyOn = true
+		verifyOpts.Engine = *verify
+	default:
+		fatal(fmt.Errorf("mighty: unknown -verify engine %q (want auto, exact, bdd, sim, sat or none)", *verify))
+	}
 
 	if *listPasses {
 		fmt.Print(mig.Passes().Help())
@@ -85,8 +103,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *verify {
-			pipe.Check = opt.EquivChecker(equiv.Options{})
+		if verifyOn {
+			pipe.Check = opt.EquivChecker(verifyOpts)
 		}
 		res, trace, err := pipe.Run(m)
 		fmt.Fprint(os.Stderr, trace.Format())
@@ -111,8 +129,8 @@ func main() {
 		}
 	}
 
-	if *verify && (*script != "" || *optFlag != "none") {
-		res, err := equiv.Check(n, optimized.ToNetwork(), equiv.Options{})
+	if verifyOn && (*script != "" || *optFlag != "none") {
+		res, err := equiv.Check(n, optimized.ToNetwork(), verifyOpts)
 		if err != nil {
 			fatal(err)
 		}

@@ -13,13 +13,14 @@
 // verification after every step.
 //
 //   - internal/mig registers eliminate, eliminate-budget, reshape-size,
-//     reshape-depth, pushup, activity, cut-rewrite and cleanup, and exposes
+//     reshape-depth, pushup, activity, cut-rewrite, fraig and cleanup, and
+//     exposes
 //     Algorithm 1 (SizePipeline), Algorithm 2 (DepthPipeline), the §V.A
 //     experimental flow (FlowPipeline), the §IV.C activity flow
 //     (ActivityPipeline) and the Boolean extension (BooleanSizePipeline)
 //     as canned pipelines; mig.Optimize and friends run them.
-//   - internal/aig registers balance, rewrite, refactor and cleanup, and
-//     exposes the resyn2 recipe as Resyn2Pipeline.
+//   - internal/aig registers balance, rewrite, refactor, fraig and cleanup,
+//     and exposes the resyn2 recipe as Resyn2Pipeline.
 //   - Textual pass scripts ("eliminate(8); reshape-depth; eliminate")
 //     compile to pipelines via opt.Parse; the mighty CLI exposes this
 //     through -script and -list-passes.
@@ -63,6 +64,35 @@
 // probes against a private clone), and commits the chosen rewrites in one
 // serial topological rebuild. Results are byte-identical for every worker
 // count; opt.SetWorkers (the CLIs' -jobs flag) sets the budget.
+//
+// # SAT subsystem
+//
+// internal/sat is a compact CDCL solver (two-watched-literal propagation,
+// first-UIP learning, VSIDS activities, Luby restarts, incremental solving
+// under assumptions with conflict budgets) plus Tseitin CNF encoders for
+// the netlist IR — the majority gate encodes as its six two-out-of-three
+// cover clauses. Three layers build on it:
+//
+//   - internal/equiv gained a fourth engine: a SAT miter strengthened by
+//     internal-point sweeping (shared random simulation proposes internal
+//     node pairs, each is proved with a small conflict budget and asserted
+//     as an equality clause), which decides arithmetic-circuit miters that
+//     are hopeless for a bare CDCL run. The auto layering is now
+//     exact -> BDD -> SAT -> simulation, so large-network equivalence is
+//     decided exactly where it used to be probabilistic; mismatches carry
+//     the failing input assignment in Result.Detail (the simulation engine
+//     reports counterexamples in the same format). Options.Engine and the
+//     CLIs' -verify flag force a specific engine.
+//   - The fraig passes (internal/mig, internal/aig) are simulation-guided
+//     SAT sweeping: candidate equivalence classes from random simulation,
+//     per-pair cone proofs fanned over opt.ForEach workers, refutation
+//     counterexamples refining the next round, and proven nodes merged
+//     through the dense-remap rebuild. Deterministic for any worker count
+//     and never size-increasing.
+//   - The solver itself is proven against brute-force enumeration on
+//     random CNFs (and continuously via FuzzSolver).
+//
+// See internal/sat/README.md for the architecture and encoding details.
 //
 // # Benchmark engine
 //

@@ -29,6 +29,15 @@ func passRefactor() opt.Pass[*AIG] {
 	return opt.New("refactor", func(a *AIG) *AIG { return a.Refactor().Cleanup() })
 }
 
+// passFraig is simulation-guided SAT sweeping (fraig.go), candidate pairs
+// fanned over the process worker budget; deterministic for any worker
+// count and never size-increasing.
+func passFraig(words, rounds, conflicts int) opt.Pass[*AIG] {
+	return opt.New("fraig", func(a *AIG) *AIG {
+		return a.FraigPass(words, rounds, int64(conflicts), opt.Workers())
+	})
+}
+
 // resyn2Best is one ABC-style resyn2 recipe iterated over rounds, best
 // result by (size, depth).
 func resyn2Best(rounds int) opt.Pass[*AIG] {
@@ -98,6 +107,14 @@ func buildRegistry() *opt.Registry[*AIG] {
 				return nil, err
 			}
 			return passRefactor(), nil
+		})
+	r.Register("fraig", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
+		func(args []int) (opt.Pass[*AIG], error) {
+			a, err := opt.IntArgsMin(args, 1, 4, 2, 2000)
+			if err != nil {
+				return nil, err
+			}
+			return passFraig(a[0], a[1], a[2]), nil
 		})
 	return r
 }

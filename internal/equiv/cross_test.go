@@ -1,0 +1,103 @@
+package equiv_test
+
+// Cross-engine property tests on the MCNC suite: the SAT engine must agree
+// with the exact/BDD engines on every circuit, both on equivalent pairs
+// (a circuit against its remajorized restructuring) and on deliberately
+// corrupted copies — and every SAT refutation must carry a genuine
+// counterexample.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/equiv"
+	"repro/internal/mcnc"
+	"repro/internal/netlist"
+)
+
+// reference decides the pair with the strongest classical engine that can
+// handle it: exact, then BDD; ok=false when neither can.
+func reference(t *testing.T, a, b *netlist.Network) (bool, bool) {
+	t.Helper()
+	if res, err := equiv.Check(a, b, equiv.Options{Engine: "exact"}); err == nil {
+		return res.Equivalent, true
+	}
+	if res, err := equiv.Check(a, b, equiv.Options{Engine: "bdd", BDDLimit: 1 << 20}); err == nil {
+		return res.Equivalent, true
+	}
+	return false, false
+}
+
+func checkCexDistinguishes(t *testing.T, name, detail string, a, b *netlist.Network) {
+	t.Helper()
+	idx := strings.Index(detail, "inputs=")
+	if idx < 0 {
+		t.Errorf("%s: SAT refutation without counterexample: %q", name, detail)
+		return
+	}
+	bits := detail[idx+len("inputs="):]
+	if len(bits) != a.NumInputs() {
+		t.Errorf("%s: counterexample has %d bits, want %d", name, len(bits), a.NumInputs())
+		return
+	}
+	words := make([]uint64, len(bits))
+	for i, c := range bits {
+		if c == '1' {
+			words[i] = 1
+		}
+	}
+	wa, wb := a.OutputWords(words), b.OutputWords(words)
+	for i := range wa {
+		if (wa[i]^wb[i])&1 != 0 {
+			return
+		}
+	}
+	t.Errorf("%s: counterexample does not distinguish the networks", name)
+}
+
+func TestSATAgreesWithClassicalEnginesMCNC(t *testing.T) {
+	for _, name := range mcnc.Names() {
+		n, err := mcnc.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if testing.Short() && n.NumGates() > 3000 {
+			continue
+		}
+		// The 8k-gate s38417 stand-in costs minutes under -race; the CI
+		// sat job sweeps it through the same engines end to end
+		// (migbench -mig-script "cleanup; fraig" -verify=sat).
+		if n.NumGates() > 5000 {
+			continue
+		}
+		// Equivalent pair: the circuit against its remajorized form.
+		variant := n.Remajorize()
+		res, err := equiv.Check(n, variant, equiv.Options{Engine: "sat"})
+		if err != nil {
+			t.Fatalf("%s: sat engine: %v", name, err)
+		}
+		if !res.Equivalent {
+			t.Errorf("%s: SAT refutes the remajorized circuit (%s)", name, res.Detail)
+		}
+		if ref, ok := reference(t, n, variant); ok && ref != res.Equivalent {
+			t.Errorf("%s: SAT=%v but exact/BDD=%v on the equivalent pair", name, res.Equivalent, ref)
+		}
+
+		// Corrupted copy: one output polarity flipped — functionally
+		// different by construction.
+		bad := n.Clean()
+		bad.Outputs[len(bad.Outputs)/2].Sig = bad.Outputs[len(bad.Outputs)/2].Sig.Not()
+		res, err = equiv.Check(n, bad, equiv.Options{Engine: "sat"})
+		if err != nil {
+			t.Fatalf("%s: sat engine on corrupted copy: %v", name, err)
+		}
+		if res.Equivalent {
+			t.Errorf("%s: SAT missed a flipped output", name)
+			continue
+		}
+		checkCexDistinguishes(t, name, res.Detail, n, bad)
+		if ref, ok := reference(t, n, bad); ok && ref != res.Equivalent {
+			t.Errorf("%s: SAT=%v but exact/BDD=%v on the corrupted pair", name, res.Equivalent, ref)
+		}
+	}
+}

@@ -1,20 +1,29 @@
 // Package equiv provides combinational equivalence checking between
 // netlists, used throughout the repository to validate that every
-// optimization pass preserves function. Three engines are layered by
+// optimization pass preserves function. Four engines are layered by
 // circuit size:
 //
 //   - exact truth-table comparison for networks with at most tt.MaxVars
 //     inputs,
-//   - BDD-based comparison for medium networks (canonical, complete), and
-//   - 64-way random simulation for anything larger (probabilistic).
+//   - BDD-based comparison for medium networks (canonical, complete),
+//   - SAT-based miter checking (internal/sat) for anything larger — exact,
+//     and producing a concrete counterexample on mismatch — and
+//   - 64-way random simulation (probabilistic), used only when the SAT
+//     conflict budget is exhausted or when forced via Options.Engine.
+//
+// Both the SAT and the simulation engine surface the failing input
+// assignment in Result.Detail when the networks differ.
 package equiv
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"strings"
 
 	"repro/internal/bdd"
 	"repro/internal/netlist"
+	"repro/internal/sat"
 	"repro/internal/sim"
 	"repro/internal/tt"
 )
@@ -26,6 +35,7 @@ type Method string
 const (
 	MethodExact Method = "exact"
 	MethodBDD   Method = "bdd"
+	MethodSAT   Method = "sat"
 	MethodSim   Method = "simulation"
 )
 
@@ -41,12 +51,21 @@ type Options struct {
 	// MaxExactInputs bounds the exhaustive engine (default 14).
 	MaxExactInputs int
 	// BDDLimit bounds BDD construction (default 200_000 nodes); on
-	// overflow the checker falls back to simulation.
+	// overflow the checker falls through to the SAT engine.
 	BDDLimit int
 	// SimRounds is the number of 64-pattern simulation rounds (default 256).
 	SimRounds int
 	// Seed for the simulation engine.
 	Seed int64
+	// Engine forces a specific engine: "exact", "bdd", "sim" or "sat"
+	// ("" or "auto" layers exact -> BDD -> SAT -> simulation). Forcing an
+	// engine that cannot decide the instance (exact over too many inputs,
+	// bdd over the node limit) returns an error instead of falling back.
+	Engine string
+	// SATConflicts bounds the SAT engine in auto mode before the check
+	// falls back to random simulation (default 300_000 conflicts). The
+	// forced "sat" engine ignores the budget and always decides exactly.
+	SATConflicts int64
 }
 
 func (o *Options) defaults() {
@@ -58,6 +77,9 @@ func (o *Options) defaults() {
 	}
 	if o.SimRounds == 0 {
 		o.SimRounds = 256
+	}
+	if o.SATConflicts == 0 {
+		o.SATConflicts = 300_000
 	}
 }
 
@@ -71,45 +93,159 @@ func Check(a, b *netlist.Network, opts Options) (Result, error) {
 	if a.NumOutputs() != b.NumOutputs() {
 		return Result{}, fmt.Errorf("equiv: output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
 	}
-	if a.NumInputs() <= opts.MaxExactInputs && a.NumInputs() <= tt.MaxVars {
-		ta, err := a.CollapseTT()
-		if err != nil {
-			return Result{}, err
+	switch opts.Engine {
+	case "", "auto":
+		if a.NumInputs() <= opts.MaxExactInputs && a.NumInputs() <= tt.MaxVars {
+			return checkExact(a, b)
 		}
-		tb, err := b.CollapseTT()
-		if err != nil {
-			return Result{}, err
+		if res, ok := checkBDD(a, b, opts.BDDLimit); ok {
+			return res, nil
 		}
-		for i := range ta {
-			if !ta[i].Equal(tb[i]) {
-				return Result{
-					Equivalent: false,
-					Method:     MethodExact,
-					Detail:     fmt.Sprintf("output %d (%s) differs", i, a.Outputs[i].Name),
-				}, nil
-			}
+		if res, ok := checkSAT(a, b, opts.SATConflicts); ok {
+			return res, nil
 		}
-		return Result{Equivalent: true, Method: MethodExact}, nil
-	}
-
-	// Try the BDD engine on medium circuits.
-	if res, ok := checkBDD(a, b, opts.BDDLimit); ok {
+		// SAT budget exhausted: probabilistic last resort.
+		return checkSim(a, b, opts), nil
+	case "exact":
+		if a.NumInputs() > tt.MaxVars {
+			return Result{}, fmt.Errorf("equiv: exact engine cannot handle %d inputs (max %d)", a.NumInputs(), tt.MaxVars)
+		}
+		return checkExact(a, b)
+	case "bdd":
+		res, ok := checkBDD(a, b, opts.BDDLimit)
+		if !ok {
+			return Result{}, fmt.Errorf("equiv: BDD engine exceeded the %d-node limit", opts.BDDLimit)
+		}
 		return res, nil
+	case "sat":
+		res, ok := checkSAT(a, b, 0) // unbounded: always decides
+		if !ok {
+			return Result{}, fmt.Errorf("equiv: SAT engine could not encode the networks")
+		}
+		return res, nil
+	case "sim":
+		return checkSim(a, b, opts), nil
 	}
+	return Result{}, fmt.Errorf("equiv: unknown engine %q (want auto, exact, bdd, sim or sat)", opts.Engine)
+}
 
-	// Fall back to random simulation.
+func checkExact(a, b *netlist.Network) (Result, error) {
+	ta, err := a.CollapseTT()
+	if err != nil {
+		return Result{}, err
+	}
+	tb, err := b.CollapseTT()
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range ta {
+		if !ta[i].Equal(tb[i]) {
+			return Result{
+				Equivalent: false,
+				Method:     MethodExact,
+				Detail:     fmt.Sprintf("output %d (%s) differs", i, a.Outputs[i].Name),
+			}, nil
+		}
+	}
+	return Result{Equivalent: true, Method: MethodExact}, nil
+}
+
+// checkSAT decides equivalence through a CNF miter (internal/sat). ok is
+// false only when the conflict budget ran out (never with budget 0).
+func checkSAT(a, b *netlist.Network, budget int64) (Result, bool) {
+	res, err := sat.Miter(a, b, budget)
+	if err != nil {
+		// Interface mismatches are caught above; an encoder error means an
+		// op the CNF layer cannot express, so let the caller fall back.
+		return Result{}, false
+	}
+	switch res.Status {
+	case sat.Unsat:
+		return Result{
+			Equivalent: true,
+			Method:     MethodSAT,
+			Detail:     fmt.Sprintf("miter UNSAT after %d conflicts", res.Conflicts),
+		}, true
+	case sat.Sat:
+		return Result{
+			Equivalent: false,
+			Method:     MethodSAT,
+			Detail:     cexDetail(a, b, res.Inputs),
+		}, true
+	}
+	return Result{}, false
+}
+
+func checkSim(a, b *netlist.Network, opts Options) Result {
 	r := rand.New(rand.NewSource(opts.Seed + 0x9E3779B9))
 	pats := sim.RandomPatterns(r, a.NumInputs(), opts.SimRounds)
 	sa := sim.Signature(a, pats)
 	sb := sim.Signature(b, pats)
 	if !sim.EqualSignatures(sa, sb) {
-		return Result{Equivalent: false, Method: MethodSim, Detail: "signatures differ"}, nil
+		return Result{
+			Equivalent: false,
+			Method:     MethodSim,
+			Detail:     simCexDetail(a, b, pats, sa, sb),
+		}
 	}
 	return Result{
 		Equivalent: true,
 		Method:     MethodSim,
 		Detail:     fmt.Sprintf("%d random patterns", opts.SimRounds*64),
-	}, nil
+	}
+}
+
+// simCexDetail extracts the first failing pattern from differing simulation
+// signatures and renders it in the same format as the SAT counterexamples.
+func simCexDetail(a, b *netlist.Network, pats sim.Patterns, sa, sb [][]uint64) string {
+	for r := range sa {
+		for o := range sa[r] {
+			d := sa[r][o] ^ sb[r][o]
+			if d == 0 {
+				continue
+			}
+			bit := uint(bits.TrailingZeros64(d))
+			inBits := make([]bool, a.NumInputs())
+			for i := range inBits {
+				inBits[i] = (pats[r][i]>>bit)&1 == 1
+			}
+			return cexDetail(a, b, inBits)
+		}
+	}
+	return "signatures differ"
+}
+
+// cexDetail renders a distinguishing input assignment, naming the first
+// output it flips. The bit string lists inputs in declaration order.
+func cexDetail(a, b *netlist.Network, inBits []bool) string {
+	words := make([]uint64, len(inBits))
+	for i, v := range inBits {
+		if v {
+			words[i] = 1
+		}
+	}
+	wa := a.OutputWords(words)
+	wb := b.OutputWords(words)
+	for i := range wa {
+		if (wa[i]^wb[i])&1 != 0 {
+			return fmt.Sprintf("output %d (%s) differs; counterexample inputs=%s",
+				i, a.Outputs[i].Name, bitString(inBits))
+		}
+	}
+	return "counterexample inputs=" + bitString(inBits)
+}
+
+func bitString(bits []bool) string {
+	var sb strings.Builder
+	sb.Grow(len(bits))
+	for _, v := range bits {
+		if v {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
 }
 
 func checkBDD(a, b *netlist.Network, limit int) (Result, bool) {

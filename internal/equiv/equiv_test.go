@@ -1,6 +1,7 @@
 package equiv
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/netlist"
@@ -109,32 +110,136 @@ func TestBDDEngineDifferent(t *testing.T) {
 	}
 }
 
-func TestSimulationFallback(t *testing.T) {
-	// Force simulation with a tiny BDD limit.
+// TestSATDefaultForLarge: with the BDD engine out of budget, the auto
+// layering must decide exactly through the SAT engine — where it used to
+// fall back to probabilistic simulation.
+func TestSATDefaultForLarge(t *testing.T) {
 	a := adder(16, "a")
 	b := adderExpanded(16)
-	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8, SimRounds: 64})
+	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Equivalent {
-		t.Errorf("simulation says different: %s", res.Detail)
+		t.Errorf("SAT says different: %s", res.Detail)
+	}
+	if res.Method != MethodSAT {
+		t.Errorf("method = %s, want sat", res.Method)
+	}
+}
+
+// verifyCex extracts the bit string from a Detail, evaluates both networks
+// on it and confirms it genuinely distinguishes them.
+func verifyCex(t *testing.T, detail string, a, b *netlist.Network) {
+	t.Helper()
+	idx := strings.Index(detail, "inputs=")
+	if idx < 0 {
+		t.Fatalf("Detail %q carries no counterexample", detail)
+	}
+	bits := detail[idx+len("inputs="):]
+	if len(bits) != a.NumInputs() {
+		t.Fatalf("counterexample has %d bits, want %d (%q)", len(bits), a.NumInputs(), detail)
+	}
+	words := make([]uint64, len(bits))
+	for i, c := range bits {
+		if c == '1' {
+			words[i] = 1
+		}
+	}
+	wa := a.OutputWords(words)
+	wb := b.OutputWords(words)
+	for i := range wa {
+		if (wa[i]^wb[i])&1 != 0 {
+			return
+		}
+	}
+	t.Fatalf("counterexample %q does not distinguish the networks", bits)
+}
+
+func TestSATCounterexample(t *testing.T) {
+	a := adder(16, "a")
+	b := adderExpanded(16)
+	b.Outputs[7].Sig = b.Outputs[7].Sig.Not()
+	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("SAT missed flipped output")
+	}
+	if res.Method != MethodSAT {
+		t.Fatalf("method = %s, want sat", res.Method)
+	}
+	verifyCex(t, res.Detail, a, b)
+}
+
+// The forced simulation engine must still work, and its mismatch Detail
+// must carry the failing input assignment in the SAT format.
+func TestForcedSimulationCounterexample(t *testing.T) {
+	a := adder(16, "a")
+	b := adderExpanded(16)
+	res, err := Check(a, b, Options{Engine: "sim", SimRounds: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent || res.Method != MethodSim {
+		t.Fatalf("forced sim on equivalent pair: %+v", res)
+	}
+	b.Outputs[7].Sig = b.Outputs[7].Sig.Not()
+	res, err = Check(a, b, Options{Engine: "sim", SimRounds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Equivalent {
+		t.Fatal("simulation missed flipped output")
+	}
+	verifyCex(t, res.Detail, a, b)
+}
+
+// Exhausting the SAT conflict budget in auto mode falls back to simulation
+// instead of hanging.
+func TestSATBudgetFallsBackToSim(t *testing.T) {
+	a := adder(16, "a")
+	b := adderExpanded(16)
+	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8, SATConflicts: 1, SimRounds: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("fallback says different: %s", res.Detail)
 	}
 	if res.Method != MethodSim {
 		t.Errorf("method = %s, want simulation", res.Method)
 	}
 }
 
-func TestSimulationCatchesDifference(t *testing.T) {
-	a := adder(16, "a")
-	b := adderExpanded(16)
-	b.Outputs[7].Sig = b.Outputs[7].Sig.Not()
-	res, err := Check(a, b, Options{MaxExactInputs: 8, BDDLimit: 8, SimRounds: 16})
-	if err != nil {
-		t.Fatal(err)
+// Forcing each engine by name must work on a pair both can decide, and an
+// unknown engine must error.
+func TestEngineForcing(t *testing.T) {
+	a := adder(4, "a")
+	b := adderExpanded(4)
+	for _, eng := range []string{"exact", "bdd", "sim", "sat"} {
+		res, err := Check(a, b, Options{Engine: eng})
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if !res.Equivalent {
+			t.Errorf("engine %s: not equivalent (%s)", eng, res.Detail)
+		}
+		if string(res.Method) != eng && !(eng == "sim" && res.Method == MethodSim) {
+			t.Errorf("engine %s decided via %s", eng, res.Method)
+		}
 	}
-	if res.Equivalent {
-		t.Error("simulation missed flipped output")
+	if _, err := Check(a, b, Options{Engine: "quantum"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	// Forced engines must refuse instances they cannot decide.
+	big := adder(17, "big") // 34 inputs > tt.MaxVars
+	if _, err := Check(big, adder(17, "b2"), Options{Engine: "exact"}); err == nil {
+		t.Error("exact engine accepted 34 inputs")
+	}
+	if _, err := Check(big, adder(17, "b2"), Options{Engine: "bdd", BDDLimit: 4}); err == nil {
+		t.Error("bdd engine accepted an instance over its node limit")
 	}
 }
 

@@ -128,6 +128,16 @@ func passWindowRewrite(k, maxCuts int) opt.Pass[*MIG] {
 	})
 }
 
+// passFraig is simulation-guided SAT sweeping (fraig.go) with candidate
+// pairs fanned over the process worker budget (opt.SetWorkers, wired to
+// -jobs in the CLIs). Deterministic for any worker count; never increases
+// size.
+func passFraig(words, rounds, conflicts int) opt.Pass[*MIG] {
+	return opt.New("fraig", func(m *MIG) *MIG {
+		return m.FraigPass(words, rounds, int64(conflicts), opt.Workers())
+	})
+}
+
 // sizeBest is the Algorithm 1 cycle: eliminate–reshape–eliminate, iterated
 // over the effort, alternating conservative and aggressive reshaping, best
 // result by (size, depth).
@@ -287,6 +297,14 @@ func buildRegistry() *opt.Registry[*MIG] {
 				return nil, err
 			}
 			return passCutRewrite(), nil
+		})
+	r.Register("fraig", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
+		func(args []int) (opt.Pass[*MIG], error) {
+			a, err := opt.IntArgsMin(args, 1, 4, 2, 2000)
+			if err != nil {
+				return nil, err
+			}
+			return passFraig(a[0], a[1], a[2]), nil
 		})
 	r.Register("window-rewrite", "window-rewrite(k=4, cuts=5): cut rewriting with window-parallel candidate evaluation (workers = -jobs); byte-identical to serial",
 		func(args []int) (opt.Pass[*MIG], error) {

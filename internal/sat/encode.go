@@ -1,0 +1,166 @@
+package sat
+
+// Tseitin CNF encodings of the logic gates used across the repository. Each
+// helper asserts out <-> gate(ins) as a set of clauses; outputs and inputs
+// are literals, so complemented edges (and NAND/NOR/XNOR flavours) encode by
+// negating the literal rather than by extra clauses.
+//
+// The majority gate is the paper's primitive; its six clauses are the
+// two-out-of-three covers:
+//
+//	out <-> MAJ(a, b, c):
+//	  (~a | ~b | out) (~a | ~c | out) (~b | ~c | out)
+//	  ( a |  b | ~out) ( a |  c | ~out) ( b |  c | ~out)
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// AddAndGate asserts out <-> AND(ins...).
+func (s *Solver) AddAndGate(out Lit, ins ...Lit) {
+	long := make([]Lit, 0, len(ins)+1)
+	for _, in := range ins {
+		s.AddClause(out.Not(), in)
+		long = append(long, in.Not())
+	}
+	s.AddClause(append(long, out)...)
+}
+
+// AddOrGate asserts out <-> OR(ins...).
+func (s *Solver) AddOrGate(out Lit, ins ...Lit) {
+	long := make([]Lit, 0, len(ins)+1)
+	for _, in := range ins {
+		s.AddClause(out, in.Not())
+		long = append(long, in)
+	}
+	s.AddClause(append(long, out.Not())...)
+}
+
+// AddXorGate asserts out <-> a XOR b.
+func (s *Solver) AddXorGate(out, a, b Lit) {
+	s.AddClause(out.Not(), a, b)
+	s.AddClause(out.Not(), a.Not(), b.Not())
+	s.AddClause(out, a.Not(), b)
+	s.AddClause(out, a, b.Not())
+}
+
+// AddMajGate asserts out <-> MAJ(a, b, c), the MIG node function.
+func (s *Solver) AddMajGate(out, a, b, c Lit) {
+	s.AddClause(a.Not(), b.Not(), out)
+	s.AddClause(a.Not(), c.Not(), out)
+	s.AddClause(b.Not(), c.Not(), out)
+	s.AddClause(a, b, out.Not())
+	s.AddClause(a, c, out.Not())
+	s.AddClause(b, c, out.Not())
+}
+
+// AddMuxGate asserts out <-> ITE(sel, hi, lo).
+func (s *Solver) AddMuxGate(out, sel, hi, lo Lit) {
+	s.AddClause(sel.Not(), hi.Not(), out)
+	s.AddClause(sel.Not(), hi, out.Not())
+	s.AddClause(sel, lo.Not(), out)
+	s.AddClause(sel, lo, out.Not())
+	// Redundant but propagation-strengthening: hi = lo forces out.
+	s.AddClause(hi.Not(), lo.Not(), out)
+	s.AddClause(hi, lo, out.Not())
+}
+
+// FalseLit allocates a fresh literal constrained to false.
+func (s *Solver) FalseLit() Lit {
+	v := s.NewVar()
+	s.AddClause(MkLit(v, true))
+	return MkLit(v, false)
+}
+
+// EncodeNetwork adds a Tseitin encoding of the network to the solver and
+// returns one literal per primary input (in declaration order) and one per
+// primary output. When inputs is non-nil its literals are used for the
+// primary inputs instead of fresh variables — that is how a miter shares
+// one input space between two networks. Inverters, buffers and complemented
+// edges are free (literal negation); every gate node costs one variable.
+func EncodeNetwork(s *Solver, n *netlist.Network, inputs []Lit) (in, out []Lit, err error) {
+	in, lits, err := encodeNodes(s, n, inputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	out = make([]Lit, len(n.Outputs))
+	for i, o := range n.Outputs {
+		out[i] = lits[o.Sig.Node()].NotIf(o.Sig.Neg())
+	}
+	return in, out, nil
+}
+
+// encodeNodes is EncodeNetwork returning the literal of every node (needed
+// by the miter sweep to name internal points).
+func encodeNodes(s *Solver, n *netlist.Network, inputs []Lit) (in, lits []Lit, err error) {
+	if inputs != nil && len(inputs) != n.NumInputs() {
+		return nil, nil, fmt.Errorf("sat: EncodeNetwork got %d input literals, want %d", len(inputs), n.NumInputs())
+	}
+	lits = make([]Lit, len(n.Nodes))
+	var constFalse Lit = LitUndef
+	falseLit := func() Lit {
+		if constFalse == LitUndef {
+			constFalse = s.FalseLit()
+		}
+		return constFalse
+	}
+	sig := func(x netlist.Signal) Lit { return lits[x.Node()].NotIf(x.Neg()) }
+	fresh := func() Lit { return MkLit(s.NewVar(), false) }
+
+	inIdx := 0
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case netlist.Const0:
+			lits[i] = falseLit()
+		case netlist.Input:
+			if inputs != nil {
+				lits[i] = inputs[inIdx]
+			} else {
+				lits[i] = fresh()
+			}
+			in = append(in, lits[i])
+			inIdx++
+		case netlist.Not:
+			lits[i] = sig(nd.Fanins[0]).Not()
+		case netlist.Buf:
+			lits[i] = sig(nd.Fanins[0])
+		case netlist.And, netlist.Nand:
+			o := fresh()
+			lits[i] = o.NotIf(nd.Op == netlist.Nand)
+			fs := make([]Lit, len(nd.Fanins))
+			for k, f := range nd.Fanins {
+				fs[k] = sig(f)
+			}
+			s.AddAndGate(o, fs...)
+		case netlist.Or, netlist.Nor:
+			o := fresh()
+			lits[i] = o.NotIf(nd.Op == netlist.Nor)
+			fs := make([]Lit, len(nd.Fanins))
+			for k, f := range nd.Fanins {
+				fs[k] = sig(f)
+			}
+			s.AddOrGate(o, fs...)
+		case netlist.Xor, netlist.Xnor:
+			cur := sig(nd.Fanins[0])
+			for _, f := range nd.Fanins[1:] {
+				o := fresh()
+				s.AddXorGate(o, cur, sig(f))
+				cur = o
+			}
+			lits[i] = cur.NotIf(nd.Op == netlist.Xnor)
+		case netlist.Maj:
+			o := fresh()
+			lits[i] = o
+			s.AddMajGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
+		case netlist.Mux:
+			o := fresh()
+			lits[i] = o
+			s.AddMuxGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
+		default:
+			return nil, nil, fmt.Errorf("sat: EncodeNetwork unsupported op %v", nd.Op)
+		}
+	}
+	return in, lits, nil
+}

@@ -1,0 +1,70 @@
+package sat
+
+import "testing"
+
+// FuzzSolver feeds byte-derived CNFs (at most 10 variables, so brute force
+// stays instant) through the solver and cross-checks the verdict against
+// exhaustive enumeration; Sat verdicts must come with genuine models. Run
+// with: go test -run Fuzz -fuzz=FuzzSolver -fuzztime=10s ./internal/sat
+func FuzzSolver(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 4, 9})
+	f.Add([]byte{0x10, 0xff, 0x07, 0x22, 0x31, 0x44, 0x05, 0x66})
+	f.Add([]byte{1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const nv = 10
+		// Decode: each byte is one literal (var = b%nv, sign = bit 7 of b);
+		// a zero byte terminates the current clause. At most 60 clauses.
+		var cnf [][]Lit
+		var cl []Lit
+		for _, b := range data {
+			if b == 0 {
+				if len(cl) > 0 {
+					cnf = append(cnf, cl)
+					cl = nil
+				}
+				continue
+			}
+			cl = append(cl, MkLit(Var(int(b&0x7f)%nv), b&0x80 != 0))
+			if len(cl) == 5 {
+				cnf = append(cnf, cl)
+				cl = nil
+			}
+		}
+		if len(cl) > 0 {
+			cnf = append(cnf, cl)
+		}
+		if len(cnf) == 0 || len(cnf) > 60 {
+			return
+		}
+		want, _ := bruteForce(nv, cnf)
+		s := solverFor(nv, cnf)
+		if s == nil {
+			if want {
+				t.Fatal("AddClause proved UNSAT on a satisfiable instance")
+			}
+			return
+		}
+		got := s.Solve()
+		if got == Unknown {
+			t.Fatal("Unknown without a conflict budget")
+		}
+		if (got == Sat) != want {
+			t.Fatalf("solver=%v brute=%v on %v", got, want, cnf)
+		}
+		if got == Sat {
+			checkModel(t, s, cnf)
+		}
+		// The incremental contract: the solved instance accepts more
+		// clauses and stays correct.
+		if got == Sat {
+			extra := []Lit{MkLit(0, true), MkLit(1, false)}
+			cnf = append(cnf, extra)
+			want2, _ := bruteForce(nv, cnf)
+			ok := s.AddClause(extra...)
+			got2 := ok && s.Solve() == Sat
+			if got2 != want2 {
+				t.Fatalf("incremental: solver=%v brute=%v", got2, want2)
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package sat
+
+// Miter-based combinational equivalence checking: the two networks are
+// encoded over one shared input space, each output pair feeds an XOR
+// difference literal, and the disjunction of the differences is asserted.
+// UNSAT proves equivalence; a model is a concrete distinguishing input
+// assignment.
+//
+// A bare miter is hopeless on arithmetic circuits (the C6288 effect: the
+// solver has to re-derive every internal correspondence from scratch), so
+// Miter strengthens the CNF by SAT sweeping first — the classic CEC
+// recipe: shared random simulation proposes internal node pairs that look
+// equivalent, each candidate is proved or refuted bottom-up under a small
+// per-query conflict budget, refutation counterexamples refine the
+// remaining candidates, and every proven pair is asserted as an equality
+// clause. After the sweep the output miter is usually trivial, because the
+// corresponding internal points of the two networks are already known
+// equal.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/sweep"
+)
+
+// MiterResult is the outcome of a miter check.
+type MiterResult struct {
+	// Status: Unsat = equivalent, Sat = differ, Unknown = conflict budget
+	// exhausted before a verdict.
+	Status Status
+	// Inputs is the distinguishing input assignment (declaration order)
+	// when Status is Sat.
+	Inputs []bool
+	// Conflicts is the number of conflicts the check needed.
+	Conflicts int64
+	// ProvedPairs counts internal equivalences the sweep asserted.
+	ProvedPairs int
+}
+
+// Sweep tuning knobs.
+const (
+	sweepWords       = 8    // 64-bit simulation words seeding the candidates
+	sweepQueryBudget = 2000 // conflicts per internal candidate query
+	sweepMaxCex      = 2048 // refutation patterns folded back into the signatures
+)
+
+// Miter decides whether two networks with matching interfaces are
+// functionally equivalent. Inputs are matched positionally. maxConflicts
+// bounds the whole check — internal sweep plus the final output-miter
+// solve share the budget, so a small budget means a fast Unknown (0 =
+// unlimited, always exact; the sweep stays per-query bounded either way).
+func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
+	if a.NumInputs() != b.NumInputs() {
+		return MiterResult{}, fmt.Errorf("sat: miter input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
+	}
+	if a.NumOutputs() != b.NumOutputs() {
+		return MiterResult{}, fmt.Errorf("sat: miter output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
+	}
+	s := NewSolver()
+	ins, litsA, err := encodeNodes(s, a, nil)
+	if err != nil {
+		return MiterResult{}, err
+	}
+	_, litsB, err := encodeNodes(s, b, ins)
+	if err != nil {
+		return MiterResult{}, err
+	}
+	outLit := func(n *netlist.Network, lits []Lit, i int) Lit {
+		o := n.Outputs[i].Sig
+		return lits[o.Node()].NotIf(o.Neg())
+	}
+
+	proved := sweepInternalPairs(s, a, b, ins, litsA, litsB, maxConflicts)
+
+	var diffs []Lit
+	for i := range a.Outputs {
+		oa, ob := outLit(a, litsA, i), outLit(b, litsB, i)
+		if oa == ob {
+			continue // structurally identical output
+		}
+		d := MkLit(s.NewVar(), false)
+		s.AddXorGate(d, oa, ob)
+		diffs = append(diffs, d)
+	}
+	if len(diffs) == 0 {
+		return MiterResult{Status: Unsat, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+	}
+	if !s.AddClause(diffs...) {
+		// The difference disjunction is already contradicted at level 0:
+		// every output pair is forced equal.
+		return MiterResult{Status: Unsat, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+	}
+	if maxConflicts > 0 {
+		remaining := maxConflicts - s.Conflicts()
+		if remaining <= 0 {
+			return MiterResult{Status: Unknown, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+		}
+		s.MaxConflicts = remaining
+	} else {
+		s.MaxConflicts = 0
+	}
+	res := MiterResult{Status: s.Solve(), Conflicts: s.Conflicts(), ProvedPairs: proved}
+	if res.Status == Sat {
+		res.Inputs = make([]bool, len(ins))
+		for i, l := range ins {
+			res.Inputs[i] = s.ValueLit(l)
+		}
+	}
+	return res, nil
+}
+
+// sweepInternalPairs runs simulation-guided SAT sweeping over the two
+// encoded networks, asserting proven internal equivalences as equality
+// clauses in s. Deterministic: fixed simulation seed, candidates processed
+// in b's topological order. maxTotal (0 = unlimited) caps the aggregate
+// conflicts the sweep may spend, so callers with a small overall budget
+// are not stalled by a long candidate list. Returns the number of proven
+// pairs.
+func sweepInternalPairs(s *Solver, a, b *netlist.Network, ins []Lit, litsA, litsB []Lit, maxTotal int64) int {
+	r := rand.New(rand.NewSource(0x5A753EED))
+	nin := a.NumInputs()
+	sigA := make([][]uint64, 0, sweepWords+1)
+	sigB := make([][]uint64, 0, sweepWords+1)
+	for w := 0; w < sweepWords; w++ {
+		row := make([]uint64, nin)
+		for i := range row {
+			row[i] = r.Uint64()
+		}
+		sigA = append(sigA, a.EvalWord(row))
+		sigB = append(sigB, b.EvalWord(row))
+	}
+
+	isGate := func(n *netlist.Network, i int) bool {
+		switch n.Nodes[i].Op {
+		case netlist.Const0, netlist.Input, netlist.Buf, netlist.Not:
+			return false
+		}
+		return true
+	}
+	// Index a's gate nodes by canonical signature (sweep.Canon folds the
+	// complement relation into the phase). Only the seed words key the
+	// index; refinement words added later are checked by refuted below.
+	type ref struct {
+		node  int
+		phase bool
+	}
+	keyBuf := make([]byte, 0, 8*sweepWords)
+	index := make(map[string]ref)
+	for i := range a.Nodes {
+		if !isGate(a, i) {
+			continue
+		}
+		k, neg := sweep.Canon(sigA, sweepWords, i, keyBuf)
+		if _, dup := index[k]; !dup {
+			index[k] = ref{node: i, phase: neg}
+		}
+	}
+
+	proved, cexes := 0, 0
+	for j := range b.Nodes {
+		if maxTotal > 0 && s.Conflicts() >= maxTotal {
+			break
+		}
+		if !isGate(b, j) {
+			continue
+		}
+		k, negB := sweep.Canon(sigB, sweepWords, j, keyBuf)
+		ra, ok := index[k]
+		if !ok {
+			continue
+		}
+		phase := ra.phase != negB // b_j == a_i XOR phase on the seed words
+		la := litsA[ra.node]
+		lb := litsB[j].NotIf(phase)
+		if la == lb || la == lb.Not() {
+			continue // already structurally decided
+		}
+		// Refutation words accumulated since the index was built may
+		// already distinguish the pair.
+		if refuted(sigA, sigB, ra.node, j, phase) {
+			continue
+		}
+		d := MkLit(s.NewVar(), false)
+		s.AddXorGate(d, la, lb)
+		s.MaxConflicts = sweepQueryBudget
+		if maxTotal > 0 {
+			if remaining := maxTotal - s.Conflicts(); remaining < sweepQueryBudget {
+				s.MaxConflicts = remaining
+			}
+		}
+		switch s.Solve(d) {
+		case Unsat:
+			// Proven: with d <-> (la XOR lb), the unit ¬d asserts the
+			// equality permanently, strengthening every later query and
+			// the final output miter.
+			s.AddClause(d.Not())
+			proved++
+		case Sat:
+			// Refuted: d stays free (its definition clauses are inert).
+			// Fold the counterexample back into the signatures so later
+			// candidates inherit the refinement.
+			if cexes < sweepMaxCex {
+				row := make([]uint64, nin)
+				for i, l := range ins {
+					if s.ValueLit(l) {
+						row[i] = ^uint64(0)
+					}
+				}
+				sigA = append(sigA, a.EvalWord(row))
+				sigB = append(sigB, b.EvalWord(row))
+				cexes++
+			}
+		}
+	}
+	s.MaxConflicts = 0
+	return proved
+}
+
+// refuted reports whether any refinement word distinguishes the pair.
+func refuted(sigA, sigB [][]uint64, i, j int, phase bool) bool {
+	for w := sweepWords; w < len(sigA); w++ {
+		va, vb := sigA[w][i], sigB[w][j]
+		if phase {
+			vb = ^vb
+		}
+		if va != vb {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,629 @@
+package sat
+
+import "sort"
+
+// lbool values: +1 true, -1 false, 0 unassigned.
+const (
+	lTrue  int8 = 1
+	lFalse int8 = -1
+	lUndef int8 = 0
+)
+
+// clause is one problem or learnt clause. Watched literals are lits[0] and
+// lits[1]; for reason clauses the propagated literal is lits[0].
+type clause struct {
+	lits   []Lit
+	act    float64
+	learnt bool
+	del    bool
+}
+
+// watcher is one entry of a watch list: the clause reference plus a blocker
+// literal whose satisfaction lets propagation skip the clause without
+// touching its memory.
+type watcher struct {
+	ref     int32
+	blocker Lit
+}
+
+// Solver is an incremental CDCL SAT solver.
+type Solver struct {
+	// MaxConflicts bounds one Solve call: when more conflicts occur the
+	// call returns Unknown. 0 means unlimited.
+	MaxConflicts int64
+
+	ok bool // false once the clause set is unsatisfiable at level 0
+
+	db      []clause
+	watches [][]watcher // indexed by Lit
+
+	assigns  []int8  // per var
+	vlevel   []int32 // per var: decision level of the assignment
+	reason   []int32 // per var: clause ref that propagated it, -1 = decision
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	polarity []bool // phase saving: last assigned value
+	heap     []Var  // max-heap on activity (ties: lower var first)
+	heapIdx  []int32
+
+	claInc      float64
+	learnts     int
+	maxLearnts  int
+	seen        []bool
+	toClear     []Var
+	model       []int8
+	conflicts   int64
+	propagation int64
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{ok: true, varInc: 1, claInc: 1}
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of live problem clauses plus learnt clauses.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for i := range s.db {
+		if !s.db[i].del {
+			n++
+		}
+	}
+	return n
+}
+
+// Conflicts returns the total conflicts over the solver's lifetime.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// NewVar creates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.vlevel = append(s.vlevel, 0)
+	s.reason = append(s.reason, -1)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, false)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heapIdx = append(s.heapIdx, -1)
+	s.heapInsert(v)
+	return v
+}
+
+func (s *Solver) litValue(l Lit) int8 {
+	v := s.assigns[l.Var()]
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over existing variables. It returns false when the
+// clause set has become unsatisfiable at level 0 (and the solver is dead).
+// Adding clauses between Solve calls is allowed (incremental interface).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+	// Sort, dedupe, drop level-0-false literals, detect tautologies and
+	// level-0-satisfied clauses.
+	ls := append(make([]Lit, 0, len(lits)), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	j := 0
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		switch {
+		case l == prev || s.litValue(l) == lFalse:
+			continue
+		case l == prev.Not() || s.litValue(l) == lTrue:
+			return true // tautology or already satisfied at level 0
+		}
+		ls[j] = l
+		prev = l
+		j++
+	}
+	ls = ls[:j]
+	switch len(ls) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(ls[0], -1)
+		if s.propagate() >= 0 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attach(s.pushClause(ls, false))
+	return true
+}
+
+func (s *Solver) pushClause(ls []Lit, learnt bool) int32 {
+	ref := int32(len(s.db))
+	s.db = append(s.db, clause{lits: ls, learnt: learnt})
+	if learnt {
+		s.learnts++
+	}
+	return ref
+}
+
+func (s *Solver) attach(ref int32) {
+	c := &s.db[ref]
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{ref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{ref, c.lits[0]})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.vlevel[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the pending trail. It returns the
+// reference of a conflicting clause, or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propagation++
+		ws := s.watches[p]
+		i, j := 0, 0
+		for i < len(ws) {
+			w := ws[i]
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				i++
+				j++
+				continue
+			}
+			c := &s.db[w.ref]
+			i++
+			// Ensure the falsified watched literal is lits[1].
+			falseLit := p.Not()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{w.ref, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.ref, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.ref, first}
+			j++
+			if s.litValue(first) == lFalse {
+				// Conflict: keep the remaining watchers and bail out.
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.ref
+			}
+			s.uncheckedEnqueue(first, w.ref)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return -1
+}
+
+// analyze derives the first-UIP learnt clause from a conflict and returns it
+// together with the backtrack level. learnt[0] is the asserting literal.
+func (s *Solver) analyze(confl int32) ([]Lit, int) {
+	learnt := []Lit{LitUndef}
+	counter := 0
+	p := LitUndef
+	idx := len(s.trail) - 1
+	for {
+		c := &s.db[confl]
+		if c.learnt {
+			s.claBump(c)
+		}
+		start := 0
+		if p != LitUndef {
+			start = 1 // lits[0] is p itself for reason clauses
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if !s.seen[v] && s.vlevel[v] > 0 {
+				s.seen[v] = true
+				s.toClear = append(s.toClear, v)
+				s.varBump(v)
+				if int(s.vlevel[v]) >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Basic minimization: drop literals whose reason clause is entirely
+	// covered by the remaining learnt literals.
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		keep := r < 0
+		if !keep {
+			for _, q := range s.db[r].lits[1:] {
+				if !s.seen[q.Var()] && s.vlevel[q.Var()] > 0 {
+					keep = true
+					break
+				}
+			}
+		}
+		if keep {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+
+	// Backtrack level: highest level among learnt[1:]; move that literal to
+	// position 1 so it is watched.
+	bt := 0
+	if len(learnt) > 1 {
+		mi := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.vlevel[learnt[i].Var()] > s.vlevel[learnt[mi].Var()] {
+				mi = i
+			}
+		}
+		learnt[1], learnt[mi] = learnt[mi], learnt[1]
+		bt = int(s.vlevel[learnt[1].Var()])
+	}
+	return learnt, bt
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = -1
+		s.heapInsert(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = lim
+}
+
+// Solve decides satisfiability of the clause set under the given assumption
+// literals. It returns Sat (model available through Value), Unsat, or
+// Unknown when MaxConflicts is exhausted. The solver remains usable after
+// any verdict: more variables and clauses may be added and Solve called
+// again (learnt clauses are kept).
+func (s *Solver) Solve(assumps ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.model = nil
+	if s.propagate() >= 0 {
+		s.ok = false
+		return Unsat
+	}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = len(s.db)/3 + 1000
+	}
+	budget := int64(-1)
+	if s.MaxConflicts > 0 {
+		budget = s.conflicts + s.MaxConflicts
+	}
+	restarts := int64(0)
+	restartLimit := s.conflicts + 64*luby(restarts)
+
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, bt := s.analyze(confl)
+			s.cancelUntil(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				ref := s.pushClause(learnt, true)
+				s.claBump(&s.db[ref])
+				s.attach(ref)
+				s.uncheckedEnqueue(learnt[0], ref)
+			}
+			s.varDecay()
+			s.claDecay()
+			continue
+		}
+
+		if budget >= 0 && s.conflicts >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if s.conflicts >= restartLimit {
+			restarts++
+			restartLimit = s.conflicts + 64*luby(restarts)
+			s.cancelUntil(0)
+			continue
+		}
+		if s.learnts >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		// Next decision: pending assumptions first.
+		next := LitUndef
+		for s.decisionLevel() < len(assumps) {
+			p := assumps[s.decisionLevel()]
+			switch s.litValue(p) {
+			case lTrue:
+				// Already satisfied: open a dummy level so the indexing
+				// assumption-per-level stays aligned.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// Conflicts with the current assignment: unsatisfiable
+				// under the assumptions (the clause set itself may still
+				// be satisfiable).
+				s.cancelUntil(0)
+				return Unsat
+			}
+			next = p
+			break
+		}
+		if next == LitUndef {
+			for {
+				v, ok := s.heapPop()
+				if !ok {
+					// Full assignment: satisfiable.
+					s.model = append([]int8(nil), s.assigns...)
+					s.cancelUntil(0)
+					return Sat
+				}
+				if s.assigns[v] == lUndef {
+					next = MkLit(v, !s.polarity[v])
+					break
+				}
+			}
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, -1)
+	}
+}
+
+// Value returns the model value of v after a Sat verdict. Unconstrained
+// variables read false.
+func (s *Solver) Value(v Var) bool {
+	if s.model == nil || int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+// ValueLit returns the model value of a literal after a Sat verdict.
+func (s *Solver) ValueLit(l Lit) bool {
+	return s.Value(l.Var()) != l.Sign()
+}
+
+// --- activities ---
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapIdx[v] >= 0 {
+		s.heapUp(int(s.heapIdx[v]))
+	}
+}
+
+func (s *Solver) varDecay() { s.varInc *= 1 / 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e100 {
+		for i := range s.db {
+			s.db[i].act *= 1e-100
+		}
+		s.claInc *= 1e-100
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc *= 1 / 0.999 }
+
+// --- learnt-clause database reduction ---
+
+// locked reports whether the clause is the reason of its first literal's
+// assignment (such clauses must survive reduction).
+func (s *Solver) locked(ref int32) bool {
+	c := &s.db[ref]
+	v := c.lits[0].Var()
+	return s.assigns[v] != lUndef && s.reason[v] == ref && s.litValue(c.lits[0]) == lTrue
+}
+
+// reduceDB removes roughly half of the learnt clauses, lowest activity
+// first (binary and locked clauses are kept), then compacts the database.
+func (s *Solver) reduceDB() {
+	var cand []int32
+	for i := range s.db {
+		c := &s.db[i]
+		if c.learnt && !c.del && len(c.lits) > 2 && !s.locked(int32(i)) {
+			cand = append(cand, int32(i))
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return s.db[cand[i]].act < s.db[cand[j]].act })
+	for _, ref := range cand[:len(cand)/2] {
+		s.db[ref].del = true
+		s.learnts--
+	}
+	s.maxLearnts += s.maxLearnts / 2
+	s.compact()
+}
+
+// compact drops deleted clauses, remapping reasons and rebuilding the watch
+// lists.
+func (s *Solver) compact() {
+	remap := make([]int32, len(s.db))
+	j := 0
+	for i := range s.db {
+		if s.db[i].del {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = int32(j)
+		s.db[j] = s.db[i]
+		j++
+	}
+	s.db = s.db[:j]
+	for v := range s.reason {
+		if r := s.reason[v]; r >= 0 {
+			s.reason[v] = remap[r]
+		}
+	}
+	for l := range s.watches {
+		s.watches[l] = s.watches[l][:0]
+	}
+	for i := range s.db {
+		s.attach(int32(i))
+	}
+}
+
+// --- order heap (max-heap on activity, ties broken toward lower vars) ---
+
+func (s *Solver) heapLess(a, b Var) bool {
+	return s.activity[a] > s.activity[b] || (s.activity[a] == s.activity[b] && a < b)
+}
+
+func (s *Solver) heapInsert(v Var) {
+	if s.heapIdx[v] >= 0 {
+		return
+	}
+	s.heapIdx[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *Solver) heapPop() (Var, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	v := s.heap[0]
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	s.heapIdx[v] = -1
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapIdx[last] = 0
+		s.heapDown(0)
+	}
+	return v, true
+}
+
+func (s *Solver) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heapIdx[s.heap[i]] = int32(i)
+		i = p
+	}
+	s.heap[i] = v
+	s.heapIdx[v] = int32(i)
+}
+
+func (s *Solver) heapDown(i int) {
+	v := s.heap[i]
+	for {
+		c := 2*i + 1
+		if c >= len(s.heap) {
+			break
+		}
+		if c+1 < len(s.heap) && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapIdx[s.heap[i]] = int32(i)
+		i = c
+	}
+	s.heap[i] = v
+	s.heapIdx[v] = int32(i)
+}
+
+// luby returns the i-th element of the Luby restart sequence
+// (1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...).
+func luby(i int64) int64 {
+	size, seq := int64(1), 0
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	return 1 << seq
+}

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRowsPacksCexPatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cexes := [][]bool{
+		{true, false, true},
+		{false, true, true},
+	}
+	rows := Rows(3, 2, r.Uint64, cexes)
+	if len(rows) != 3 { // 1 cex word + 2 random words
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for j, cex := range cexes {
+		for i, v := range cex {
+			got := rows[0][i]>>uint(j)&1 == 1
+			if got != v {
+				t.Errorf("cex %d input %d: packed %v, want %v", j, i, got, v)
+			}
+		}
+	}
+	// 65 patterns must spill into a second leading word.
+	many := make([][]bool, 65)
+	for i := range many {
+		many[i] = []bool{i%2 == 0}
+	}
+	rows = Rows(1, 1, r.Uint64, many)
+	if len(rows) != 3 {
+		t.Fatalf("65 cexes: got %d rows, want 3", len(rows))
+	}
+	if rows[1][0]&1 != 1 { // pattern 64 (even index) lands in word 1 bit 0
+		t.Error("pattern 64 not packed into the second word")
+	}
+}
+
+func TestPairsClassification(t *testing.T) {
+	// Five nodes: 0 and 2 equal, 3 is their complement, 1 and 4 unrelated.
+	sig := [][]uint64{
+		{0xF0F0, 0x1234, 0xF0F0, ^uint64(0xF0F0), 0xAAAA},
+		{0x00FF, 0x5678, 0x00FF, ^uint64(0x00FF), 0xBBBB},
+	}
+	all := func(int) bool { return true }
+	// Node 0 not mergeable (an "input"): it must become the representative.
+	mergeable := func(i int) bool { return i != 0 }
+	pairs := Pairs(sig, 5, all, mergeable)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %+v", len(pairs), pairs)
+	}
+	if pairs[0] != (Pair{Repr: 0, Member: 2, Phase: false}) {
+		t.Errorf("pair 0 = %+v, want {0 2 false}", pairs[0])
+	}
+	if pairs[1] != (Pair{Repr: 0, Member: 3, Phase: true}) {
+		t.Errorf("pair 1 = %+v, want {0 3 true}", pairs[1])
+	}
+	// Exclusion: dropping node 0 makes node 2 the representative.
+	pairs = Pairs(sig, 5, func(i int) bool { return i != 0 }, mergeable)
+	if len(pairs) != 1 || pairs[0] != (Pair{Repr: 2, Member: 3, Phase: true}) {
+		t.Errorf("pairs without node 0 = %+v, want [{2 3 true}]", pairs)
+	}
+}

@@ -13,13 +13,18 @@ import (
 
 // Config controls an experiment run.
 type Config struct {
-	Effort    int    // MIG optimization effort (Alg. 1/2 cycles)
-	AIGRounds int    // resyn2 iterations
-	BDDLimit  int    // global BDD node budget before windowed fallback
-	Verify    bool   // check functional equivalence of every optimized result
-	SimRounds int    // equivalence simulation rounds when verifying
-	MIGScript string // optional pass script replacing the canned MIG flow
-	Lib       *mapping.Library
+	Effort    int  // MIG optimization effort (Alg. 1/2 cycles)
+	AIGRounds int  // resyn2 iterations
+	BDDLimit  int  // global BDD node budget before windowed fallback
+	Verify    bool // check functional equivalence of every optimized result
+	// VerifyEngine selects the equivalence engine when verifying:
+	// auto (default), exact, bdd, sim or sat (see equiv.Options.Engine).
+	VerifyEngine string
+	SimRounds    int    // equivalence simulation rounds when verifying
+	MIGScript    string // optional pass script replacing the canned MIG flow
+	// Fraig appends the SAT-sweeping pass to the canned MIG and AIG flows.
+	Fraig bool
+	Lib   *mapping.Library
 }
 
 // Defaults fills zero fields.
@@ -68,33 +73,45 @@ func runOptRow(n *netlist.Network, cfg Config, concurrent bool) OptRow {
 	var d *netlist.Network
 	parallel3(concurrent,
 		func() { m, row.MIG = MIGOptimizeCfg(n, cfg) },
-		func() { a, row.AIG = AIGOptimize(n, cfg.AIGRounds) },
+		func() { a, row.AIG = AIGOptimizeCfg(n, cfg) },
 		func() { d, row.BDS = BDSOptimize(n, cfg.BDDLimit) },
 	)
 
 	if cfg.Verify {
-		opts := equiv.Options{SimRounds: cfg.SimRounds}
-		check := func(label string, got *netlist.Network) {
-			res, err := equiv.Check(n, got, opts)
-			if err != nil {
-				row.VerifyErr += fmt.Sprintf("%s: %v; ", label, err)
-				return
-			}
-			if !res.Equivalent {
-				row.VerifyErr += fmt.Sprintf("%s NOT equivalent (%s); ", label, res.Detail)
-			}
-		}
+		var labels []string
+		var nets []*netlist.Network
 		if row.MIG.OK {
-			check("mig", m.ToNetwork())
+			labels, nets = append(labels, "mig"), append(nets, m.ToNetwork())
 		}
 		if row.AIG.OK {
-			check("aig", a.ToNetwork())
+			labels, nets = append(labels, "aig"), append(nets, a.ToNetwork())
 		}
 		if row.BDS.OK {
-			check("bds", d)
+			labels, nets = append(labels, "bds"), append(nets, d)
 		}
+		row.VerifyErr = VerifyNetworks(n, cfg, labels, nets)
 	}
 	return row
+}
+
+// VerifyNetworks checks each labeled result against the reference network
+// with cfg's verification engine, returning the accumulated failure
+// description ("" = all equivalent). Shared by the batch rows and the
+// migbench compress experiment.
+func VerifyNetworks(n *netlist.Network, cfg Config, labels []string, nets []*netlist.Network) string {
+	opts := equiv.Options{SimRounds: cfg.SimRounds, Engine: cfg.VerifyEngine}
+	msg := ""
+	for i, got := range nets {
+		res, err := equiv.Check(n, got, opts)
+		if err != nil {
+			msg += fmt.Sprintf("%s: %v; ", labels[i], err)
+			continue
+		}
+		if !res.Equivalent {
+			msg += fmt.Sprintf("%s NOT equivalent (%s); ", labels[i], res.Detail)
+		}
+	}
+	return msg
 }
 
 // SynthRow is one benchmark's Table I-bottom measurement.

@@ -71,20 +71,27 @@ func MIGOptimize(n *netlist.Network, effort int) (*mig.MIG, OptMetrics) {
 	return res, metricsOf(res, start)
 }
 
-// MIGOptimizeCfg is MIGOptimize honoring cfg.MIGScript: when a pass script
-// is configured (migbench -mig-script) it replaces the canned §V.A flow, so
-// experimental pipelines — window-parallel rewriting in particular — can be
-// benchmarked through the standard experiment harness. A script failure is
-// reported on stderr (the row only carries OK=false) so a broken script is
-// diagnosable from the run log.
+// MIGOptimizeCfg is MIGOptimize honoring cfg.MIGScript and cfg.Fraig: a
+// pass script (migbench -mig-script) replaces the canned §V.A flow, so
+// experimental pipelines — window-parallel rewriting and SAT sweeping in
+// particular — can be benchmarked through the standard experiment harness;
+// cfg.Fraig instead appends the SAT-sweeping pass to the canned flow. A
+// script failure is reported on stderr (the row only carries OK=false) so
+// a broken script is diagnosable from the run log.
 func MIGOptimizeCfg(n *netlist.Network, cfg Config) (*mig.MIG, OptMetrics) {
+	var p *opt.Pipeline[*mig.MIG]
 	if cfg.MIGScript == "" {
-		return MIGOptimize(n, cfg.Effort)
-	}
-	p, err := mig.ParseScript(cfg.MIGScript)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "synth: %s: bad MIG script: %v\n", n.Name, err)
-		return nil, OptMetrics{OK: false}
+		p = MIGOptPipeline(cfg.Effort)
+		if cfg.Fraig {
+			p.Append(mig.Passes().MustNew("fraig"))
+		}
+	} else {
+		var err error
+		p, err = mig.ParseScript(cfg.MIGScript)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synth: %s: bad MIG script: %v\n", n.Name, err)
+			return nil, OptMetrics{OK: false}
+		}
 	}
 	start := time.Now()
 	res, _, err := p.Run(mig.FromNetwork(n))
@@ -100,6 +107,21 @@ func MIGOptimizeCfg(n *netlist.Network, cfg Config) (*mig.MIG, OptMetrics) {
 func AIGOptimize(n *netlist.Network, rounds int) (*aig.AIG, OptMetrics) {
 	start := time.Now()
 	res, _, err := AIGOptPipeline(rounds).Run(aig.FromNetwork(n))
+	if err != nil {
+		return nil, OptMetrics{OK: false}
+	}
+	return res, metricsOf(res, start)
+}
+
+// AIGOptimizeCfg is AIGOptimize honoring cfg.Fraig (SAT sweeping appended
+// to the resyn2 recipe).
+func AIGOptimizeCfg(n *netlist.Network, cfg Config) (*aig.AIG, OptMetrics) {
+	p := AIGOptPipeline(cfg.AIGRounds)
+	if cfg.Fraig {
+		p.Append(aig.Passes().MustNew("fraig"))
+	}
+	start := time.Now()
+	res, _, err := p.Run(aig.FromNetwork(n))
 	if err != nil {
 		return nil, OptMetrics{OK: false}
 	}

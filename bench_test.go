@@ -22,7 +22,8 @@ import (
 	"repro/internal/mcnc"
 	"repro/internal/mig"
 	"repro/internal/netlist"
-	"repro/internal/synth"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 // optCircuits is the Table I benchmark list. The big four (bigkey, clma,
@@ -45,9 +46,9 @@ func BenchmarkTable1Top(b *testing.B) {
 	for _, name := range optCircuits {
 		b.Run(name, func(b *testing.B) {
 			n := getBench(b, name)
-			var row synth.OptRow
+			var row bench.OptRow
 			for i := 0; i < b.N; i++ {
-				row = synth.RunOptRow(n, synth.Config{Effort: 3, AIGRounds: 2})
+				row = bench.RunOptRow(logic.FromNetlist(n), bench.Config{Effort: 3, AIGRounds: 2})
 			}
 			b.ReportMetric(float64(row.MIG.Size), "mig-size")
 			b.ReportMetric(float64(row.MIG.Depth), "mig-depth")
@@ -68,9 +69,9 @@ func BenchmarkTable1Bottom(b *testing.B) {
 	for _, name := range optCircuits {
 		b.Run(name, func(b *testing.B) {
 			n := getBench(b, name)
-			var row synth.SynthRow
+			var row bench.SynthRow
 			for i := 0; i < b.N; i++ {
-				row = synth.RunSynthRow(n, synth.Config{Effort: 3, AIGRounds: 2})
+				row = bench.RunSynthRow(logic.FromNetlist(n), bench.Config{Effort: 3, AIGRounds: 2})
 			}
 			b.ReportMetric(row.MIG.Area, "mig-area")
 			b.ReportMetric(row.MIG.Delay*1000, "mig-delay-ps")
@@ -86,14 +87,14 @@ func BenchmarkTable1Bottom(b *testing.B) {
 // BenchmarkFig3Space regenerates the Fig. 3 centroids (the average point of
 // each series in the size/depth/activity space).
 func BenchmarkFig3Space(b *testing.B) {
-	var rows []synth.OptRow
+	var rows []bench.OptRow
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, name := range optCircuits {
-			rows = append(rows, synth.RunOptRow(getBench(b, name), synth.Config{Effort: 3, AIGRounds: 2}))
+			rows = append(rows, bench.RunOptRow(logic.FromNetlist(getBench(b, name)), bench.Config{Effort: 3, AIGRounds: 2}))
 		}
 	}
-	report := func(label string, get func(synth.OptRow) synth.OptMetrics) {
+	report := func(label string, get func(bench.OptRow) bench.OptMetrics) {
 		var sz, dp, ac float64
 		cnt := 0
 		for _, r := range rows {
@@ -113,21 +114,21 @@ func BenchmarkFig3Space(b *testing.B) {
 		b.ReportMetric(dp/float64(cnt), label+"-depth")
 		b.ReportMetric(ac/float64(cnt), label+"-activity")
 	}
-	report("mig", func(r synth.OptRow) synth.OptMetrics { return r.MIG })
-	report("aig", func(r synth.OptRow) synth.OptMetrics { return r.AIG })
-	report("bds", func(r synth.OptRow) synth.OptMetrics { return r.BDS })
+	report("mig", func(r bench.OptRow) bench.OptMetrics { return r.MIG })
+	report("aig", func(r bench.OptRow) bench.OptMetrics { return r.AIG })
+	report("bds", func(r bench.OptRow) bench.OptMetrics { return r.BDS })
 }
 
 // BenchmarkFig4Space regenerates the Fig. 4 centroids (area/delay/power).
 func BenchmarkFig4Space(b *testing.B) {
-	var rows []synth.SynthRow
+	var rows []bench.SynthRow
 	for i := 0; i < b.N; i++ {
 		rows = rows[:0]
 		for _, name := range optCircuits {
-			rows = append(rows, synth.RunSynthRow(getBench(b, name), synth.Config{Effort: 3, AIGRounds: 2}))
+			rows = append(rows, bench.RunSynthRow(logic.FromNetlist(getBench(b, name)), bench.Config{Effort: 3, AIGRounds: 2}))
 		}
 	}
-	report := func(label string, get func(synth.SynthRow) synth.SynthResult) {
+	report := func(label string, get func(bench.SynthRow) bench.SynthResult) {
 		var ar, dl, pw float64
 		for _, r := range rows {
 			m := get(r)
@@ -140,9 +141,9 @@ func BenchmarkFig4Space(b *testing.B) {
 		b.ReportMetric(dl/n*1000, label+"-delay-ps")
 		b.ReportMetric(pw/n, label+"-power")
 	}
-	report("mig", func(r synth.SynthRow) synth.SynthResult { return r.MIG })
-	report("aig", func(r synth.SynthRow) synth.SynthResult { return r.AIG })
-	report("cst", func(r synth.SynthRow) synth.SynthResult { return r.CST })
+	report("mig", func(r bench.SynthRow) bench.SynthResult { return r.MIG })
+	report("aig", func(r bench.SynthRow) bench.SynthResult { return r.AIG })
+	report("cst", func(r bench.SynthRow) bench.SynthResult { return r.CST })
 }
 
 // BenchmarkCompress regenerates the in-text large-compression-circuit
@@ -151,10 +152,10 @@ func BenchmarkFig4Space(b *testing.B) {
 // migbench tool runs arbitrary sizes).
 func BenchmarkCompress(b *testing.B) {
 	n := mcnc.Compress(600)
-	var mm, am synth.OptMetrics
+	var mm, am bench.OptMetrics
 	for i := 0; i < b.N; i++ {
-		_, mm = synth.MIGOptimize(n, 2)
-		_, am = synth.AIGOptimize(n, 1)
+		_, mm = bench.MIGOptimize(n, 2)
+		_, am = bench.AIGOptimize(n, 1)
 	}
 	b.ReportMetric(float64(mm.Size), "mig-size")
 	b.ReportMetric(float64(mm.Depth), "mig-depth")
@@ -227,7 +228,7 @@ func BenchmarkAblationSizeNoRelevance(b *testing.B) {
 // same optimized MIG is mapped with and without majority cells.
 func BenchmarkAblationMapperNoMaj(b *testing.B) {
 	n := getBench(b, "cla")
-	m, _ := synth.MIGOptimize(n, 3)
+	m, _ := bench.MIGOptimize(n, 3)
 	net := m.ToNetwork()
 	var withMaj, noMaj *mapping.Result
 	for i := 0; i < b.N; i++ {
@@ -285,7 +286,7 @@ func BenchmarkAIGResyn2(b *testing.B) {
 
 // BenchmarkMapping measures the technology mapper.
 func BenchmarkMapping(b *testing.B) {
-	m, _ := synth.MIGOptimize(getBench(b, "C6288"), 2)
+	m, _ := bench.MIGOptimize(getBench(b, "C6288"), 2)
 	net := m.ToNetwork()
 	lib := mapping.Default22nm()
 	b.ResetTimer()
@@ -299,8 +300,8 @@ func BenchmarkMapping(b *testing.B) {
 // MIG/AIG area ratio must improve when majority is the native gate.
 func BenchmarkAblationMajorityNative(b *testing.B) {
 	n := getBench(b, "my_adder")
-	m, _ := synth.MIGOptimize(n, 3)
-	a, _ := synth.AIGOptimize(n, 2)
+	m, _ := bench.MIGOptimize(n, 3)
+	a, _ := bench.AIGOptimize(n, 2)
 	migNet, aigNet := m.ToNetwork(), a.ToNetwork()
 	var cmosRatio, nanoRatio float64
 	for i := 0; i < b.N; i++ {

@@ -9,7 +9,8 @@
 // ratios; any ratio above 1+tol exits non-zero. Wall-time ratios are
 // reported for information but never gate (CI machines vary); regenerate
 // the baseline with the same flags whenever an intentional quality change
-// lands.
+// lands. The comparison itself lives in the public API as
+// bench.DiffReports.
 package main
 
 import (
@@ -18,46 +19,21 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/synth"
+	"repro/logic/bench"
 )
 
-func load(path string) *synth.Report {
+func load(path string) *bench.Report {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	var r synth.Report
+	var r bench.Report
 	if err := json.Unmarshal(buf, &r); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
 		os.Exit(2)
 	}
 	return &r
-}
-
-// check records one metric comparison, returning whether it regressed.
-type checker struct {
-	tol    float64
-	failed int
-	quiet  bool
-}
-
-func (c *checker) metric(circuit, flow, metric string, base, cur float64) {
-	if base <= 0 || cur <= 0 {
-		return
-	}
-	ratio := cur / base
-	status := "ok"
-	if ratio > 1+c.tol {
-		status = "REGRESSION"
-		c.failed++
-	} else if ratio < 1-c.tol {
-		status = "improved"
-	}
-	if status != "ok" || !c.quiet {
-		fmt.Printf("%-10s %-4s %-6s %10.2f -> %10.2f  ratio %.3f  %s\n",
-			circuit, flow, metric, base, cur, ratio, status)
-	}
 }
 
 func main() {
@@ -73,85 +49,9 @@ func main() {
 	base := load(*basePath)
 	cur := load(*curPath)
 
-	c := &checker{tol: *tol, quiet: *quiet}
-
-	curOpt := map[string]synth.OptRow{}
-	for _, r := range cur.Opt {
-		curOpt[r.Name] = r
-	}
-	for _, b := range base.Opt {
-		r, ok := curOpt[b.Name]
-		if !ok {
-			fmt.Printf("%-10s missing from current opt rows  REGRESSION\n", b.Name)
-			c.failed++
-			continue
-		}
-		for _, flow := range []struct {
-			name      string
-			base, cur synth.OptMetrics
-		}{
-			{"MIG", b.MIG, r.MIG},
-			{"AIG", b.AIG, r.AIG},
-			{"BDS", b.BDS, r.BDS},
-		} {
-			if flow.base.OK && !flow.cur.OK {
-				fmt.Printf("%-10s %s flow now failing  REGRESSION\n", b.Name, flow.name)
-				c.failed++
-				continue
-			}
-			if flow.base.OK && flow.cur.OK {
-				c.metric(b.Name, flow.name, "size", float64(flow.base.Size), float64(flow.cur.Size))
-				c.metric(b.Name, flow.name, "depth", float64(flow.base.Depth), float64(flow.cur.Depth))
-			}
-		}
-	}
-
-	curSynth := map[string]synth.SynthRow{}
-	for _, r := range cur.Synth {
-		curSynth[r.Name] = r
-	}
-	for _, b := range base.Synth {
-		r, ok := curSynth[b.Name]
-		if !ok {
-			fmt.Printf("%-10s missing from current synth rows  REGRESSION\n", b.Name)
-			c.failed++
-			continue
-		}
-		for _, flow := range []struct {
-			name      string
-			base, cur synth.SynthResult
-		}{
-			{"MIG", b.MIG, r.MIG},
-			{"AIG", b.AIG, r.AIG},
-			{"CST", b.CST, r.CST},
-		} {
-			if flow.base.OK && !flow.cur.OK {
-				fmt.Printf("%-10s %s synthesis flow now failing  REGRESSION\n", b.Name, flow.name)
-				c.failed++
-				continue
-			}
-			if flow.base.OK && flow.cur.OK {
-				c.metric(b.Name, flow.name, "area", flow.base.Area, flow.cur.Area)
-				c.metric(b.Name, flow.name, "delay", flow.base.Delay, flow.cur.Delay)
-				c.metric(b.Name, flow.name, "power", flow.base.Power, flow.cur.Power)
-			}
-		}
-	}
-
-	// Wall-time trajectory: informational only.
-	var baseT, curT float64
-	for _, r := range base.Opt {
-		baseT += r.MIG.Seconds + r.AIG.Seconds + r.BDS.Seconds
-	}
-	for _, r := range cur.Opt {
-		curT += r.MIG.Seconds + r.AIG.Seconds + r.BDS.Seconds
-	}
-	if baseT > 0 && curT > 0 {
-		fmt.Printf("total opt wall time %.2fs -> %.2fs  ratio %.3f  (informational)\n", baseT, curT, curT/baseT)
-	}
-
-	if c.failed > 0 {
-		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", c.failed, *tol*100)
+	failed := bench.DiffReports(os.Stdout, base, cur, bench.DiffOptions{Tol: *tol, Quiet: *quiet})
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", failed, *tol*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no quality regressions")

@@ -1,4 +1,5 @@
-// Command migbench regenerates the paper's experimental artifacts:
+// Command migbench regenerates the paper's experimental artifacts through
+// the public benchmark API (logic/bench):
 //
 //	migbench -experiment table1top     # Table I-top (logic optimization)
 //	migbench -experiment table1bottom  # Table I-bottom (synthesis flows)
@@ -47,14 +48,9 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"sync"
 
-	"repro/internal/aig"
-	"repro/internal/mcnc"
-	"repro/internal/mig"
-	"repro/internal/netlist"
-	"repro/internal/opt"
-	"repro/internal/synth"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 var (
@@ -76,7 +72,7 @@ func main() {
 
 	// Parallel-safe passes (window-rewrite, fraig) read the process worker
 	// budget.
-	opt.SetWorkers(*jobs)
+	bench.SetWorkers(*jobs)
 
 	verifyEngine := ""
 	switch *verify {
@@ -89,20 +85,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -verify engine %q (want auto, exact, bdd, sim, sat or none)\n", *verify)
 		os.Exit(2)
 	}
-	cfg := synth.Config{
+	cfg := bench.Config{
 		Effort: *effort, AIGRounds: *rounds,
 		Verify: verifyEngine != "", VerifyEngine: verifyEngine,
 		MIGScript: *migScript, Fraig: *fraig,
 	}
 	cfg.Defaults()
 	if *migScript != "" {
-		if _, err := mig.ParseScript(*migScript); err != nil {
+		if err := logic.ValidateScript(logic.KindMIG, *migScript); err != nil {
 			fmt.Fprintf(os.Stderr, "bad -mig-script: %v\n", err)
 			os.Exit(2)
 		}
 	}
 
-	names := mcnc.Names()
+	names := bench.Circuits()
 	if *only != "" {
 		names = strings.Split(*only, ",")
 	}
@@ -135,8 +131,8 @@ func main() {
 	}
 }
 
-func bench(name string) *netlist.Network {
-	n, err := mcnc.Generate(name)
+func circuit(name string) logic.Network {
+	n, err := bench.Circuit(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -144,16 +140,16 @@ func bench(name string) *netlist.Network {
 	return n
 }
 
-func benches(names []string) []*netlist.Network {
-	nets := make([]*netlist.Network, len(names))
+func circuits(names []string) []logic.Network {
+	nets := make([]logic.Network, len(names))
 	for i, name := range names {
-		nets[i] = bench(name)
+		nets[i] = circuit(name)
 	}
 	return nets
 }
 
-func optRows(names []string, cfg synth.Config) []synth.OptRow {
-	rows := synth.RunOptRows(benches(names), cfg, *jobs)
+func optRows(names []string, cfg bench.Config) []bench.OptRow {
+	rows := bench.RunOptRows(circuits(names), cfg, *jobs)
 	failed := false
 	for _, r := range rows {
 		if r.VerifyErr != "" {
@@ -165,22 +161,22 @@ func optRows(names []string, cfg synth.Config) []synth.OptRow {
 		os.Exit(1)
 	}
 	if *zeroTime {
-		synth.ZeroTimes(rows)
+		bench.ZeroTimes(rows)
 	}
 	return rows
 }
 
-func synthRows(names []string, cfg synth.Config) []synth.SynthRow {
-	rows := synth.RunSynthRows(benches(names), cfg, *jobs)
+func synthRows(names []string, cfg bench.Config) []bench.SynthRow {
+	rows := bench.RunSynthRows(circuits(names), cfg, *jobs)
 	if *zeroTime {
-		synth.ZeroSynthTimes(rows)
+		bench.ZeroSynthTimes(rows)
 	}
 	return rows
 }
 
 // emitJSON renders a report and reports whether JSON mode handled the
 // output.
-func emitJSON(r synth.Report) bool {
+func emitJSON(r bench.Report) bool {
 	if !*asJSON {
 		return false
 	}
@@ -193,13 +189,13 @@ func emitJSON(r synth.Report) bool {
 	return true
 }
 
-func report(experiment string, cfg synth.Config) synth.Report {
-	return synth.Report{Experiment: experiment, Effort: cfg.Effort, AIGRounds: cfg.AIGRounds, Jobs: *jobs}
+func report(experiment string, cfg bench.Config) bench.Report {
+	return bench.Report{Experiment: experiment, Effort: cfg.Effort, AIGRounds: cfg.AIGRounds, Jobs: *jobs}
 }
 
-func runTable1Top(names []string, cfg synth.Config) {
+func runTable1Top(names []string, cfg bench.Config) {
 	rows := optRows(names, cfg)
-	s := synth.SummarizeOpt(rows)
+	s := bench.SummarizeOpt(rows)
 	r := report("table1top", cfg)
 	r.Opt = rows
 	r.OptSummary = &s
@@ -207,10 +203,10 @@ func runTable1Top(names []string, cfg synth.Config) {
 		return
 	}
 	fmt.Println("== Table I (top): logic optimization — measured ==")
-	fmt.Print(synth.FormatOptTable(rows))
+	fmt.Print(bench.FormatOptTable(rows))
 	fmt.Println("\n-- paper reference (Table I-top) --")
 	for _, name := range names {
-		p, ok := mcnc.PaperRowByName(name)
+		p, ok := bench.PaperRowFor(name)
 		if !ok {
 			continue
 		}
@@ -228,9 +224,9 @@ func runTable1Top(names []string, cfg synth.Config) {
 	fmt.Printf("paper:                   MIG/AIG depth 0.814 (−18.6%%), size ≈1.01, act ≈1.00 | MIG/BDS depth 0.763 size 0.979 act 0.969\n\n")
 }
 
-func runTable1Bottom(names []string, cfg synth.Config) {
+func runTable1Bottom(names []string, cfg bench.Config) {
 	rows := synthRows(names, cfg)
-	s := synth.SummarizeSynth(rows)
+	s := bench.SummarizeSynth(rows)
 	r := report("table1bottom", cfg)
 	r.Synth = rows
 	r.SynthSummary = &s
@@ -238,10 +234,10 @@ func runTable1Bottom(names []string, cfg synth.Config) {
 		return
 	}
 	fmt.Println("== Table I (bottom): synthesis flows — measured ==")
-	fmt.Print(synth.FormatSynthTable(rows))
+	fmt.Print(bench.FormatSynthTable(rows))
 	fmt.Println("\n-- paper reference (Table I-bottom) --")
 	for _, name := range names {
-		p, ok := mcnc.PaperRowByName(name)
+		p, ok := bench.PaperRowFor(name)
 		if !ok {
 			continue
 		}
@@ -255,7 +251,7 @@ func runTable1Bottom(names []string, cfg synth.Config) {
 	fmt.Printf("paper:                                 delay 0.78 (−22%%) area 0.86 (−14%%) power 0.89 (−11%%)\n\n")
 }
 
-func runFig3(names []string, cfg synth.Config) {
+func runFig3(names []string, cfg bench.Config) {
 	rows := optRows(names, cfg)
 	r := report("fig3", cfg)
 	r.Opt = rows
@@ -265,11 +261,11 @@ func runFig3(names []string, cfg synth.Config) {
 	fmt.Println("== Fig. 3: optimization space (size, depth, activity) ==")
 	for _, series := range []struct {
 		label string
-		get   func(synth.OptRow) synth.OptMetrics
+		get   func(bench.OptRow) bench.OptMetrics
 	}{
-		{"MIG", func(r synth.OptRow) synth.OptMetrics { return r.MIG }},
-		{"AIG", func(r synth.OptRow) synth.OptMetrics { return r.AIG }},
-		{"BDD", func(r synth.OptRow) synth.OptMetrics { return r.BDS }},
+		{"MIG", func(r bench.OptRow) bench.OptMetrics { return r.MIG }},
+		{"AIG", func(r bench.OptRow) bench.OptMetrics { return r.AIG }},
+		{"BDD", func(r bench.OptRow) bench.OptMetrics { return r.BDS }},
 	} {
 		fmt.Printf("series %s:\n", series.label)
 		var sz, dp, ac float64
@@ -295,7 +291,7 @@ func runFig3(names []string, cfg synth.Config) {
 	fmt.Println()
 }
 
-func runFig4(names []string, cfg synth.Config) {
+func runFig4(names []string, cfg bench.Config) {
 	rows := synthRows(names, cfg)
 	r := report("fig4", cfg)
 	r.Synth = rows
@@ -305,11 +301,11 @@ func runFig4(names []string, cfg synth.Config) {
 	fmt.Println("== Fig. 4: synthesis space (area, delay, power) ==")
 	for _, series := range []struct {
 		label string
-		get   func(synth.SynthRow) synth.SynthResult
+		get   func(bench.SynthRow) bench.SynthResult
 	}{
-		{"MIG", func(r synth.SynthRow) synth.SynthResult { return r.MIG }},
-		{"AIG", func(r synth.SynthRow) synth.SynthResult { return r.AIG }},
-		{"CST", func(r synth.SynthRow) synth.SynthResult { return r.CST }},
+		{"MIG", func(r bench.SynthRow) bench.SynthResult { return r.MIG }},
+		{"AIG", func(r bench.SynthRow) bench.SynthResult { return r.AIG }},
+		{"CST", func(r bench.SynthRow) bench.SynthResult { return r.CST }},
 	} {
 		fmt.Printf("series %s:\n", series.label)
 		var ar, dl, pw float64
@@ -327,45 +323,17 @@ func runFig4(names []string, cfg synth.Config) {
 	fmt.Println()
 }
 
-func runCompress(words int, cfg synth.Config) {
-	n := mcnc.Compress(words)
-	var mm, am synth.OptMetrics
-	var mg *mig.MIG
-	var ag *aig.AIG
-	rows := []synth.OptRow{{Name: n.Name, Inputs: n.NumInputs(), Outputs: n.NumOutputs()}}
-	if *jobs > 1 {
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ag, am = synth.AIGOptimizeCfg(n, cfg)
-		}()
-		mg, mm = synth.MIGOptimizeCfg(n, cfg)
-		wg.Wait()
-	} else {
-		mg, mm = synth.MIGOptimizeCfg(n, cfg)
-		ag, am = synth.AIGOptimizeCfg(n, cfg)
+func runCompress(words int, cfg bench.Config) {
+	row, n := bench.RunCompress(words, cfg, *jobs)
+	if row.VerifyErr != "" {
+		fmt.Fprintf(os.Stderr, "migbench: VERIFY FAILED %s: %s\n", row.Name, row.VerifyErr)
+		os.Exit(1)
 	}
-	rows[0].MIG, rows[0].AIG = mm, am
-	if cfg.Verify {
-		var labels []string
-		var nets []*netlist.Network
-		if mm.OK {
-			labels, nets = append(labels, "mig"), append(nets, mg.ToNetwork())
-		}
-		if am.OK {
-			labels, nets = append(labels, "aig"), append(nets, ag.ToNetwork())
-		}
-		rows[0].VerifyErr = synth.VerifyNetworks(n, cfg, labels, nets)
-		if rows[0].VerifyErr != "" {
-			fmt.Fprintf(os.Stderr, "migbench: VERIFY FAILED %s: %s\n", n.Name, rows[0].VerifyErr)
-			os.Exit(1)
-		}
-	}
+	rows := []bench.OptRow{row}
 	if *zeroTime {
-		synth.ZeroTimes(rows)
-		mm, am = rows[0].MIG, rows[0].AIG
+		bench.ZeroTimes(rows)
 	}
+	mm, am := rows[0].MIG, rows[0].AIG
 	r := report("compress", cfg)
 	r.Opt = rows
 	if emitJSON(r) {
@@ -379,26 +347,29 @@ func runCompress(words int, cfg synth.Config) {
 		float64(mm.Size)/float64(am.Size), float64(mm.Depth)/float64(am.Depth), mm.Seconds/am.Seconds)
 }
 
-func runSweep(names []string, cfg synth.Config) {
+func runSweep(names []string, cfg bench.Config) {
 	fmt.Println("== Effort sweep: MIG optimization quality vs effort (Alg. 1/2 cycles) ==")
+	// The sweep measures the canned effort-driven flow; a fixed -mig-script
+	// would make every effort row identical, so it is ignored here.
+	cfg.MIGScript = ""
 	for _, name := range names {
-		n := bench(name)
+		n := circuit(name)
 		fmt.Printf("%s:\n", name)
 		for _, eff := range []int{1, 2, 4, 8} {
 			c := cfg
 			c.Effort = eff
-			_, m := synth.MIGOptimize(n, c.Effort)
+			m := bench.MIGOptimizeNet(n, c)
 			fmt.Printf("  effort %2d: size=%6d depth=%4d activity=%9.2f time=%.2fs\n",
 				eff, m.Size, m.Depth, m.Activity, m.Seconds)
 		}
 	}
 }
 
-func runSummary(names []string, cfg synth.Config) {
+func runSummary(names []string, cfg bench.Config) {
 	or := optRows(names, cfg)
 	sr := synthRows(names, cfg)
-	so := synth.SummarizeOpt(or)
-	ss := synth.SummarizeSynth(sr)
+	so := bench.SummarizeOpt(or)
+	ss := bench.SummarizeSynth(sr)
 	r := report("summary", cfg)
 	r.Opt = or
 	r.Synth = sr

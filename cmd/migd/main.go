@@ -1,0 +1,73 @@
+// Command migd is the MIG optimization daemon: an HTTP/JSON service over
+// the public logic SDK (see the service package). POST a BLIF or Verilog
+// circuit plus a pass script to /v1/optimize and get back the optimized
+// network and the per-pass trace.
+//
+//	migd -addr :8337 -workers 8 -timeout 60s
+//
+//	curl -s localhost:8337/v1/optimize -d '{
+//	  "format": "blif",
+//	  "source": ".model c17\n...",
+//	  "script": "eliminate(8); reshape-depth; eliminate",
+//	  "verify": "auto"
+//	}'
+//
+// Operational properties: a bounded worker pool (-workers) caps concurrent
+// optimizations; every request runs under a deadline (-timeout, capped by
+// -max-timeout) threaded through the SAT solver's conflict loop, so a hung
+// solve cannot pin a worker; a result cache (-cache entries) keyed by
+// (network hash, script, options) serves repeated submissions of hot
+// designs without recomputation. See examples/service for a Go client.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8337", "listen address")
+	workers := flag.Int("workers", 4, "max concurrent optimizations (excess requests queue)")
+	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request optimization deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		CacheSize:      *cache,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// (their own deadlines bound the wait).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "migd: listening on %s (workers=%d, cache=%d, timeout=%s)\n",
+		*addr, *workers, *cache, *timeout)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "migd:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,4 +1,4 @@
-// Command miggen emits the MCNC benchmark stand-ins (see internal/mcnc) as
+// Command miggen emits the MCNC benchmark stand-ins (logic/bench) as
 // structural Verilog or BLIF, so they can be inspected or fed to other
 // tools.
 //
@@ -13,10 +13,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/blif"
-	"repro/internal/mcnc"
-	"repro/internal/netlist"
-	"repro/internal/verilog"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 func main() {
@@ -27,22 +25,22 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, n := range mcnc.Names() {
-			row, _ := mcnc.PaperRowByName(n)
+		for _, n := range bench.Circuits() {
+			row, _ := bench.PaperRowFor(n)
 			fmt.Printf("%-10s %5d inputs %5d outputs\n", n, row.Inputs, row.Outputs)
 		}
 		return
 	}
 
 	var (
-		n   *netlist.Network
+		n   logic.Network
 		err error
 	)
 	switch {
 	case *compress > 0:
-		n = mcnc.Compress(*compress)
+		n = bench.Compress(*compress)
 	case *name != "":
-		n, err = mcnc.Generate(*name)
+		n, err = bench.Circuit(*name)
 	default:
 		fmt.Fprintln(os.Stderr, "miggen: need -bench, -compress or -list")
 		os.Exit(2)
@@ -52,13 +50,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	switch *format {
-	case "v":
-		fmt.Print(verilog.Write(n))
-	case "blif":
-		fmt.Print(blif.Write(n))
-	default:
-		fmt.Fprintf(os.Stderr, "miggen: unknown format %q\n", *format)
+	f, err := logic.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miggen: %v\n", err)
 		os.Exit(2)
 	}
+	out, err := logic.Encode(n, f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Print(out)
 }

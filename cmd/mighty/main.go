@@ -1,7 +1,7 @@
 // Command mighty is the repository's counterpart of the paper's MIGhty
 // package: it reads a combinational circuit (structural Verilog or BLIF),
-// optimizes it as a Majority-Inverter Graph, and writes the optimized MIG
-// back.
+// optimizes it as a Majority-Inverter Graph through the public logic SDK,
+// and writes the optimized circuit back.
 //
 //	mighty -in adder.v -opt depth -effort 3 -out adder_opt.v
 //	mighty -in ctrl.blif -opt size -out ctrl_opt.blif
@@ -23,20 +23,19 @@
 // exact -> BDD -> SAT -> simulation by circuit size), exact, bdd, sim, sat,
 // or none to skip verification. The SAT engine is exact at any size and
 // reports a concrete counterexample input assignment on mismatch.
+//
+// -timeout bounds the whole optimization (including SAT-backed
+// verification) with a context deadline; expiry interrupts long solves
+// promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/blif"
-	"repro/internal/equiv"
-	"repro/internal/mig"
-	"repro/internal/netlist"
-	"repro/internal/opt"
-	"repro/internal/verilog"
+	"repro/logic"
 )
 
 func main() {
@@ -49,25 +48,11 @@ func main() {
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.String("verify", "auto", "equivalence engine for verification: auto|exact|bdd|sim|sat, or none/off/false to skip")
 	jobs := flag.Int("jobs", 1, "worker budget for parallel passes (window-rewrite, fraig); results are identical for any value")
+	timeout := flag.Duration("timeout", 0, "optimization deadline (0 = none), e.g. 30s")
 	flag.Parse()
 
-	opt.SetWorkers(*jobs)
-
-	var verifyOn bool
-	var verifyOpts equiv.Options
-	switch *verify {
-	case "none", "off", "false", "":
-	case "auto", "true":
-		verifyOn = true
-	case "exact", "bdd", "sim", "sat":
-		verifyOn = true
-		verifyOpts.Engine = *verify
-	default:
-		fatal(fmt.Errorf("mighty: unknown -verify engine %q (want auto, exact, bdd, sim, sat or none)", *verify))
-	}
-
 	if *listPasses {
-		fmt.Print(mig.Passes().Help())
+		fmt.Print(logic.FormatPassList(logic.KindMIG))
 		return
 	}
 	if *in == "" {
@@ -79,83 +64,77 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var n *netlist.Network
-	switch {
-	case strings.HasSuffix(*in, ".blif"):
-		n, err = blif.Parse(string(src))
-	case strings.HasSuffix(*in, ".v"):
-		n, err = verilog.Parse(string(src))
-	default:
-		err = fmt.Errorf("mighty: unknown input format for %q (want .v or .blif)", *in)
+	format, err := logic.FormatForPath(*in)
+	if err != nil {
+		fatal(err)
 	}
+	net, err := logic.Decode(format, string(src))
 	if err != nil {
 		fatal(err)
 	}
 
-	// Flattened formats have no majority operator: recover majority cones
-	// (e.g. (a&b)|(a&c)|(b&c)) before building the MIG.
-	m := mig.FromNetwork(n.Remajorize())
-	before := fmt.Sprintf("size=%d depth=%d activity=%.2f", m.Size(), m.Depth(), m.Activity(nil))
-
-	var optimized *mig.MIG
-	if *script != "" {
-		pipe, err := mig.ParseScript(*script)
-		if err != nil {
-			fatal(err)
-		}
-		if verifyOn {
-			pipe.Check = opt.EquivChecker(verifyOpts)
-		}
-		res, trace, err := pipe.Run(m)
-		fmt.Fprint(os.Stderr, trace.Format())
-		if err != nil {
-			fatal(err)
-		}
-		optimized = res
-	} else {
-		switch *optFlag {
-		case "size":
-			optimized = mig.OptimizeSize(m, *effort)
-		case "depth":
-			optimized = mig.OptimizeDepth(m, *effort)
-		case "activity":
-			optimized = mig.OptimizeActivity(m, *effort)
-		case "flow":
-			optimized = mig.Optimize(m, *effort)
-		case "none":
-			optimized = m
-		default:
-			fatal(fmt.Errorf("mighty: unknown optimization %q", *optFlag))
-		}
+	verifyEngine := *verify
+	if *script == "" && *optFlag == "none" {
+		// Representation conversion only: nothing to verify (matches the
+		// pre-SDK CLI, which skipped the check for -opt none).
+		verifyEngine = "none"
+	}
+	sess, err := logic.NewSession(
+		logic.WithObjective(*optFlag),
+		logic.WithScript(*script),
+		logic.WithEffort(*effort),
+		logic.WithVerify(verifyEngine),
+		logic.WithWorkers(*jobs),
+	)
+	if err != nil {
+		fatal(err)
 	}
 
-	if verifyOn && (*script != "" || *optFlag != "none") {
-		res, err := equiv.Check(n, optimized.ToNetwork(), verifyOpts)
-		if err != nil {
-			fatal(err)
-		}
-		if !res.Equivalent {
-			fatal(fmt.Errorf("mighty: optimization broke functional equivalence (%s)", res.Detail))
-		}
-		fmt.Fprintf(os.Stderr, "mighty: equivalence verified (%s)\n", res.Method)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
+	optimized, res, err := sess.Optimize(ctx, net)
+	if *script != "" && res != nil {
+		fmt.Fprint(os.Stderr, res.Trace.Format())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.VerifyMethod != "" {
+		fmt.Fprintf(os.Stderr, "mighty: equivalence verified (%s)\n", res.VerifyMethod)
+	}
+
+	// The first trace step carries the input MIG's metrics, so the
+	// before/after line costs no extra graph construction. An empty
+	// trace (-opt none) means the output IS the unoptimized MIG.
+	before := fmt.Sprintf("size=%d depth=%d activity=%.2f",
+		optimized.Size(), optimized.Depth(), optimized.Activity(nil))
+	if len(res.Trace) > 0 {
+		st := res.Trace[0]
+		before = fmt.Sprintf("size=%d depth=%d activity=%.2f",
+			st.SizeBefore, st.DepthBefore, st.ActivityBefore)
+	}
 	fmt.Fprintf(os.Stderr, "mighty: %s: %s -> size=%d depth=%d activity=%.2f\n",
-		n.Name, before, optimized.Size(), optimized.Depth(), optimized.Activity(nil))
+		net.Name(), before, optimized.Size(), optimized.Depth(), optimized.Activity(nil))
 
 	if *stats {
 		return
 	}
-	outNet := optimized.ToNetwork()
-	var rendered string
 	target := *out
 	if target == "" {
 		target = *in // format selection only
 	}
-	if strings.HasSuffix(target, ".blif") {
-		rendered = blif.Write(outNet)
-	} else {
-		rendered = verilog.Write(outNet)
+	outFormat, err := logic.FormatForPath(target)
+	if err != nil {
+		outFormat = format
+	}
+	rendered, err := logic.Encode(optimized, outFormat)
+	if err != nil {
+		fatal(err)
 	}
 	if *out == "" {
 		fmt.Print(rendered)

@@ -2,6 +2,45 @@
 // Graph: A Novel Data-Structure and Algorithms for Efficient Logic
 // Optimization" (Amarù, Gaillardon, De Micheli — DAC 2014).
 //
+// # Public API
+//
+// The stable, importable surface is the logic package and its siblings —
+// everything under internal/ is implementation detail, and none of the
+// executables or examples import it:
+//
+//   - logic exports the representation-agnostic Network interface (stats,
+//     I/O names, Clone, BLIF/Verilog encode/decode) implemented by the
+//     MIG, the AIG and the flat netlist, plus construction APIs (NewMIG,
+//     NewAIG, NewNetwork) and conversions (ToMIG, ToAIG, Flatten).
+//   - logic.Session is the configured optimizer: functional options
+//     (WithEffort, WithObjective, WithScript, WithVerify, WithWorkers,
+//     WithFraig, ...) replace bare config literals, and
+//     Optimize(ctx, net) threads context.Context through the pass
+//     pipeline, the window-parallel workers and the SAT solver's conflict
+//     loop, so deadlines and cancellation interrupt C6288-class solves
+//     promptly instead of waiting out conflict budgets. logic.Equivalent
+//     is context-aware combinational equivalence checking;
+//     logic.Passes/FormatPassList enumerate the scriptable passes with
+//     argument signatures in deterministic order.
+//   - logic/bench is the experiment harness: the paper's benchmark
+//     circuits (Circuit, Compress), the Table I flows and batch engine
+//     (RunOptRows, RunSynthRows, RunCompress), report JSON and the
+//     quality-trajectory diff (DiffReports).
+//   - service is the HTTP/JSON optimization daemon behind cmd/migd:
+//     POST /v1/optimize runs a Session under a bounded worker pool with
+//     per-request deadlines and an LRU result cache keyed by
+//     (network hash, script, options); the package also ships the Go
+//     Client used by examples/service.
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	m := logic.NewMIG("carry")
+//	a, b := m.AddInput("a"), m.AddInput("b")
+//	m.AddOutput("cout", m.Maj(a, b, logic.MIGConst0))
+//	sess, _ := logic.NewSession(logic.WithObjective("depth"), logic.WithVerify("auto"))
+//	opt, res, err := sess.Optimize(ctx, m)            // res.Trace, res.VerifyMethod
+//	text, _ := logic.Encode(opt, logic.FormatVerilog) // or opt.EncodeBLIF()
+//
 // # Architecture: passes and pipelines
 //
 // The optimization spine is the generic pass engine in internal/opt. Each
@@ -63,7 +102,11 @@
 // cones, evaluates cut candidates per cone on a worker pool (each worker
 // probes against a private clone), and commits the chosen rewrites in one
 // serial topological rebuild. Results are byte-identical for every worker
-// count; opt.SetWorkers (the CLIs' -jobs flag) sets the budget.
+// count; opt.SetWorkers (the CLIs' -jobs flag) sets the process budget and
+// logic.WithWorkers carries a per-session budget through the context, so
+// concurrent server requests do not share one global knob. The pipeline
+// engine, the parallel drivers (opt.ForEachCtx) and the SAT solver's
+// conflict loop (Solver.Stop) all observe context cancellation.
 //
 // # SAT subsystem
 //
@@ -96,20 +139,22 @@
 //
 // # Benchmark engine
 //
-// internal/synth composes the flows the paper evaluates (MIG vs AIG vs
+// logic/bench composes the flows the paper evaluates (MIG vs AIG vs
 // BDS/CST) and runs them through a parallel batch engine: circuits are
 // distributed over a worker pool and the competing flows of each circuit
 // run concurrently, with results in deterministic input order (migbench
 // -jobs). migbench -json emits per-circuit metrics for tracking the
-// performance trajectory across commits.
+// performance trajectory across commits; CI snapshots each run and gates
+// regressions against bench_baseline.json via cmd/benchdiff
+// (bench.DiffReports).
 //
-// The library lives under internal/: the MIG core (internal/mig), the AIG
+// The engines live under internal/: the MIG core (internal/mig), the AIG
 // and BDS baselines (internal/aig, internal/bdd), the pass engine
 // (internal/opt), shared cut machinery (internal/cut), the SOP engine
-// (internal/sop), technology mapping (internal/mapping), the MCNC benchmark
-// stand-ins (internal/mcnc), and the composed flows (internal/synth).
-// Executables are under cmd/ (mighty, migbench, miggen) and runnable
-// examples under examples/.
+// (internal/sop), technology mapping (internal/mapping), and the MCNC
+// benchmark stand-ins (internal/mcnc). The public surface is logic,
+// logic/bench and service. Executables are under cmd/ (mighty, migbench,
+// miggen, benchdiff, migd) and runnable examples under examples/.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation; see DESIGN.md for the experiment index and

@@ -2,27 +2,25 @@
 // dominates arithmetic circuits, so MIG optimization plus a library with
 // native MAJ-3/MIN-3 cells beats an AND/OR-based flow.
 //
-// This example builds a 16-bit multiply-accumulate slice (a*b + c), runs it
-// through the MIG flow and the AIG flow, and compares the mapped results.
-// Run with: go run ./examples/datapath
+// This example builds a 16-bit multiply-accumulate slice (a*b + c) with the
+// public netlist builder, runs it through the MIG flow and the AIG flow,
+// and compares the mapped results. Run with: go run ./examples/datapath
 package main
 
 import (
 	"fmt"
 
-	"repro/internal/mapping"
-	"repro/internal/mcnc"
-	"repro/internal/netlist"
-	"repro/internal/synth"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 func main() {
 	n := buildMAC()
 	fmt.Printf("circuit: %s\n\n", n.Stats())
 
-	lib := mapping.Default22nm()
-	migRes, migMap := synth.MIGFlow(n, 3, lib)
-	aigRes, aigMap := synth.AIGFlow(n, 2, lib)
+	lib := logic.LibCMOS22()
+	migRes, migMap := bench.MIGFlow(n, 3, lib)
+	aigRes, aigMap := bench.AIGFlow(n, 2, lib)
 
 	fmt.Println("MIG flow:", migMap)
 	fmt.Println("AIG flow:", aigMap)
@@ -32,22 +30,22 @@ func main() {
 	// The same comparison on the paper's arithmetic benchmarks.
 	fmt.Println("\npaper benchmarks (delay ns, MIG vs AIG flow):")
 	for _, name := range []string{"my_adder", "cla", "C6288"} {
-		bench, err := mcnc.Generate(name)
+		circuit, err := bench.Circuit(name)
 		if err != nil {
 			panic(err)
 		}
-		m, _ := synth.MIGFlow(bench, 3, lib)
-		a, _ := synth.AIGFlow(bench, 2, lib)
+		m, _ := bench.MIGFlow(circuit, 3, lib)
+		a, _ := bench.AIGFlow(circuit, 2, lib)
 		fmt.Printf("  %-9s MIG %6.3f  AIG %6.3f  (%.2fx)\n", name, m.Delay, a.Delay, a.Delay/m.Delay)
 	}
 }
 
 // buildMAC constructs a 16-bit multiply-accumulate: p = a*b + c.
-func buildMAC() *netlist.Network {
-	net := netlist.New("mac16")
-	a := make([]netlist.Signal, 16)
-	b := make([]netlist.Signal, 16)
-	c := make([]netlist.Signal, 32)
+func buildMAC() *logic.Netlist {
+	net := logic.NewNetwork("mac16")
+	a := make([]logic.Signal, 16)
+	b := make([]logic.Signal, 16)
+	c := make([]logic.Signal, 32)
 	for i := range a {
 		a[i] = net.AddInput(fmt.Sprintf("a%d", i))
 	}
@@ -59,28 +57,28 @@ func buildMAC() *netlist.Network {
 	}
 
 	// Partial products, carry-save reduced.
-	rows := make([][]netlist.Signal, 16)
+	rows := make([][]logic.Signal, 16)
 	for i := 0; i < 16; i++ {
-		row := make([]netlist.Signal, 32)
+		row := make([]logic.Signal, 32)
 		for j := range row {
-			row[j] = netlist.SigConst0
+			row[j] = logic.SigConst0
 		}
 		for j := 0; j < 16; j++ {
-			row[i+j] = net.AddGate(netlist.And, a[j], b[i])
+			row[i+j] = net.AddGate(logic.OpAnd, a[j], b[i])
 		}
 		rows[i] = row
 	}
 	rows = append(rows, c)
 	for len(rows) > 2 {
-		var next [][]netlist.Signal
+		var next [][]logic.Signal
 		for i := 0; i+2 < len(rows); i += 3 {
-			s := make([]netlist.Signal, 32)
-			k := make([]netlist.Signal, 32)
-			k[0] = netlist.SigConst0
+			s := make([]logic.Signal, 32)
+			k := make([]logic.Signal, 32)
+			k[0] = logic.SigConst0
 			for bit := 0; bit < 32; bit++ {
-				s[bit] = net.AddGate(netlist.Xor, rows[i][bit], rows[i+1][bit], rows[i+2][bit])
+				s[bit] = net.AddGate(logic.OpXor, rows[i][bit], rows[i+1][bit], rows[i+2][bit])
 				if bit+1 < 32 {
-					k[bit+1] = net.AddGate(netlist.Maj, rows[i][bit], rows[i+1][bit], rows[i+2][bit])
+					k[bit+1] = net.AddGate(logic.OpMaj, rows[i][bit], rows[i+1][bit], rows[i+2][bit])
 				}
 			}
 			next = append(next, s, k)
@@ -93,10 +91,10 @@ func buildMAC() *netlist.Network {
 		}
 		rows = next
 	}
-	carry := netlist.SigConst0
+	carry := logic.SigConst0
 	for bit := 0; bit < 32; bit++ {
-		sum := net.AddGate(netlist.Xor, rows[0][bit], rows[1][bit], carry)
-		carry = net.AddGate(netlist.Maj, rows[0][bit], rows[1][bit], carry)
+		sum := net.AddGate(logic.OpXor, rows[0][bit], rows[1][bit], carry)
+		carry = net.AddGate(logic.OpMaj, rows[0][bit], rows[1][bit], carry)
 		net.AddOutput(fmt.Sprintf("p%d", bit), sum)
 	}
 	net.AddOutput("ovf", carry)

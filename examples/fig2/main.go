@@ -1,5 +1,5 @@
 // Fig. 2 walkthrough: the four worked optimization examples from the
-// paper's Fig. 2, reproduced end to end.
+// paper's Fig. 2, reproduced end to end through the public logic SDK.
 //
 //	(a) size:     h = M(x, M(x,z',w), M(x,y,z))  —  3 nodes -> 0 (h = x)
 //	(b) depth:    f = x⊕y⊕z                      —  depth 4 -> 2
@@ -10,10 +10,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/mig"
+	"repro/logic"
 )
+
+// optimize runs one canned objective at the given effort.
+func optimize(m logic.Network, objective string, effort int, opts ...logic.Option) logic.Network {
+	opts = append([]logic.Option{logic.WithObjective(objective), logic.WithEffort(effort)}, opts...)
+	sess, err := logic.NewSession(opts...)
+	if err != nil {
+		panic(err)
+	}
+	out, _, err := sess.Optimize(context.Background(), m)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
 
 func main() {
 	fig2a()
@@ -23,37 +38,37 @@ func main() {
 }
 
 func fig2a() {
-	m := mig.New("fig2a")
+	m := logic.NewMIG("fig2a")
 	x := m.AddInput("x")
 	y := m.AddInput("y")
 	z := m.AddInput("z")
 	w := m.AddInput("w")
 	h := m.Maj(x, m.Maj(x, z.Not(), w), m.Maj(x, y, z))
 	m.AddOutput("h", h)
-	o := mig.OptimizeSize(m, 4)
+	o := optimize(m, "size", 4)
 	fmt.Printf("fig2a size opt:     h = M(x, M(x,z',w), M(x,y,z))   size %d -> %d (paper: 3 -> 0, h = x)\n",
 		m.Size(), o.Size())
 }
 
 func fig2b() {
-	m := mig.New("fig2b")
+	m := logic.NewMIG("fig2b")
 	x := m.AddInput("x")
 	y := m.AddInput("y")
 	z := m.AddInput("z")
 	m.AddOutput("f", m.Xor(m.Xor(x, y), z))
-	o := mig.OptimizeDepth(m, 6)
+	o := optimize(m, "depth", 6)
 	fmt.Printf("fig2b depth opt:    f = x xor y xor z               depth %d -> %d (paper: 4 -> 2 via Ψ.S)\n",
 		m.Depth(), o.Depth())
 }
 
 func fig2c() {
-	m := mig.New("fig2c")
+	m := logic.NewMIG("fig2c")
 	x := m.AddInput("x")
 	y := m.AddInput("y")
 	u := m.AddInput("u")
 	v := m.AddInput("v")
 	m.AddOutput("g", m.And(x, m.Or(y, m.And(u, v))))
-	o := mig.OptimizeDepth(m, 4)
+	o := optimize(m, "depth", 4)
 	fmt.Printf("fig2c depth opt:    g = x(y + uv)                   depth %d -> %d (paper: 3 -> 2 via Ψ.C + Ω.A)\n",
 		m.Depth(), o.Depth())
 }
@@ -63,7 +78,7 @@ func fig2d() {
 	// relevance rule Ψ.R can replace the reconvergent x' with y', moving
 	// the switching-heavy x out of the inner node (paper: SW 0.09+0.09 ->
 	// 0.06+0.03).
-	m := mig.New("fig2d")
+	m := logic.NewMIG("fig2d")
 	x := m.AddInput("x")
 	y := m.AddInput("y")
 	z := m.AddInput("z")
@@ -72,7 +87,7 @@ func fig2d() {
 	m.AddOutput("k", m.Maj(x, y, inner))
 	probs := []float64{0.5, 0.1, 0.1, 0.1}
 
-	o := mig.OptimizeActivityProbs(m, 4, probs)
+	o := optimize(m, "activity", 4, logic.WithActivityProbs(probs))
 	fmt.Printf("fig2d activity opt: k = M(x, y, M(x',z,w))          activity %.4f -> %.4f (paper: 0.18 -> 0.09 in p(1-p) units, i.e. 0.36 -> 0.18 here)\n",
 		m.Activity(probs), o.Activity(probs))
 }

@@ -1,6 +1,6 @@
 // Low-power optimization (§IV.C): switching activity is reduced by sizing
 // down the MIG and by steering node probabilities away from 0.5 with
-// relevance/substitution exchanges.
+// relevance/substitution exchanges, through the public logic SDK.
 //
 // The example models a bus-monitor: a wide detector over data lines that
 // toggle often (p = 0.5) gated by control lines that rarely assert
@@ -8,15 +8,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/mig"
+	"repro/logic"
 )
 
 func main() {
-	m := mig.New("busmon")
+	m := logic.NewMIG("busmon")
 	const width = 16
-	var data, ctl []mig.Signal
+	var data, ctl []logic.MIGSignal
 	for i := 0; i < width; i++ {
 		data = append(data, m.AddInput(fmt.Sprintf("d%d", i)))
 	}
@@ -27,9 +28,9 @@ func main() {
 	// M(d_i, en_g, M(d_i', d_j, d_k)), the paper's Fig. 2(d) structure at
 	// scale. The busy d_i appears on both sides of the cell, so relevance
 	// (Ψ.R) can swap the inner occurrence for the quiet enable.
-	var groups []mig.Signal
+	var groups []logic.MIGSignal
 	for g := 0; g < 4; g++ {
-		acc := mig.Const0
+		acc := logic.MIGConst0
 		for i := 0; i < width/4; i++ {
 			bit := data[g*width/4+i]
 			inner := m.Maj(bit.Not(), data[(g*width/4+i+1)%width], data[(g*width/4+i+2)%width])
@@ -52,11 +53,24 @@ func main() {
 	fmt.Printf("before: size=%d depth=%d activity=%.3f (uniform) / %.3f (profiled)\n",
 		m.Size(), m.Depth(), m.Activity(nil), m.Activity(probs))
 
-	o := mig.OptimizeActivityProbs(m, 4, probs)
+	ctx := context.Background()
+	run := func(opts ...logic.Option) logic.Network {
+		sess, err := logic.NewSession(opts...)
+		if err != nil {
+			panic(err)
+		}
+		out, _, err := sess.Optimize(ctx, m)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}
+
+	o := run(logic.WithObjective("activity"), logic.WithEffort(4), logic.WithActivityProbs(probs))
 	fmt.Printf("after:  size=%d depth=%d activity=%.3f (uniform) / %.3f (profiled)\n",
 		o.Size(), o.Depth(), o.Activity(nil), o.Activity(probs))
 
-	d := mig.OptimizeDepth(m, 4)
+	d := run(logic.WithObjective("depth"), logic.WithEffort(4))
 	fmt.Printf("\nfor contrast, depth-only optimization: size=%d depth=%d activity=%.3f (profiled)\n",
 		d.Size(), d.Depth(), d.Activity(probs))
 	fmt.Println("\nthe activity optimizer trades nothing on function: all three are equivalent MIGs")

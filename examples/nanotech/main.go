@@ -4,37 +4,52 @@
 // is nearly free and XOR/NAND must be composed from majorities.
 //
 // This example maps the same optimized circuits onto the standard 22 nm
-// CMOS library and onto a majority-native library, showing how the MIG
-// flow's advantage over the AIG flow widens when the target is
-// majority-native. Run with: go run ./examples/nanotech
+// CMOS library and onto a majority-native library through the public
+// logic SDK, showing how the MIG flow's advantage over the AIG flow widens
+// when the target is majority-native. Run with: go run ./examples/nanotech
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/mapping"
-	"repro/internal/mcnc"
-	"repro/internal/synth"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 func main() {
-	cmos := mapping.Default22nm()
-	nano := mapping.MajorityNative()
+	cmos := logic.LibCMOS22()
+	nano := logic.LibMajorityNative()
+	ctx := context.Background()
+
+	migSess, err := logic.NewSession(logic.WithEffort(3))
+	if err != nil {
+		panic(err)
+	}
+	aigSess, err := logic.NewSession(logic.WithAIGRounds(2))
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("area ratio MIG-flow / AIG-flow (lower favors MIG):")
 	fmt.Printf("%-10s %12s %18s\n", "bench", "CMOS 22nm", "majority-native")
 	for _, name := range []string{"my_adder", "cla", "C6288", "alu4"} {
-		n, err := mcnc.Generate(name)
+		n, err := bench.Circuit(name)
 		if err != nil {
 			panic(err)
 		}
-		m, _ := synth.MIGOptimize(n, 3)
-		a, _ := synth.AIGOptimize(n, 2)
-		migNet, aigNet := m.ToNetwork(), a.ToNetwork()
+		m, _, err := migSess.Optimize(ctx, logic.ToMIG(n))
+		if err != nil {
+			panic(err)
+		}
+		a, _, err := aigSess.Optimize(ctx, logic.ToAIG(n))
+		if err != nil {
+			panic(err)
+		}
 
-		ratio := func(lib *mapping.Library) float64 {
-			rm := mapping.Map(migNet, lib, nil)
-			ra := mapping.Map(aigNet, lib, nil)
+		ratio := func(lib *logic.Library) float64 {
+			rm := logic.TechMap(m, lib, nil)
+			ra := logic.TechMap(a, lib, nil)
 			return rm.Area / ra.Area
 		}
 		fmt.Printf("%-10s %12.2f %18.2f\n", name, ratio(cmos), ratio(nano))

@@ -1,68 +1,90 @@
 // Quickstart: build a Majority-Inverter Graph for the two functions of the
-// paper's Fig. 1 — f = x⊕y⊕z and g = x·(y + u·v) — optimize them, and
-// print the metrics; then run a custom optimization pipeline compiled from
-// a pass script, printing its per-pass trace. Run with:
+// paper's Fig. 1 — f = x⊕y⊕z and g = x·(y + u·v) — optimize them through
+// the public logic SDK, and print the metrics; then run a custom
+// optimization pipeline compiled from a pass script, printing its per-pass
+// trace. Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/equiv"
-	"repro/internal/mig"
-	"repro/internal/opt"
+	"repro/logic"
 )
 
 func main() {
+	ctx := context.Background()
+	depth := func(effort int) *logic.Session {
+		s, err := logic.NewSession(logic.WithObjective("depth"), logic.WithEffort(effort))
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+
 	// f = x ⊕ y ⊕ z (Fig. 1a). Built from its AOIG translation, the MIG
 	// starts at depth 4; MIG depth optimization reaches the optimal 2.
-	f := mig.New("fig1a_xor3")
+	f := logic.NewMIG("fig1a_xor3")
 	x := f.AddInput("x")
 	y := f.AddInput("y")
 	z := f.AddInput("z")
 	f.AddOutput("f", f.Xor(f.Xor(x, y), z))
-	report("f = x xor y xor z", f, mig.OptimizeDepth(f, 6))
+	fOpt, _, err := depth(6).Optimize(ctx, f)
+	if err != nil {
+		panic(err)
+	}
+	report("f = x xor y xor z", f, fOpt)
 
 	// g = x(y + uv) (Fig. 1b): depth 3 as an AOIG, depth 2 as an MIG.
-	g := mig.New("fig1b")
+	g := logic.NewMIG("fig1b")
 	gx := g.AddInput("x")
 	gy := g.AddInput("y")
 	gu := g.AddInput("u")
 	gv := g.AddInput("v")
 	g.AddOutput("g", g.And(gx, g.Or(gy, g.And(gu, gv))))
-	report("g = x(y + uv)", g, mig.OptimizeDepth(g, 6))
+	gOpt, _, err := depth(6).Optimize(ctx, g)
+	if err != nil {
+		panic(err)
+	}
+	report("g = x(y + uv)", g, gOpt)
 
 	// A 16-bit ripple-carry chain: the paper's datapath motivation. The
 	// carry chain is a majority cascade, which MIG depth optimization
 	// flattens from linear to logarithmic depth.
-	c := mig.New("carry16")
-	carry := mig.Const0
+	c := logic.NewMIG("carry16")
+	carry := logic.MIGConst0
 	for i := 0; i < 16; i++ {
 		a := c.AddInput(fmt.Sprintf("a%d", i))
 		b := c.AddInput(fmt.Sprintf("b%d", i))
 		carry = c.Maj(a, b, carry)
 	}
 	c.AddOutput("cout", carry)
-	report("16-bit carry chain", c, mig.OptimizeDepth(c, 8))
+	cOpt, _, err := depth(8).Optimize(ctx, c)
+	if err != nil {
+		panic(err)
+	}
+	report("16-bit carry chain", c, cOpt)
 
 	// The algorithms above are canned pipelines over named passes; any
 	// other composition can be scripted. Compile a custom scenario, verify
 	// equivalence after every pass, and show the per-pass trace.
-	pipe, err := mig.ParseScript("eliminate(8); reshape-depth; eliminate; pushup")
+	script := "eliminate(8); reshape-depth; eliminate; pushup"
+	sess, err := logic.NewSession(logic.WithScript(script), logic.WithVerify("auto"))
 	if err != nil {
 		panic(err)
 	}
-	pipe.Check = opt.EquivChecker(equiv.Options{})
-	res, trace, err := pipe.Run(c)
+	res, info, err := sess.Optimize(ctx, c)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\ncustom pipeline %q on the carry chain:\n%s", pipe, trace.Format())
+	fmt.Printf("\ncustom pipeline %q on the carry chain (verified %s):\n%s",
+		script, info.VerifyMethod, info.Trace.Format())
 	report("scripted pipeline", c, res)
 }
 
-func report(label string, before, after *mig.MIG) {
+func report(label string, before, after logic.Network) {
 	fmt.Printf("%-22s size %3d -> %3d   depth %2d -> %2d   activity %6.2f -> %6.2f\n",
 		label,
 		before.Size(), after.Size(),

@@ -15,8 +15,9 @@ import (
 	"repro/internal/mig"
 	"repro/internal/netlist"
 	"repro/internal/sim"
-	"repro/internal/synth"
 	"repro/internal/verilog"
+	"repro/logic"
+	"repro/logic/bench"
 )
 
 // TestFullPipelineVerilog drives the mighty pipeline in-process: generate →
@@ -86,9 +87,9 @@ func TestCrossRepresentationAgreement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, _ := synth.MIGOptimize(n, 2)
-	a, _ := synth.AIGOptimize(n, 1)
-	d, dm := synth.BDSOptimize(n, 1<<18)
+	m, _ := bench.MIGOptimize(n, 2)
+	a, _ := bench.AIGOptimize(n, 1)
+	d, dm := bench.BDSOptimize(n, 1<<18)
 	if !dm.OK {
 		t.Fatal("BDS failed on alu4")
 	}
@@ -114,7 +115,7 @@ func TestMutationDetection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, _ := synth.MIGOptimize(n, 2)
+	m, _ := bench.MIGOptimize(n, 2)
 	good := m.ToNetwork()
 	r := rand.New(rand.NewSource(42))
 	caught, total := 0, 0
@@ -158,11 +159,11 @@ func TestFlowMetricsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := synth.Config{Effort: 2, AIGRounds: 1}
+	cfg := bench.Config{Effort: 2, AIGRounds: 1}
 	cfg.Defaults()
-	sr := synth.RunSynthRow(n, cfg)
+	sr := bench.RunSynthRow(logic.FromNetlist(n), cfg)
 	// Sanity: all flows produced valid metrics.
-	for label, m := range map[string]synth.SynthResult{"MIG": sr.MIG, "AIG": sr.AIG, "CST": sr.CST} {
+	for label, m := range map[string]bench.SynthResult{"MIG": sr.MIG, "AIG": sr.AIG, "CST": sr.CST} {
 		if !m.OK || m.Area <= 0 || m.Delay <= 0 || m.Power <= 0 {
 			t.Errorf("%s flow produced bad metrics: %+v", label, m)
 		}
@@ -199,7 +200,7 @@ func TestMapperLibrarySensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, _ := synth.MIGOptimize(n, 2)
+	m, _ := bench.MIGOptimize(n, 2)
 	net := m.ToNetwork()
 	with := mapping.Map(net, mapping.Default22nm(), nil)
 	without := mapping.Map(net, mapping.NoMajLibrary(), nil)

@@ -317,6 +317,20 @@ func (a *AIG) Activity(inputProbs []float64) float64 {
 	return total
 }
 
+// Clone returns a deep copy of the AIG. The structural hash is cloned as
+// a flat slice copy; scratch memory and the cut cache are not carried
+// over (mirrors the MIG's Clone).
+func (a *AIG) Clone() *AIG {
+	return &AIG{
+		Name:    a.Name,
+		nodes:   append([]node(nil), a.nodes...),
+		inputs:  append([]int(nil), a.inputs...),
+		names:   append([]string(nil), a.names...),
+		Outputs: append([]Output(nil), a.Outputs...),
+		strash:  a.strash.Clone(),
+	}
+}
+
 // Cleanup rebuilds the AIG dropping dead nodes.
 func (a *AIG) Cleanup() *AIG {
 	out := New(a.Name)

@@ -10,6 +10,7 @@ package aig
 // the pass is deterministic for any worker count and never increases size.
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -23,6 +24,15 @@ import (
 // simulation words (plus accumulated counterexample patterns), a conflict
 // budget per SAT query, and candidate solving fanned over jobs workers.
 func (a *AIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *AIG {
+	out, _ := a.FraigPassCtx(context.Background(), words, rounds, queryBudget, jobs)
+	return out
+}
+
+// FraigPassCtx is FraigPass honoring a context (see the MIG side):
+// cancellation interrupts the SAT queries promptly and returns the
+// unmodified input with the context's error; partial rounds are never
+// committed.
+func (a *AIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget int64, jobs int) (*AIG, error) {
 	if words < 1 {
 		words = 1
 	}
@@ -32,7 +42,10 @@ func (a *AIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *AIG {
 	cur := a
 	var cexes [][]bool
 	for round := 0; round < rounds; round++ {
-		next, merged, newCex := cur.fraigRound(words, queryBudget, jobs, int64(round), cexes)
+		next, merged, newCex := cur.fraigRound(ctx, words, queryBudget, jobs, int64(round), cexes)
+		if err := ctx.Err(); err != nil {
+			return a, err
+		}
 		cexes = append(cexes, newCex...)
 		if merged == 0 {
 			break
@@ -40,12 +53,12 @@ func (a *AIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *AIG {
 		cur = next
 	}
 	if cur.Size() > a.Size() {
-		return a
+		return a, nil
 	}
-	return cur
+	return cur, nil
 }
 
-func (a *AIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes [][]bool) (*AIG, int, [][]bool) {
+func (a *AIG) fraigRound(ctx context.Context, words int, budget int64, jobs int, seed int64, cexes [][]bool) (*AIG, int, [][]bool) {
 	r := rand.New(rand.NewSource(0xF4A161<<8 + seed))
 	live := a.LiveMask()
 	isAnd := func(i int) bool { return a.nodes[i].kind == kindAnd }
@@ -53,6 +66,7 @@ func (a *AIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 	for ord, n := range a.inputs {
 		piOrd[n] = int32(ord)
 	}
+	stop := sat.StopOn(ctx)
 	subRepr, subPhase, merged, newCex := sweep.Round(sweep.RoundSpec{
 		NumInputs: len(a.inputs),
 		NumNodes:  len(a.nodes),
@@ -61,10 +75,10 @@ func (a *AIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 		Eval:      a.EvalWord,
 		Include:   func(i int) bool { return !isAnd(i) || live[i] },
 		Mergeable: func(i int) bool { return isAnd(i) && live[i] },
-		Solve:     func(p sweep.Pair) sweep.Verdict { return a.solveFraigPair(p, budget, piOrd) },
-		ForEach:   func(n int, fn func(int)) { opt.ForEach(n, jobs, fn) },
+		Solve:     func(p sweep.Pair) sweep.Verdict { return a.solveFraigPair(p, budget, piOrd, stop) },
+		ForEach:   func(n int, fn func(int)) { opt.ForEachCtx(ctx, n, jobs, fn) },
 	}, cexes)
-	if merged == 0 {
+	if merged == 0 || ctx.Err() != nil {
 		return a, 0, newCex
 	}
 
@@ -95,7 +109,7 @@ func (a *AIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 // fraigScratchPool holds per-worker cone scratch (see the MIG side).
 var fraigScratchPool = sync.Pool{New: func() any { return new(sweep.Scratch[sat.Lit]) }}
 
-func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32) sweep.Verdict {
+func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop func() bool) sweep.Verdict {
 	scr := fraigScratchPool.Get().(*sweep.Scratch[sat.Lit])
 	defer fraigScratchPool.Put(scr)
 	scr.Reset(len(a.nodes))
@@ -117,6 +131,7 @@ func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32) sweep.Ve
 	sort.Ints(cone)
 
 	s := sat.NewSolver()
+	s.Stop = stop
 	var piNodes []int
 	lit := func(x Signal) sat.Lit { return scr.Get(x.Node()).NotIf(x.Neg()) }
 	for _, v := range cone {

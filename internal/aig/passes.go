@@ -6,6 +6,8 @@ package aig
 // passes, and any other composition can be scripted.
 
 import (
+	"context"
+
 	"repro/internal/opt"
 )
 
@@ -30,11 +32,13 @@ func passRefactor() opt.Pass[*AIG] {
 }
 
 // passFraig is simulation-guided SAT sweeping (fraig.go), candidate pairs
-// fanned over the process worker budget; deterministic for any worker
-// count and never size-increasing.
+// fanned over the worker budget (context override, then the process-wide
+// SetWorkers budget); deterministic for any worker count and never
+// size-increasing. Context cancellation interrupts the SAT queries
+// without committing.
 func passFraig(words, rounds, conflicts int) opt.Pass[*AIG] {
-	return opt.New("fraig", func(a *AIG) *AIG {
-		return a.FraigPass(words, rounds, int64(conflicts), opt.Workers())
+	return opt.NewCtx("fraig", func(ctx context.Context, a *AIG) (*AIG, error) {
+		return a.FraigPassCtx(ctx, words, rounds, int64(conflicts), opt.WorkersCtx(ctx))
 	})
 }
 
@@ -80,35 +84,35 @@ func ParseScript(script string) (*opt.Pipeline[*AIG], error) {
 
 func buildRegistry() *opt.Registry[*AIG] {
 	r := opt.NewRegistry[*AIG]()
-	r.Register("cleanup", "cleanup: drop dead nodes (topological rebuild)",
+	r.Register("cleanup", "", "cleanup: drop dead nodes (topological rebuild)",
 		func(args []int) (opt.Pass[*AIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passCleanup(), nil
 		})
-	r.Register("balance", "balance: rebuild AND trees at minimum depth",
+	r.Register("balance", "", "balance: rebuild AND trees at minimum depth",
 		func(args []int) (opt.Pass[*AIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passBalance(), nil
 		})
-	r.Register("rewrite", "rewrite: DAG-aware 4-input cut rewriting",
+	r.Register("rewrite", "", "rewrite: DAG-aware 4-input cut rewriting",
 		func(args []int) (opt.Pass[*AIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passRewrite(), nil
 		})
-	r.Register("refactor", "refactor: cone refactoring through factored SOP (10-input cuts)",
+	r.Register("refactor", "", "refactor: cone refactoring through factored SOP (10-input cuts)",
 		func(args []int) (opt.Pass[*AIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passRefactor(), nil
 		})
-	r.Register("fraig", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
+	r.Register("fraig", "words,rounds,conflicts", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
 		func(args []int) (opt.Pass[*AIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 4, 2, 2000)
 			if err != nil {

@@ -16,6 +16,7 @@
 package equiv
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -86,12 +87,25 @@ func (o *Options) defaults() {
 // Check compares two networks with the same input and output counts. Inputs
 // are matched positionally.
 func Check(a, b *netlist.Network, opts Options) (Result, error) {
+	return CheckCtx(context.Background(), a, b, opts)
+}
+
+// CheckCtx is Check honoring a context: cancellation or deadline expiry
+// interrupts the SAT engine's search promptly (well before any conflict
+// budget runs out) and is observed between the layered engines, returning
+// the context's error. The exact/BDD/simulation engines run to completion
+// once started — they are bounded by input count, node limit, and round
+// count respectively.
+func CheckCtx(ctx context.Context, a, b *netlist.Network, opts Options) (Result, error) {
 	opts.defaults()
 	if a.NumInputs() != b.NumInputs() {
 		return Result{}, fmt.Errorf("equiv: input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
 	}
 	if a.NumOutputs() != b.NumOutputs() {
 		return Result{}, fmt.Errorf("equiv: output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 	switch opts.Engine {
 	case "", "auto":
@@ -101,7 +115,12 @@ func Check(a, b *netlist.Network, opts Options) (Result, error) {
 		if res, ok := checkBDD(a, b, opts.BDDLimit); ok {
 			return res, nil
 		}
-		if res, ok := checkSAT(a, b, opts.SATConflicts); ok {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if res, ok, err := checkSAT(ctx, a, b, opts.SATConflicts); err != nil {
+			return Result{}, err
+		} else if ok {
 			return res, nil
 		}
 		// SAT budget exhausted: probabilistic last resort.
@@ -118,7 +137,10 @@ func Check(a, b *netlist.Network, opts Options) (Result, error) {
 		}
 		return res, nil
 	case "sat":
-		res, ok := checkSAT(a, b, 0) // unbounded: always decides
+		res, ok, err := checkSAT(ctx, a, b, 0) // unbounded: always decides
+		if err != nil {
+			return Result{}, err
+		}
 		if !ok {
 			return Result{}, fmt.Errorf("equiv: SAT engine could not encode the networks")
 		}
@@ -151,13 +173,17 @@ func checkExact(a, b *netlist.Network) (Result, error) {
 }
 
 // checkSAT decides equivalence through a CNF miter (internal/sat). ok is
-// false only when the conflict budget ran out (never with budget 0).
-func checkSAT(a, b *netlist.Network, budget int64) (Result, bool) {
-	res, err := sat.Miter(a, b, budget)
+// false only when the conflict budget ran out (never with budget 0). A
+// non-nil error is the context's: the solve was interrupted.
+func checkSAT(ctx context.Context, a, b *netlist.Network, budget int64) (Result, bool, error) {
+	res, err := sat.MiterCtx(ctx, a, b, budget)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Result{}, false, ctxErr
+		}
 		// Interface mismatches are caught above; an encoder error means an
 		// op the CNF layer cannot express, so let the caller fall back.
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	switch res.Status {
 	case sat.Unsat:
@@ -165,15 +191,15 @@ func checkSAT(a, b *netlist.Network, budget int64) (Result, bool) {
 			Equivalent: true,
 			Method:     MethodSAT,
 			Detail:     fmt.Sprintf("miter UNSAT after %d conflicts", res.Conflicts),
-		}, true
+		}, true, nil
 	case sat.Sat:
 		return Result{
 			Equivalent: false,
 			Method:     MethodSAT,
 			Detail:     cexDetail(a, b, res.Inputs),
-		}, true
+		}, true, nil
 	}
-	return Result{}, false
+	return Result{}, false, nil
 }
 
 func checkSim(a, b *netlist.Network, opts Options) Result {

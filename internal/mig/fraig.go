@@ -17,6 +17,7 @@ package mig
 // count (the same guarantee window-rewrite gives).
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -31,6 +32,16 @@ import (
 // budget per SAT query, and candidate solving fanned over jobs workers.
 // The result is functionally equivalent to the input and never larger.
 func (m *MIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *MIG {
+	out, _ := m.FraigPassCtx(context.Background(), words, rounds, queryBudget, jobs)
+	return out
+}
+
+// FraigPassCtx is FraigPass honoring a context: cancellation interrupts
+// the per-pair SAT solves and the candidate sweep promptly, returning the
+// unmodified input graph with the context's error (partial rounds are
+// never committed, so the result stays byte-identical for any worker count
+// and any cancellation point).
+func (m *MIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget int64, jobs int) (*MIG, error) {
 	if words < 1 {
 		words = 1
 	}
@@ -40,7 +51,10 @@ func (m *MIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *MIG {
 	cur := m
 	var cexes [][]bool
 	for round := 0; round < rounds; round++ {
-		next, merged, newCex := cur.fraigRound(words, queryBudget, jobs, int64(round), cexes)
+		next, merged, newCex := cur.fraigRound(ctx, words, queryBudget, jobs, int64(round), cexes)
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
 		cexes = append(cexes, newCex...)
 		if merged == 0 {
 			break
@@ -48,15 +62,15 @@ func (m *MIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *MIG {
 		cur = next
 	}
 	if cur.Size() > m.Size() {
-		return m // cannot happen (merges only redirect fanout), kept as a guard
+		return m, nil // cannot happen (merges only redirect fanout), kept as a guard
 	}
-	return cur
+	return cur, nil
 }
 
 // fraigRound is one simulate–classify–prove–merge iteration. It returns
 // the rebuilt graph, the number of merged nodes, and the counterexample
 // patterns gathered from refutations.
-func (m *MIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes [][]bool) (*MIG, int, [][]bool) {
+func (m *MIG) fraigRound(ctx context.Context, words int, budget int64, jobs int, seed int64, cexes [][]bool) (*MIG, int, [][]bool) {
 	r := rand.New(rand.NewSource(0xF4A160<<8 + seed))
 	// Considered nodes: the constant, every primary input, and every live
 	// majority node — so a majority node can merge into a constant or an
@@ -68,6 +82,7 @@ func (m *MIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 	for ord, n := range m.inputs {
 		piOrd[n] = int32(ord)
 	}
+	stop := sat.StopOn(ctx)
 	subRepr, subPhase, merged, newCex := sweep.Round(sweep.RoundSpec{
 		NumInputs: len(m.inputs),
 		NumNodes:  len(m.nodes),
@@ -76,10 +91,10 @@ func (m *MIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 		Eval:      m.EvalWord,
 		Include:   func(i int) bool { return !isMaj(i) || live[i] },
 		Mergeable: func(i int) bool { return isMaj(i) && live[i] },
-		Solve:     func(p sweep.Pair) sweep.Verdict { return m.solveFraigPair(p, budget, piOrd) },
-		ForEach:   func(n int, fn func(int)) { opt.ForEach(n, jobs, fn) },
+		Solve:     func(p sweep.Pair) sweep.Verdict { return m.solveFraigPair(p, budget, piOrd, stop) },
+		ForEach:   func(n int, fn func(int)) { opt.ForEachCtx(ctx, n, jobs, fn) },
 	}, cexes)
-	if merged == 0 {
+	if merged == 0 || ctx.Err() != nil {
 		return m, 0, newCex
 	}
 
@@ -117,8 +132,9 @@ func (m *MIG) fraigRound(words int, budget int64, jobs int, seed int64, cexes []
 var fraigScratchPool = sync.Pool{New: func() any { return new(sweep.Scratch[sat.Lit]) }}
 
 // solveFraigPair decides one candidate on the union of the two fanin
-// cones in a fresh solver: UNSAT proves member == repr XOR phase.
-func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32) sweep.Verdict {
+// cones in a fresh solver: UNSAT proves member == repr XOR phase. stop,
+// when non-nil, interrupts the solve (the pair is left unmerged).
+func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop func() bool) sweep.Verdict {
 	scr := fraigScratchPool.Get().(*sweep.Scratch[sat.Lit])
 	defer fraigScratchPool.Put(scr)
 	scr.Reset(len(m.nodes))
@@ -142,6 +158,7 @@ func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32) sweep.Ve
 	sort.Ints(cone)
 
 	s := sat.NewSolver()
+	s.Stop = stop
 	var piNodes []int
 	lit := func(x Signal) sat.Lit { return scr.Get(x.Node()).NotIf(x.Neg()) }
 	for _, v := range cone {

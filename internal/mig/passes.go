@@ -8,6 +8,7 @@ package mig
 // other composition.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/opt"
@@ -120,21 +121,28 @@ func passCutRewrite() opt.Pass[*MIG] {
 }
 
 // passWindowRewrite is cut rewriting with candidate evaluation fanned out
-// over the process worker budget (opt.SetWorkers, wired to -jobs in the
-// CLIs). Deterministic: the result is byte-identical for any worker count.
+// over the worker budget — the context's when it carries one (sessions),
+// the process-wide SetWorkers budget (wired to -jobs in the CLIs)
+// otherwise. Deterministic: the result is byte-identical for any worker
+// count; context cancellation aborts the pass without committing.
 func passWindowRewrite(k, maxCuts int) opt.Pass[*MIG] {
-	return opt.New("window-rewrite", func(m *MIG) *MIG {
-		return m.WindowRewritePass(k, maxCuts, opt.Workers()).Cleanup()
+	return opt.NewCtx("window-rewrite", func(ctx context.Context, m *MIG) (*MIG, error) {
+		out, err := m.WindowRewritePassCtx(ctx, k, maxCuts, opt.WorkersCtx(ctx))
+		if err != nil {
+			return m, err
+		}
+		return out.Cleanup(), nil
 	})
 }
 
 // passFraig is simulation-guided SAT sweeping (fraig.go) with candidate
-// pairs fanned over the process worker budget (opt.SetWorkers, wired to
-// -jobs in the CLIs). Deterministic for any worker count; never increases
-// size.
+// pairs fanned over the worker budget (context override, then the
+// process-wide SetWorkers budget wired to -jobs in the CLIs).
+// Deterministic for any worker count; never increases size; context
+// cancellation interrupts the SAT queries without committing.
 func passFraig(words, rounds, conflicts int) opt.Pass[*MIG] {
-	return opt.New("fraig", func(m *MIG) *MIG {
-		return m.FraigPass(words, rounds, int64(conflicts), opt.Workers())
+	return opt.NewCtx("fraig", func(ctx context.Context, m *MIG) (*MIG, error) {
+		return m.FraigPassCtx(ctx, words, rounds, int64(conflicts), opt.WorkersCtx(ctx))
 	})
 }
 
@@ -236,14 +244,14 @@ func ParseScript(script string) (*opt.Pipeline[*MIG], error) {
 
 func buildRegistry() *opt.Registry[*MIG] {
 	r := opt.NewRegistry[*MIG]()
-	r.Register("cleanup", "cleanup: drop dead nodes (topological rebuild)",
+	r.Register("cleanup", "", "cleanup: drop dead nodes (topological rebuild)",
 		func(args []int) (opt.Pass[*MIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passCleanup(), nil
 		})
-	r.Register("eliminate", "eliminate(window=3): node elimination (Ω.M, Ω.D R→L, Ψ.R); window 0 disables Ψ.R",
+	r.Register("eliminate", "window", "eliminate(window=3): node elimination (Ω.M, Ω.D R→L, Ψ.R); window 0 disables Ψ.R",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 0, 3)
 			if err != nil {
@@ -251,7 +259,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passEliminate(a[0]), nil
 		})
-	r.Register("eliminate-budget", "eliminate-budget(window=3, iters=8): slack-aware size recovery at constant depth",
+	r.Register("eliminate-budget", "window,iters", "eliminate-budget(window=3, iters=8): slack-aware size recovery at constant depth",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 3, 8)
 			if err != nil {
@@ -259,7 +267,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passEliminateBudget(a[0], a[1]), nil
 		})
-	r.Register("reshape-size", "reshape-size(window=3): conservative sharing-increasing Ψ.R exchanges",
+	r.Register("reshape-size", "window", "reshape-size(window=3): conservative sharing-increasing Ψ.R exchanges",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 3)
 			if err != nil {
@@ -267,7 +275,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passReshape(a[0], false), nil
 		})
-	r.Register("reshape-depth", "reshape-depth(window=3): aggressive reshape (Ψ.R plus Ψ.S on critical cones)",
+	r.Register("reshape-depth", "window", "reshape-depth(window=3): aggressive reshape (Ψ.R plus Ψ.S on critical cones)",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 3)
 			if err != nil {
@@ -275,7 +283,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passReshape(a[0], true), nil
 		})
-	r.Register("pushup", "pushup(iters=64): critical-path push-up (Ω.A, Ψ.C, Ω.D L→R) to convergence",
+	r.Register("pushup", "iters", "pushup(iters=64): critical-path push-up (Ω.A, Ψ.C, Ω.D L→R) to convergence",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 64)
 			if err != nil {
@@ -283,7 +291,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passPushup(a[0]), nil
 		})
-	r.Register("activity", "activity(iters=1): probability-aware relevance exchanges while activity improves",
+	r.Register("activity", "iters", "activity(iters=1): probability-aware relevance exchanges while activity improves",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 1)
 			if err != nil {
@@ -291,14 +299,14 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passActivity(a[0], nil), nil
 		})
-	r.Register("cut-rewrite", "cut-rewrite: 4-input cut functional rewriting",
+	r.Register("cut-rewrite", "", "cut-rewrite: 4-input cut functional rewriting",
 		func(args []int) (opt.Pass[*MIG], error) {
 			if _, err := opt.IntArgs(args); err != nil {
 				return nil, err
 			}
 			return passCutRewrite(), nil
 		})
-	r.Register("fraig", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
+	r.Register("fraig", "words,rounds,conflicts", "fraig(words=4, rounds=2, conflicts=2000): simulation-guided SAT sweeping — merge SAT-proven equivalent nodes (workers = -jobs); never increases size",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 1, 4, 2, 2000)
 			if err != nil {
@@ -306,7 +314,7 @@ func buildRegistry() *opt.Registry[*MIG] {
 			}
 			return passFraig(a[0], a[1], a[2]), nil
 		})
-	r.Register("window-rewrite", "window-rewrite(k=4, cuts=5): cut rewriting with window-parallel candidate evaluation (workers = -jobs); byte-identical to serial",
+	r.Register("window-rewrite", "k,cuts", "window-rewrite(k=4, cuts=5): cut rewriting with window-parallel candidate evaluation (workers = -jobs); byte-identical to serial",
 		func(args []int) (opt.Pass[*MIG], error) {
 			a, err := opt.IntArgsMin(args, 2, 4, 5)
 			if err != nil {

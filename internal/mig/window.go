@@ -30,6 +30,8 @@ package mig
 // signals.
 
 import (
+	"context"
+
 	"repro/internal/cut"
 	"repro/internal/opt"
 )
@@ -99,6 +101,16 @@ func (m *MIG) windows(live []bool, refs []int) [][]int {
 // over jobs workers. jobs <= 1 evaluates serially; the committed result is
 // byte-identical for every jobs value.
 func (m *MIG) WindowRewritePass(k, maxCuts, jobs int) *MIG {
+	out, _ := m.WindowRewritePassCtx(context.Background(), k, maxCuts, jobs)
+	return out
+}
+
+// WindowRewritePassCtx is WindowRewritePass honoring a context:
+// cancellation stops the window evaluation and returns the unmodified
+// input graph with the context's error (the serial commit phase never runs
+// on a partial evaluation, preserving byte-identity for any cancellation
+// point).
+func (m *MIG) WindowRewritePassCtx(ctx context.Context, k, maxCuts, jobs int) (*MIG, error) {
 	cuts := m.CutSet(k, maxCuts)
 	refs := m.FanoutCounts()
 	lp := takeBools(len(m.nodes))
@@ -124,11 +136,13 @@ func (m *MIG) WindowRewritePass(k, maxCuts, jobs int) *MIG {
 			clones <- m.Clone()
 		}
 	}
-	opt.ForEach(len(windows), jobs, func(wi int) {
+	if err := opt.ForEachCtx(ctx, len(windows), jobs, func(wi int) {
 		cl := <-clones
 		cl.evalWindow(windows[wi], cuts, choices)
 		clones <- cl
-	})
+	}); err != nil {
+		return m, err
+	}
 
 	// Phase 2: serial deterministic commit.
 	out := New(m.Name)
@@ -172,7 +186,7 @@ func (m *MIG) WindowRewritePass(k, maxCuts, jobs int) *MIG {
 	for _, o := range m.Outputs {
 		out.AddOutput(o.Name, remap[o.Sig.Node()].NotIf(o.Sig.Neg()))
 	}
-	return out
+	return out, nil
 }
 
 // evalWindow probes the cut candidates of every node of one window against

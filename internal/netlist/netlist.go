@@ -113,6 +113,21 @@ func New(name string) *Network {
 // NumNodes returns the total node count including constants and inputs.
 func (n *Network) NumNodes() int { return len(n.Nodes) }
 
+// Clone returns a deep copy of the network (fanin slices included).
+func (n *Network) Clone() *Network {
+	out := &Network{
+		Name:    n.Name,
+		Nodes:   make([]Node, len(n.Nodes)),
+		Inputs:  append([]int(nil), n.Inputs...),
+		Outputs: append([]Output(nil), n.Outputs...),
+	}
+	copy(out.Nodes, n.Nodes)
+	for i := range out.Nodes {
+		out.Nodes[i].Fanins = append([]Signal(nil), n.Nodes[i].Fanins...)
+	}
+	return out
+}
+
 // NumGates returns the number of logic gates (excluding const, inputs,
 // buffers and inverters).
 func (n *Network) NumGates() int {

@@ -21,6 +21,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -46,6 +47,17 @@ type Pass[G Graph] interface {
 	Apply(G) G
 }
 
+// CtxPass is a Pass that additionally honors a context: long-running
+// passes (SAT sweeping, window-parallel rewriting, best-of cycles)
+// implement it so deadline and cancellation interrupt the work instead of
+// waiting out internal budgets. ApplyCtx returns the input (or any valid
+// intermediate) graph together with the context's error when interrupted;
+// the result accompanying a non-nil error must not be committed.
+type CtxPass[G Graph] interface {
+	Pass[G]
+	ApplyCtx(ctx context.Context, g G) (G, error)
+}
+
 type passFunc[G Graph] struct {
 	name string
 	fn   func(G) G
@@ -54,24 +66,67 @@ type passFunc[G Graph] struct {
 func (p passFunc[G]) Name() string { return p.name }
 func (p passFunc[G]) Apply(g G) G  { return p.fn(g) }
 
+type ctxPassFunc[G Graph] struct {
+	name string
+	fn   func(ctx context.Context, g G) (G, error)
+}
+
+func (p ctxPassFunc[G]) Name() string { return p.name }
+
+func (p ctxPassFunc[G]) Apply(g G) G {
+	// The background context is never cancelled, so a ctx pass can only
+	// fail here through a programming error.
+	out, err := p.fn(context.Background(), g)
+	if err != nil {
+		panic(fmt.Sprintf("opt: pass %q failed under the background context: %v", p.name, err))
+	}
+	return out
+}
+
+func (p ctxPassFunc[G]) ApplyCtx(ctx context.Context, g G) (G, error) { return p.fn(ctx, g) }
+
 // New wraps fn as a named Pass.
 func New[G Graph](name string, fn func(G) G) Pass[G] {
 	return passFunc[G]{name: name, fn: fn}
 }
 
+// NewCtx wraps fn as a named context-aware Pass (see CtxPass).
+func NewCtx[G Graph](name string, fn func(ctx context.Context, g G) (G, error)) Pass[G] {
+	return ctxPassFunc[G]{name: name, fn: fn}
+}
+
+// Apply runs p on g under ctx, using the context-aware path when the pass
+// provides one and otherwise checking ctx before the plain Apply.
+func Apply[G Graph](ctx context.Context, p Pass[G], g G) (G, error) {
+	if cp, ok := p.(CtxPass[G]); ok {
+		return cp.ApplyCtx(ctx, g)
+	}
+	if err := ctx.Err(); err != nil {
+		return g, err
+	}
+	return p.Apply(g), nil
+}
+
 // Rename returns p under a different display name (used by Parse to keep
-// the script's literal statement as the trace label).
+// the script's literal statement as the trace label). Context awareness is
+// preserved.
 func Rename[G Graph](name string, p Pass[G]) Pass[G] {
+	if cp, ok := p.(CtxPass[G]); ok {
+		return ctxPassFunc[G]{name: name, fn: cp.ApplyCtx}
+	}
 	return passFunc[G]{name: name, fn: p.Apply}
 }
 
 // Sequence composes passes into one compound pass.
 func Sequence[G Graph](name string, passes ...Pass[G]) Pass[G] {
-	return New(name, func(g G) G {
+	return NewCtx(name, func(ctx context.Context, g G) (G, error) {
 		for _, p := range passes {
-			g = p.Apply(g)
+			var err error
+			if g, err = Apply(ctx, p, g); err != nil {
+				return g, err
+			}
 		}
-		return g
+		return g, nil
 	})
 }
 
@@ -79,19 +134,23 @@ func Sequence[G Graph](name string, passes ...Pass[G]) Pass[G] {
 // carrying the working graph from cycle to cycle (even through worsening
 // cycles — that is what lets the algorithms escape local minima), and
 // returns the best graph seen under better(candidate, incumbent). The
-// input graph is the initial incumbent.
+// input graph is the initial incumbent. Cancellation is checked between
+// inner passes.
 func Best[G Graph](name string, rounds int, better func(cand, best G) bool, body func(cycle int) []Pass[G]) Pass[G] {
-	return New(name, func(g G) G {
+	return NewCtx(name, func(ctx context.Context, g G) (G, error) {
 		best, cur := g, g
 		for cycle := 0; cycle < rounds; cycle++ {
 			for _, p := range body(cycle) {
-				cur = p.Apply(cur)
+				var err error
+				if cur, err = Apply(ctx, p, cur); err != nil {
+					return best, err
+				}
 			}
 			if better(cur, best) {
 				best = cur
 			}
 		}
-		return best
+		return best, nil
 	})
 }
 
@@ -124,13 +183,14 @@ func (t Trace) Format() string {
 }
 
 // Checker verifies that got is functionally equivalent to ref, returning a
-// non-nil error when it is not (or when the check itself fails).
-type Checker func(ref, got *netlist.Network) error
+// non-nil error when it is not (or when the check itself fails). The
+// context carries the pipeline run's deadline into SAT-backed engines.
+type Checker func(ctx context.Context, ref, got *netlist.Network) error
 
 // EquivChecker adapts the equiv engine to the Checker contract.
 func EquivChecker(opts equiv.Options) Checker {
-	return func(ref, got *netlist.Network) error {
-		res, err := equiv.Check(ref, got, opts)
+	return func(ctx context.Context, ref, got *netlist.Network) error {
+		res, err := equiv.CheckCtx(ctx, ref, got, opts)
 		if err != nil {
 			return err
 		}
@@ -170,6 +230,15 @@ func (p *Pipeline[G]) String() string {
 // first violation aborts the run, returning the last good graph, the trace
 // up to and including the offending step, and an error.
 func (p *Pipeline[G]) Run(g G) (G, Trace, error) {
+	return p.RunContext(context.Background(), g)
+}
+
+// RunContext is Run honoring a context: cancellation or deadline expiry is
+// observed between passes, inside context-aware passes (CtxPass), and
+// inside SAT-backed equivalence checkers, so long solves are interrupted
+// promptly. On interruption the last completed graph, the trace so far,
+// and the context's error are returned.
+func (p *Pipeline[G]) RunContext(ctx context.Context, g G) (G, Trace, error) {
 	var ref *netlist.Network
 	if p.Check != nil {
 		ref = g.ToNetwork()
@@ -177,6 +246,9 @@ func (p *Pipeline[G]) Run(g G) (G, Trace, error) {
 	trace := make(Trace, 0, len(p.Passes))
 	cur := g
 	for _, ps := range p.Passes {
+		if err := ctx.Err(); err != nil {
+			return cur, trace, err
+		}
 		st := Step{
 			Pass:           ps.Name(),
 			SizeBefore:     cur.Size(),
@@ -184,13 +256,20 @@ func (p *Pipeline[G]) Run(g G) (G, Trace, error) {
 			ActivityBefore: cur.Activity(nil),
 		}
 		start := time.Now()
-		next := ps.Apply(cur)
+		next, err := Apply(ctx, ps, cur)
+		if err != nil {
+			return cur, trace, fmt.Errorf("opt: pass %q interrupted: %w", ps.Name(), err)
+		}
 		st.Seconds = time.Since(start).Seconds()
 		st.SizeAfter = next.Size()
 		st.DepthAfter = next.Depth()
 		st.ActivityAfter = next.Activity(nil)
 		if p.Check != nil {
-			if err := p.Check(ref, next.ToNetwork()); err != nil {
+			if err := p.Check(ctx, ref, next.ToNetwork()); err != nil {
+				if ctx.Err() != nil {
+					// The check was interrupted, not failed.
+					return cur, trace, fmt.Errorf("opt: pass %q interrupted: %w", ps.Name(), ctx.Err())
+				}
 				st.Equiv = err.Error()
 				trace = append(trace, st)
 				return cur, trace, fmt.Errorf("opt: pass %q broke equivalence: %w", ps.Name(), err)

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -71,7 +72,7 @@ func TestPipelineCheckAborts(t *testing.T) {
 	calls := 0
 	p := &Pipeline[fake]{
 		Passes: []Pass[fake]{shrink(1), shrink(1), shrink(1)},
-		Check: func(ref, got *netlist.Network) error {
+		Check: func(ctx context.Context, ref, got *netlist.Network) error {
 			calls++
 			if calls == 2 {
 				return errors.New("boom")
@@ -131,7 +132,7 @@ func TestBestTracksIncumbentAndCarriesCurrent(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	r := NewRegistry[fake]()
-	r.Register("shrink", "shrink(by=1)", func(args []int) (Pass[fake], error) {
+	r.Register("shrink", "by", "shrink(by=1)", func(args []int) (Pass[fake], error) {
 		a, err := IntArgs(args, 1)
 		if err != nil {
 			return nil, err
@@ -161,7 +162,7 @@ func TestRegistry(t *testing.T) {
 
 func TestRegistryPanicsOnBadRegistration(t *testing.T) {
 	r := NewRegistry[fake]()
-	r.Register("ok-name", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+	r.Register("ok-name", "", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
 	for _, bad := range []string{"", "Upper", "1start", "sp ace"} {
 		func() {
 			defer func() {
@@ -169,7 +170,7 @@ func TestRegistryPanicsOnBadRegistration(t *testing.T) {
 					t.Errorf("Register(%q) must panic", bad)
 				}
 			}()
-			r.Register(bad, "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+			r.Register(bad, "", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
 		}()
 	}
 	func() {
@@ -178,7 +179,7 @@ func TestRegistryPanicsOnBadRegistration(t *testing.T) {
 				t.Error("duplicate Register must panic")
 			}
 		}()
-		r.Register("ok-name", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
+		r.Register("ok-name", "", "", func([]int) (Pass[fake], error) { return shrink(1), nil })
 	}()
 }
 

@@ -12,6 +12,7 @@ package opt
 // may change how work is scheduled, never what is computed.
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -35,6 +36,76 @@ func Workers() int {
 		return int(n)
 	}
 	return 1
+}
+
+// workersKey carries a per-context worker budget (see ContextWithWorkers).
+type workersKey struct{}
+
+// ContextWithWorkers returns a context carrying a worker budget for
+// parallel-safe passes, overriding the process-wide SetWorkers budget for
+// pipelines run under this context. A server process shares one global
+// budget between concurrent requests; the context budget is how each
+// session carries its own.
+func ContextWithWorkers(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		n = 1
+	}
+	return context.WithValue(ctx, workersKey{}, n)
+}
+
+// WorkersCtx returns the context's worker budget, falling back to the
+// process-wide Workers budget when the context carries none.
+func WorkersCtx(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey{}).(int); ok {
+		return n
+	}
+	return Workers()
+}
+
+// ForEachCtx is ForEach that stops handing out work once ctx is cancelled;
+// items already started run to completion (work functions are not
+// interrupted mid-item). Returns ctx.Err() when the sweep was cut short,
+// nil when every item ran.
+func ForEachCtx(ctx context.Context, n, jobs int, fn func(i int)) error {
+	done := ctx.Done()
+	if done == nil {
+		ForEach(n, jobs, fn)
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case work <- i:
+		case <-done:
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return ctx.Err()
 }
 
 // ForEach runs fn(0), ..., fn(n-1) on up to jobs workers; jobs <= 1 runs

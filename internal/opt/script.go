@@ -19,6 +19,7 @@ type Registry[G Graph] struct {
 
 type regEntry[G Graph] struct {
 	factory Factory[G]
+	args    string // comma-separated argument names, "" = no arguments
 	usage   string
 }
 
@@ -29,8 +30,11 @@ func NewRegistry[G Graph]() *Registry[G] {
 
 // Register adds a named pass factory. The name must be a valid script
 // identifier (lowercase letter, then lowercase letters, digits or dashes);
-// duplicate registration panics (registries are built at package init).
-func (r *Registry[G]) Register(name, usage string, f Factory[G]) {
+// args names the pass's optional integer arguments in order, comma
+// separated ("" for an argument-free pass) — it is what Signature renders
+// and what -list-passes prints. Duplicate registration panics (registries
+// are built at package init).
+func (r *Registry[G]) Register(name, args, usage string, f Factory[G]) {
 	if !validPassName(name) {
 		panic(fmt.Sprintf("opt: invalid pass name %q", name))
 	}
@@ -38,7 +42,7 @@ func (r *Registry[G]) Register(name, usage string, f Factory[G]) {
 		panic(fmt.Sprintf("opt: duplicate pass %q", name))
 	}
 	r.order = append(r.order, name)
-	r.entries[name] = regEntry[G]{factory: f, usage: usage}
+	r.entries[name] = regEntry[G]{factory: f, args: args, usage: usage}
 }
 
 // Names lists the registered pass names in registration order.
@@ -46,15 +50,38 @@ func (r *Registry[G]) Names() []string {
 	return append([]string(nil), r.order...)
 }
 
+// SortedNames lists the registered pass names in lexicographic order — the
+// deterministic order user-facing listings print.
+func (r *Registry[G]) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}
+
 // Usage returns the one-line usage string of a registered pass ("" when the
 // pass is unknown).
 func (r *Registry[G]) Usage(name string) string { return r.entries[name].usage }
 
-// Help renders one usage line per registered pass.
+// Signature renders a registered pass's call shape — "window-rewrite(k,cuts)"
+// for a pass with arguments, the bare name for one without, "" when the
+// pass is unknown.
+func (r *Registry[G]) Signature(name string) string {
+	e, ok := r.entries[name]
+	if !ok {
+		return ""
+	}
+	if e.args == "" {
+		return name
+	}
+	return name + "(" + e.args + ")"
+}
+
+// Help renders one line per registered pass — signature, then usage —
+// sorted by name so the listing is deterministic.
 func (r *Registry[G]) Help() string {
 	var b strings.Builder
-	for _, n := range r.order {
-		fmt.Fprintf(&b, "  %s\n", r.entries[n].usage)
+	for _, n := range r.SortedNames() {
+		fmt.Fprintf(&b, "  %-26s %s\n", r.Signature(n), r.entries[n].usage)
 	}
 	return b.String()
 }
@@ -144,6 +171,31 @@ func IntArgsMin(args []int, lo int, defaults ...int) ([]int, error) {
 	return out, nil
 }
 
+// ScriptError is a script parse or compile failure located at a byte
+// offset, carrying the offending token so front-ends can point at the
+// mistake (e.g. `script: unknown pass "reshap" at offset 12`).
+type ScriptError struct {
+	Offset int    // byte offset of the offending token in the script source
+	Token  string // the offending token ("" when position-only)
+	Msg    string // what went wrong, e.g. "unknown pass"
+	Hint   string // optional remedy, e.g. the close registered names
+}
+
+// Error implements the error interface.
+func (e *ScriptError) Error() string {
+	var b strings.Builder
+	b.WriteString("script: ")
+	b.WriteString(e.Msg)
+	if e.Token != "" {
+		fmt.Fprintf(&b, " %q", e.Token)
+	}
+	fmt.Fprintf(&b, " at offset %d", e.Offset)
+	if e.Hint != "" {
+		fmt.Fprintf(&b, " (%s)", e.Hint)
+	}
+	return b.String()
+}
+
 // stmt is one parsed script statement.
 type stmt struct {
 	name string
@@ -180,13 +232,27 @@ func Parse[G Graph](r *Registry[G], script string) (*Pipeline[G], error) {
 		return nil, err
 	}
 	if len(stmts) == 0 {
-		return nil, fmt.Errorf("opt: empty script")
+		return nil, &ScriptError{Msg: "empty script"}
 	}
 	p := &Pipeline[G]{}
 	for _, s := range stmts {
-		pass, err := r.New(s.name, s.args...)
+		e, known := r.entries[s.name]
+		if !known {
+			return nil, &ScriptError{
+				Offset: s.pos,
+				Token:  s.name,
+				Msg:    "unknown pass",
+				Hint:   "have " + strings.Join(r.closest(s.name), ", "),
+			}
+		}
+		pass, err := e.factory(s.args)
 		if err != nil {
-			return nil, fmt.Errorf("%w (at offset %d)", err, s.pos)
+			return nil, &ScriptError{
+				Offset: s.pos,
+				Token:  s.name,
+				Msg:    "bad arguments for pass",
+				Hint:   fmt.Sprintf("%v; usage: %s", err, e.usage),
+			}
 		}
 		p.Passes = append(p.Passes, Rename(s.canonical(), pass))
 	}
@@ -210,6 +276,22 @@ func parseScript(src string) ([]stmt, error) {
 			}
 		}
 	}
+	// token scans the run of non-delimiter characters at offset j, for
+	// error reporting.
+	token := func(j int) string {
+		k := j
+		for k < len(src) {
+			switch src[k] {
+			case ' ', '\t', '\n', '\r', ';', ',', '(', ')', '#':
+				if k == j {
+					return src[j : j+1] // a lone delimiter is the token
+				}
+				return src[j:k]
+			}
+			k++
+		}
+		return src[j:k]
+	}
 	for {
 		skip()
 		if i >= len(src) {
@@ -217,7 +299,7 @@ func parseScript(src string) ([]stmt, error) {
 		}
 		pos := i
 		if src[i] < 'a' || src[i] > 'z' {
-			return nil, fmt.Errorf("opt: script offset %d: expected pass name, got %q", i, src[i])
+			return nil, &ScriptError{Offset: i, Token: token(i), Msg: "expected pass name, got"}
 		}
 		start := i
 		for i < len(src) && (src[i] == '-' || (src[i] >= 'a' && src[i] <= 'z') || (src[i] >= '0' && src[i] <= '9')) {
@@ -239,7 +321,7 @@ func parseScript(src string) ([]stmt, error) {
 				}
 				v, err := strconv.Atoi(src[astart:i])
 				if err != nil {
-					return nil, fmt.Errorf("opt: script offset %d: expected integer argument", astart)
+					return nil, &ScriptError{Offset: astart, Token: token(astart), Msg: "expected integer argument, got"}
 				}
 				s.args = append(s.args, v)
 				skip()
@@ -247,14 +329,14 @@ func parseScript(src string) ([]stmt, error) {
 					i++
 					skip()
 					if i >= len(src) || src[i] == ')' {
-						return nil, fmt.Errorf("opt: script offset %d: trailing comma", i)
+						return nil, &ScriptError{Offset: i, Msg: "trailing comma"}
 					}
 				} else if i < len(src) && src[i] != ')' {
-					return nil, fmt.Errorf("opt: script offset %d: expected ',' or ')'", i)
+					return nil, &ScriptError{Offset: i, Token: token(i), Msg: "expected ',' or ')', got"}
 				}
 			}
 			if i >= len(src) {
-				return nil, fmt.Errorf("opt: script offset %d: unterminated argument list", pos)
+				return nil, &ScriptError{Offset: pos, Token: s.name, Msg: "unterminated argument list for pass"}
 			}
 			i++ // ')'
 		}
@@ -264,7 +346,7 @@ func parseScript(src string) ([]stmt, error) {
 			return stmts, nil
 		}
 		if src[i] != ';' {
-			return nil, fmt.Errorf("opt: script offset %d: expected ';' between statements, got %q", i, src[i])
+			return nil, &ScriptError{Offset: i, Token: token(i), Msg: "expected ';' between statements, got"}
 		}
 		i++
 	}

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func scriptRegistry() *Registry[fake] {
 	r := NewRegistry[fake]()
 	for _, name := range []string{"eliminate", "reshape-depth", "pushup2"} {
 		n := name
-		r.Register(n, n+"(a=1, b=2)", func(args []int) (Pass[fake], error) {
+		r.Register(n, "a,b", n+"(a=1, b=2)", func(args []int) (Pass[fake], error) {
 			a, err := IntArgs(args, 1, 2)
 			if err != nil {
 				return nil, err
@@ -102,5 +103,129 @@ func TestParseErrors(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 			t.Errorf("Parse(%q) err = %v, want substring %q", c.script, err, c.wantErr)
 		}
+	}
+}
+
+// TestParseErrorLocations pins the located error format: every malformed
+// script reports the byte offset and the offending token, e.g.
+// `script: unknown pass "reshap" at offset 12`.
+func TestParseErrorLocations(t *testing.T) {
+	r := scriptRegistry()
+	cases := []struct {
+		script     string
+		wantErr    string // exact full message
+		wantOffset int
+		wantToken  string
+	}{
+		{
+			script:     "eliminate; reshap",
+			wantErr:    `script: unknown pass "reshap" at offset 11 (have reshape-depth, eliminate, pushup2)`,
+			wantOffset: 11,
+			wantToken:  "reshap",
+		},
+		{
+			script:     "Reshape",
+			wantErr:    `script: expected pass name, got "Reshape" at offset 0`,
+			wantOffset: 0,
+			wantToken:  "Reshape",
+		},
+		{
+			script:     "eliminate(two)",
+			wantErr:    `script: expected integer argument, got "two" at offset 10`,
+			wantOffset: 10,
+			wantToken:  "two",
+		},
+		{
+			script:     "eliminate(1 2)",
+			wantErr:    `script: expected ',' or ')', got "2" at offset 12`,
+			wantOffset: 12,
+			wantToken:  "2",
+		},
+		{
+			script:     "eliminate eliminate",
+			wantErr:    `script: expected ';' between statements, got "eliminate" at offset 10`,
+			wantOffset: 10,
+			wantToken:  "eliminate",
+		},
+		{
+			script:     "pushup2(3",
+			wantErr:    `script: unterminated argument list for pass "pushup2" at offset 0`,
+			wantOffset: 0,
+			wantToken:  "pushup2",
+		},
+		{
+			script:     "eliminate(1,)",
+			wantErr:    `script: trailing comma at offset 12`,
+			wantOffset: 12,
+		},
+		{
+			script:     "eliminate;; pushup2",
+			wantErr:    `script: expected pass name, got ";" at offset 10`,
+			wantOffset: 10,
+			wantToken:  ";",
+		},
+		{
+			script:     "eliminate(1, 2, 3)",
+			wantErr:    `script: bad arguments for pass "eliminate" at offset 0 (got 3 args, want at most 2; usage: eliminate(a=1, b=2))`,
+			wantOffset: 0,
+			wantToken:  "eliminate",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(r, c.script)
+		if err == nil {
+			t.Errorf("Parse(%q): want error, got nil", c.script)
+			continue
+		}
+		if err.Error() != c.wantErr {
+			t.Errorf("Parse(%q) err =\n  %s\nwant\n  %s", c.script, err, c.wantErr)
+		}
+		var se *ScriptError
+		if !errors.As(err, &se) {
+			t.Errorf("Parse(%q): error is %T, want *ScriptError", c.script, err)
+			continue
+		}
+		if se.Offset != c.wantOffset || se.Token != c.wantToken {
+			t.Errorf("Parse(%q): offset/token = %d/%q, want %d/%q",
+				c.script, se.Offset, se.Token, c.wantOffset, c.wantToken)
+		}
+	}
+}
+
+func TestRegistrySignatures(t *testing.T) {
+	r := NewRegistry[fake]()
+	reg := func(name, args string) {
+		r.Register(name, args, name+": test pass", func([]int) (Pass[fake], error) {
+			return New(name, func(g fake) fake { return g }), nil
+		})
+	}
+	reg("window-rewrite", "k,cuts")
+	reg("cleanup", "")
+	reg("balance", "")
+	if got := r.Signature("window-rewrite"); got != "window-rewrite(k,cuts)" {
+		t.Errorf("Signature = %q", got)
+	}
+	if got := r.Signature("cleanup"); got != "cleanup" {
+		t.Errorf("Signature = %q", got)
+	}
+	if got := r.Signature("nope"); got != "" {
+		t.Errorf("Signature(unknown) = %q", got)
+	}
+	want := []string{"balance", "cleanup", "window-rewrite"}
+	got := r.SortedNames()
+	if len(got) != len(want) {
+		t.Fatalf("SortedNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedNames = %v, want %v", got, want)
+		}
+	}
+	// Help lists passes sorted, signature first.
+	help := r.Help()
+	bi := strings.Index(help, "balance")
+	wi := strings.Index(help, "window-rewrite(k,cuts)")
+	if bi < 0 || wi < 0 || bi > wi {
+		t.Fatalf("Help not sorted or missing signatures:\n%s", help)
 	}
 }

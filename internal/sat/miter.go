@@ -18,12 +18,30 @@ package sat
 // equal.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/netlist"
 	"repro/internal/sweep"
 )
+
+// StopOn returns a Solver.Stop callback observing ctx's cancellation, or
+// nil when ctx can never be cancelled (so the solver skips polling).
+func StopOn(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
 
 // MiterResult is the outcome of a miter check.
 type MiterResult struct {
@@ -52,6 +70,15 @@ const (
 // solve share the budget, so a small budget means a fast Unknown (0 =
 // unlimited, always exact; the sweep stays per-query bounded either way).
 func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
+	return MiterCtx(context.Background(), a, b, maxConflicts)
+}
+
+// MiterCtx is Miter honoring a context: cancellation or deadline expiry
+// interrupts the SAT search promptly (the solver polls the context every
+// few hundred search steps), returning the context's error — this is what
+// lets a service deadline cut a C6288-class solve short instead of waiting
+// out its conflict budget.
+func MiterCtx(ctx context.Context, a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 	if a.NumInputs() != b.NumInputs() {
 		return MiterResult{}, fmt.Errorf("sat: miter input counts differ: %d vs %d", a.NumInputs(), b.NumInputs())
 	}
@@ -59,6 +86,7 @@ func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 		return MiterResult{}, fmt.Errorf("sat: miter output counts differ: %d vs %d", a.NumOutputs(), b.NumOutputs())
 	}
 	s := NewSolver()
+	s.Stop = StopOn(ctx)
 	ins, litsA, err := encodeNodes(s, a, nil)
 	if err != nil {
 		return MiterResult{}, err
@@ -72,7 +100,10 @@ func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 		return lits[o.Node()].NotIf(o.Neg())
 	}
 
-	proved := sweepInternalPairs(s, a, b, ins, litsA, litsB, maxConflicts)
+	proved := sweepInternalPairs(ctx, s, a, b, ins, litsA, litsB, maxConflicts)
+	if err := ctx.Err(); err != nil {
+		return MiterResult{Status: Unknown, Conflicts: s.Conflicts(), ProvedPairs: proved}, err
+	}
 
 	var diffs []Lit
 	for i := range a.Outputs {
@@ -102,6 +133,11 @@ func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 		s.MaxConflicts = 0
 	}
 	res := MiterResult{Status: s.Solve(), Conflicts: s.Conflicts(), ProvedPairs: proved}
+	if res.Status == Unknown {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+	}
 	if res.Status == Sat {
 		res.Inputs = make([]bool, len(ins))
 		for i, l := range ins {
@@ -118,7 +154,7 @@ func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 // conflicts the sweep may spend, so callers with a small overall budget
 // are not stalled by a long candidate list. Returns the number of proven
 // pairs.
-func sweepInternalPairs(s *Solver, a, b *netlist.Network, ins []Lit, litsA, litsB []Lit, maxTotal int64) int {
+func sweepInternalPairs(ctx context.Context, s *Solver, a, b *netlist.Network, ins []Lit, litsA, litsB []Lit, maxTotal int64) int {
 	r := rand.New(rand.NewSource(0x5A753EED))
 	nin := a.NumInputs()
 	sigA := make([][]uint64, 0, sweepWords+1)
@@ -161,6 +197,9 @@ func sweepInternalPairs(s *Solver, a, b *netlist.Network, ins []Lit, litsA, lits
 	proved, cexes := 0, 0
 	for j := range b.Nodes {
 		if maxTotal > 0 && s.Conflicts() >= maxTotal {
+			break
+		}
+		if ctx.Err() != nil {
 			break
 		}
 		if !isGate(b, j) {

@@ -32,7 +32,15 @@ type Solver struct {
 	// call returns Unknown. 0 means unlimited.
 	MaxConflicts int64
 
-	ok bool // false once the clause set is unsatisfiable at level 0
+	// Stop, when non-nil, is polled every few hundred search steps during
+	// Solve; when it reports true the call returns Unknown promptly
+	// (typically well before a conflict budget runs out). It is how a
+	// context deadline or cancellation interrupts a long solve: callers
+	// bind it to ctx.Done(). The solver stays usable afterwards.
+	Stop func() bool
+
+	ok       bool // false once the clause set is unsatisfiable at level 0
+	stopTick int  // steps since Stop was last polled
 
 	db      []clause
 	watches [][]watcher // indexed by Lit
@@ -369,6 +377,19 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 	restartLimit := s.conflicts + 64*luby(restarts)
 
 	for {
+		// Cancellation poll: every loop iteration runs one propagation
+		// round, so a few hundred iterations pass in well under a
+		// millisecond — cheap enough to keep cancellation prompt even
+		// against multi-minute conflict budgets.
+		if s.Stop != nil {
+			if s.stopTick++; s.stopTick >= 256 {
+				s.stopTick = 0
+				if s.Stop() {
+					s.cancelUntil(0)
+					return Unknown
+				}
+			}
+		}
 		confl := s.propagate()
 		if confl >= 0 {
 			s.conflicts++

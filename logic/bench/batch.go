@@ -1,4 +1,4 @@
-package synth
+package bench
 
 // Batch engine: the repository's first concurrency layer. Benchmark
 // circuits are distributed over a worker pool, and inside each circuit the
@@ -11,14 +11,20 @@ package synth
 import (
 	"sync"
 
-	"repro/internal/netlist"
 	"repro/internal/opt"
+	"repro/logic"
 )
 
 // forEach runs fn(0..n-1) on up to jobs workers; jobs <= 1 runs serially.
 // The pool implementation is shared with the parallel-safe passes in
 // internal/opt.
 func forEach(n, jobs int, fn func(i int)) { opt.ForEach(n, jobs, fn) }
+
+// SetWorkers configures the process-wide worker budget parallel-safe
+// passes (window-rewrite, fraig) read when no per-context budget is set —
+// what the CLIs wire -jobs to. Sessions override it per run with
+// logic.WithWorkers.
+func SetWorkers(n int) { opt.SetWorkers(n) }
 
 // parallel3 runs three independent measurements, concurrently when on is
 // true.
@@ -44,20 +50,20 @@ func parallel3(on bool, a, b, c func()) {
 // workers (jobs <= 1 = fully serial); when jobs > 1 the three optimizers of
 // a row also run concurrently. Row order matches the input order and every
 // field except the wall times is deterministic.
-func RunOptRows(nets []*netlist.Network, cfg Config, jobs int) []OptRow {
+func RunOptRows(nets []logic.Network, cfg Config, jobs int) []OptRow {
 	rows := make([]OptRow, len(nets))
 	forEach(len(nets), jobs, func(i int) {
-		rows[i] = runOptRow(nets[i], cfg, jobs > 1)
+		rows[i] = runOptRow(logic.Flat(nets[i]), cfg, jobs > 1)
 	})
 	return rows
 }
 
 // RunSynthRows measures Table I-bottom for all circuits using a pool of
 // jobs workers, with the same determinism guarantees as RunOptRows.
-func RunSynthRows(nets []*netlist.Network, cfg Config, jobs int) []SynthRow {
+func RunSynthRows(nets []logic.Network, cfg Config, jobs int) []SynthRow {
 	rows := make([]SynthRow, len(nets))
 	forEach(len(nets), jobs, func(i int) {
-		rows[i] = runSynthRow(nets[i], cfg, jobs > 1)
+		rows[i] = runSynthRow(logic.Flat(nets[i]), cfg, jobs > 1)
 	})
 	return rows
 }

@@ -1,4 +1,4 @@
-package synth
+package bench
 
 import (
 	"reflect"
@@ -6,16 +6,15 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/mcnc"
-	"repro/internal/netlist"
+	"repro/logic"
 )
 
-func batchNets(t *testing.T) []*netlist.Network {
+func batchNets(t *testing.T) []logic.Network {
 	t.Helper()
 	names := []string{"b9", "count", "alu4", "my_adder"}
-	nets := make([]*netlist.Network, len(names))
+	nets := make([]logic.Network, len(names))
 	for i, name := range names {
-		n, err := mcnc.Generate(name)
+		n, err := Circuit(name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -45,8 +44,8 @@ func TestBatchOptDeterminism(t *testing.T) {
 	}
 	// Order must match the input order.
 	for i, n := range nets {
-		if serial[i].Name != n.Name {
-			t.Fatalf("row %d is %q, want %q", i, serial[i].Name, n.Name)
+		if serial[i].Name != n.Name() {
+			t.Fatalf("row %d is %q, want %q", i, serial[i].Name, n.Name())
 		}
 	}
 }

@@ -1,0 +1,34 @@
+package bench
+
+// Public access to the benchmark circuits: the MCNC stand-ins the paper's
+// Table I measures, and the large compression-function circuit from the
+// in-text experiment.
+
+import (
+	"repro/internal/mcnc"
+	"repro/logic"
+)
+
+// Circuits lists the Table I benchmark names.
+func Circuits() []string { return mcnc.Names() }
+
+// Circuit generates a benchmark circuit by name as a flat netlist.
+func Circuit(name string) (*logic.Netlist, error) {
+	n, err := mcnc.Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	return logic.FromNetlist(n), nil
+}
+
+// Compress generates the compression circuit (XOR/majority reduction tree
+// over words 32-bit words) from the paper's in-text large-scale run.
+func Compress(words int) *logic.Netlist {
+	return logic.FromNetlist(mcnc.Compress(words))
+}
+
+// PaperRow carries the values the paper reports for one benchmark.
+type PaperRow = mcnc.PaperRow
+
+// PaperRowFor returns the paper's reported row for a benchmark name.
+func PaperRowFor(name string) (PaperRow, bool) { return mcnc.PaperRowByName(name) }

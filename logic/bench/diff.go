@@ -1,0 +1,133 @@
+package bench
+
+// Report diffing: the quality-trajectory gate behind cmd/benchdiff and the
+// CI bench job. Two migbench -json reports are compared circuit by
+// circuit; deterministic quality metrics (size, depth, area, delay, power)
+// gate, wall times are informational.
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiffOptions tunes a report comparison.
+type DiffOptions struct {
+	// Tol is the allowed relative quality regression (0.10 = 10%). Zero
+	// is honored as strict zero tolerance: any worsened metric is a
+	// regression. Negative values are clamped to zero.
+	Tol float64
+	// Quiet suppresses in-tolerance lines (regressions and improvements
+	// always print).
+	Quiet bool
+}
+
+// DiffReports compares cur against base, writing one line per metric to w,
+// and returns the number of quality regressions beyond the tolerance.
+func DiffReports(w io.Writer, base, cur *Report, opts DiffOptions) int {
+	if opts.Tol < 0 {
+		opts.Tol = 0
+	}
+	c := &differ{w: w, tol: opts.Tol, quiet: opts.Quiet}
+
+	curOpt := map[string]OptRow{}
+	for _, r := range cur.Opt {
+		curOpt[r.Name] = r
+	}
+	for _, b := range base.Opt {
+		r, ok := curOpt[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-10s missing from current opt rows  REGRESSION\n", b.Name)
+			c.failed++
+			continue
+		}
+		for _, flow := range []struct {
+			name      string
+			base, cur OptMetrics
+		}{
+			{"MIG", b.MIG, r.MIG},
+			{"AIG", b.AIG, r.AIG},
+			{"BDS", b.BDS, r.BDS},
+		} {
+			if flow.base.OK && !flow.cur.OK {
+				fmt.Fprintf(w, "%-10s %s flow now failing  REGRESSION\n", b.Name, flow.name)
+				c.failed++
+				continue
+			}
+			if flow.base.OK && flow.cur.OK {
+				c.metric(b.Name, flow.name, "size", float64(flow.base.Size), float64(flow.cur.Size))
+				c.metric(b.Name, flow.name, "depth", float64(flow.base.Depth), float64(flow.cur.Depth))
+			}
+		}
+	}
+
+	curSynth := map[string]SynthRow{}
+	for _, r := range cur.Synth {
+		curSynth[r.Name] = r
+	}
+	for _, b := range base.Synth {
+		r, ok := curSynth[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-10s missing from current synth rows  REGRESSION\n", b.Name)
+			c.failed++
+			continue
+		}
+		for _, flow := range []struct {
+			name      string
+			base, cur SynthResult
+		}{
+			{"MIG", b.MIG, r.MIG},
+			{"AIG", b.AIG, r.AIG},
+			{"CST", b.CST, r.CST},
+		} {
+			if flow.base.OK && !flow.cur.OK {
+				fmt.Fprintf(w, "%-10s %s synthesis flow now failing  REGRESSION\n", b.Name, flow.name)
+				c.failed++
+				continue
+			}
+			if flow.base.OK && flow.cur.OK {
+				c.metric(b.Name, flow.name, "area", flow.base.Area, flow.cur.Area)
+				c.metric(b.Name, flow.name, "delay", flow.base.Delay, flow.cur.Delay)
+				c.metric(b.Name, flow.name, "power", flow.base.Power, flow.cur.Power)
+			}
+		}
+	}
+
+	// Wall-time trajectory: informational only (CI machines vary).
+	var baseT, curT float64
+	for _, r := range base.Opt {
+		baseT += r.MIG.Seconds + r.AIG.Seconds + r.BDS.Seconds
+	}
+	for _, r := range cur.Opt {
+		curT += r.MIG.Seconds + r.AIG.Seconds + r.BDS.Seconds
+	}
+	if baseT > 0 && curT > 0 {
+		fmt.Fprintf(w, "total opt wall time %.2fs -> %.2fs  ratio %.3f  (informational)\n", baseT, curT, curT/baseT)
+	}
+	return c.failed
+}
+
+// differ records one metric comparison per call, counting regressions.
+type differ struct {
+	w      io.Writer
+	tol    float64
+	failed int
+	quiet  bool
+}
+
+func (c *differ) metric(circuit, flow, metric string, base, cur float64) {
+	if base <= 0 || cur <= 0 {
+		return
+	}
+	ratio := cur / base
+	status := "ok"
+	if ratio > 1+c.tol {
+		status = "REGRESSION"
+		c.failed++
+	} else if ratio < 1-c.tol {
+		status = "improved"
+	}
+	if status != "ok" || !c.quiet {
+		fmt.Fprintf(c.w, "%-10s %-4s %-6s %10.2f -> %10.2f  ratio %.3f  %s\n",
+			circuit, flow, metric, base, cur, ratio, status)
+	}
+}

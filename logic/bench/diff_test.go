@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffReports(baseSize, curSize int, opts DiffOptions) (int, string) {
+	base := &Report{Opt: []OptRow{{Name: "c", MIG: OptMetrics{Size: baseSize, Depth: 10, OK: true}}}}
+	cur := &Report{Opt: []OptRow{{Name: "c", MIG: OptMetrics{Size: curSize, Depth: 10, OK: true}}}}
+	var b strings.Builder
+	n := DiffReports(&b, base, cur, opts)
+	return n, b.String()
+}
+
+func TestDiffReportsTolerance(t *testing.T) {
+	// Within a 10% tolerance: no regression.
+	if n, _ := diffReports(100, 105, DiffOptions{Tol: 0.10}); n != 0 {
+		t.Fatalf("5%% growth under 10%% tol flagged %d regressions", n)
+	}
+	// Beyond it: flagged.
+	if n, out := diffReports(100, 120, DiffOptions{Tol: 0.10}); n != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("20%% growth under 10%% tol flagged %d regressions:\n%s", n, out)
+	}
+	// Strict zero tolerance is honored, not coerced to a default: any
+	// growth is a regression.
+	if n, _ := diffReports(100, 101, DiffOptions{Tol: 0}); n != 1 {
+		t.Fatalf("1%% growth under zero tol flagged %d regressions", n)
+	}
+	if n, _ := diffReports(100, 100, DiffOptions{Tol: 0}); n != 0 {
+		t.Fatalf("flat metrics under zero tol flagged %d regressions", n)
+	}
+	// Missing circuits regress.
+	base := &Report{Opt: []OptRow{{Name: "gone", MIG: OptMetrics{Size: 1, OK: true}}}}
+	var b strings.Builder
+	if n := DiffReports(&b, base, &Report{}, DiffOptions{Tol: 0.1}); n != 1 {
+		t.Fatalf("missing row flagged %d regressions", n)
+	}
+}

@@ -1,4 +1,4 @@
-package synth
+package bench
 
 // Report rendering shared by cmd/migbench and the determinism tests: the
 // measured tables as aligned text, and a machine-readable JSON form used to

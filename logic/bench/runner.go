@@ -1,4 +1,4 @@
-package synth
+package bench
 
 import (
 	"fmt"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/mig"
 	"repro/internal/netlist"
+	"repro/logic"
 )
 
 // Config controls an experiment run.
@@ -58,8 +59,8 @@ type OptRow struct {
 }
 
 // RunOptRow measures logic optimization (Table I-top) for one circuit.
-func RunOptRow(n *netlist.Network, cfg Config) OptRow {
-	return runOptRow(n, cfg, false)
+func RunOptRow(n logic.Network, cfg Config) OptRow {
+	return runOptRow(logic.Flat(n), cfg, false)
 }
 
 // runOptRow is RunOptRow with the three flows optionally run concurrently
@@ -124,8 +125,8 @@ type SynthRow struct {
 
 // RunSynthRow measures the three synthesis flows (Table I-bottom) for one
 // circuit.
-func RunSynthRow(n *netlist.Network, cfg Config) SynthRow {
-	return runSynthRow(n, cfg, false)
+func RunSynthRow(n logic.Network, cfg Config) SynthRow {
+	return runSynthRow(logic.Flat(n), cfg, false)
 }
 
 // runSynthRow is RunSynthRow with the three flows optionally concurrent.
@@ -133,9 +134,9 @@ func runSynthRow(n *netlist.Network, cfg Config, concurrent bool) SynthRow {
 	cfg.Defaults()
 	row := SynthRow{Name: n.Name}
 	parallel3(concurrent,
-		func() { row.MIG, _ = MIGFlow(n, cfg.Effort, cfg.Lib) },
-		func() { row.AIG, _ = AIGFlow(n, cfg.AIGRounds, cfg.Lib) },
-		func() { row.CST, _ = CSTFlow(n, cfg.Lib) },
+		func() { row.MIG, _ = migFlow(n, cfg.Effort, cfg.Lib) },
+		func() { row.AIG, _ = aigFlow(n, cfg.AIGRounds, cfg.Lib) },
+		func() { row.CST, _ = cstFlow(n, cfg.Lib) },
 	)
 	return row
 }

@@ -1,4 +1,4 @@
-// Package synth composes the repository's engines into the three flows the
+// Package bench composes the repository's engines into the three flows the
 // paper evaluates:
 //
 //   - the MIG flow (the paper's contribution): MIG construction + the §IV
@@ -12,7 +12,7 @@
 // plus the BDS logic-optimization baseline (BDD decomposition) used in
 // Table I-top. Each flow returns the measured metrics in the same units the
 // paper reports.
-package synth
+package bench
 
 import (
 	"fmt"
@@ -26,6 +26,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/opt"
 	"repro/internal/power"
+	"repro/logic"
 )
 
 // OptMetrics are the Table I-top columns for one representation.
@@ -268,7 +269,11 @@ func fromMapping(r *mapping.Result, secs float64) SynthResult {
 }
 
 // MIGFlow is MIG optimization followed by technology mapping.
-func MIGFlow(n *netlist.Network, effort int, lib *mapping.Library) (SynthResult, *mapping.Result) {
+func MIGFlow(n logic.Network, effort int, lib *logic.Library) (SynthResult, *logic.MapResult) {
+	return migFlow(logic.Flat(n), effort, lib)
+}
+
+func migFlow(n *netlist.Network, effort int, lib *mapping.Library) (SynthResult, *mapping.Result) {
 	start := time.Now()
 	m, _ := MIGOptimize(n, effort)
 	res := mapping.Map(m.ToNetwork(), lib, nil)
@@ -276,7 +281,11 @@ func MIGFlow(n *netlist.Network, effort int, lib *mapping.Library) (SynthResult,
 }
 
 // AIGFlow is the academic baseline: resyn2 + mapping.
-func AIGFlow(n *netlist.Network, rounds int, lib *mapping.Library) (SynthResult, *mapping.Result) {
+func AIGFlow(n logic.Network, rounds int, lib *logic.Library) (SynthResult, *logic.MapResult) {
+	return aigFlow(logic.Flat(n), rounds, lib)
+}
+
+func aigFlow(n *netlist.Network, rounds int, lib *mapping.Library) (SynthResult, *mapping.Result) {
 	start := time.Now()
 	a, _ := AIGOptimize(n, rounds)
 	res := mapping.Map(a.ToNetwork(), lib, nil)
@@ -299,7 +308,11 @@ func CSTOptPipeline() *opt.Pipeline[*aig.AIG] {
 
 // CSTFlow simulates the commercial tool: the CSTOptPipeline script and the
 // same mapper. See DESIGN.md for the substitution rationale.
-func CSTFlow(n *netlist.Network, lib *mapping.Library) (SynthResult, *mapping.Result) {
+func CSTFlow(n logic.Network, lib *logic.Library) (SynthResult, *logic.MapResult) {
+	return cstFlow(logic.Flat(n), lib)
+}
+
+func cstFlow(n *netlist.Network, lib *mapping.Library) (SynthResult, *mapping.Result) {
 	start := time.Now()
 	a, _, err := CSTOptPipeline().Run(aig.FromNetwork(n))
 	if err != nil {
@@ -307,4 +320,12 @@ func CSTFlow(n *netlist.Network, lib *mapping.Library) (SynthResult, *mapping.Re
 	}
 	res := mapping.Map(a.ToNetwork(), lib, nil)
 	return fromMapping(res, time.Since(start).Seconds()), res
+}
+
+// MIGOptimizeNet runs just the MIG leg for one circuit through the public
+// API (the effort-sweep experiment measures it in isolation).
+func MIGOptimizeNet(n logic.Network, cfg Config) OptMetrics {
+	cfg.Defaults()
+	_, m := MIGOptimizeCfg(logic.Flat(n), cfg)
+	return m
 }

@@ -1,17 +1,24 @@
-package synth
+package bench
 
 import (
 	"testing"
 
 	"repro/internal/equiv"
 	"repro/internal/mapping"
-	"repro/internal/mcnc"
 	"repro/internal/netlist"
+	"repro/logic"
 )
 
+// getBench returns a benchmark's flat internal netlist (for the
+// netlist-level flow functions); getNet returns the SDK view.
 func getBench(t *testing.T, name string) *netlist.Network {
 	t.Helper()
-	n, err := mcnc.Generate(name)
+	return logic.Flat(getNet(t, name))
+}
+
+func getNet(t *testing.T, name string) logic.Network {
+	t.Helper()
+	n, err := Circuit(name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +106,7 @@ func TestMIGDepthBeatsAIGOnAdder(t *testing.T) {
 }
 
 func TestRunOptRowWithVerify(t *testing.T) {
-	n := getBench(t, "b9")
+	n := getNet(t, "b9")
 	row := RunOptRow(n, Config{Effort: 2, AIGRounds: 1, Verify: true, SimRounds: 16})
 	if row.VerifyErr != "" {
 		t.Errorf("verification failed: %s", row.VerifyErr)
@@ -110,7 +117,7 @@ func TestRunOptRowWithVerify(t *testing.T) {
 }
 
 func TestRunSynthRowMetrics(t *testing.T) {
-	n := getBench(t, "alu4")
+	n := getNet(t, "alu4")
 	row := RunSynthRow(n, Config{Effort: 2, AIGRounds: 1})
 	for label, r := range map[string]SynthResult{"mig": row.MIG, "aig": row.AIG, "cst": row.CST} {
 		if !r.OK || r.Area <= 0 || r.Delay <= 0 || r.Power <= 0 {
@@ -164,7 +171,7 @@ func TestSummaries(t *testing.T) {
 func TestCSTFlowIndependent(t *testing.T) {
 	// The CST flow must be a genuinely different script from the AIG flow
 	// (different results on at least some circuit).
-	n := getBench(t, "misex3")
+	n := getNet(t, "misex3")
 	cfg := Config{Effort: 1, AIGRounds: 1, Lib: mapping.Default22nm()}
 	cfg.Defaults()
 	a, _ := AIGFlow(n, cfg.AIGRounds, cfg.Lib)

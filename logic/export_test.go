@@ -1,0 +1,6 @@
+package logic_test
+
+import "flag"
+
+// update regenerates the golden files when set.
+var update = flag.Bool("update", false, "rewrite golden files")

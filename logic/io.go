@@ -1,0 +1,86 @@
+package logic
+
+// Textual interchange: BLIF and structural Verilog decode into flat
+// netlists (the common denominator of both formats); every Network encodes
+// into either format through the interface.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/blif"
+	"repro/internal/verilog"
+)
+
+// Format identifies a textual circuit format.
+type Format string
+
+// The supported interchange formats.
+const (
+	FormatBLIF    Format = "blif"
+	FormatVerilog Format = "verilog"
+)
+
+// FormatForPath infers the interchange format from a file name: ".blif"
+// is BLIF, ".v" is Verilog.
+func FormatForPath(path string) (Format, error) {
+	switch {
+	case strings.HasSuffix(path, ".blif"):
+		return FormatBLIF, nil
+	case strings.HasSuffix(path, ".v"):
+		return FormatVerilog, nil
+	}
+	return "", fmt.Errorf("logic: unknown circuit format for %q (want .v or .blif)", path)
+}
+
+// ParseFormat normalizes a user-supplied format name.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "blif":
+		return FormatBLIF, nil
+	case "verilog", "v":
+		return FormatVerilog, nil
+	}
+	return "", fmt.Errorf("logic: unknown format %q (want blif or verilog)", s)
+}
+
+// DecodeBLIF parses a BLIF source into a flat-netlist Network.
+func DecodeBLIF(src string) (*Netlist, error) {
+	n, err := blif.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Netlist{n: n}, nil
+}
+
+// DecodeVerilog parses a structural-Verilog source into a flat-netlist
+// Network.
+func DecodeVerilog(src string) (*Netlist, error) {
+	n, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Netlist{n: n}, nil
+}
+
+// Decode parses src in the given format.
+func Decode(format Format, src string) (*Netlist, error) {
+	switch format {
+	case FormatBLIF:
+		return DecodeBLIF(src)
+	case FormatVerilog:
+		return DecodeVerilog(src)
+	}
+	return nil, fmt.Errorf("logic: unknown format %q", format)
+}
+
+// Encode renders any Network in the given format.
+func Encode(n Network, format Format) (string, error) {
+	switch format {
+	case FormatBLIF:
+		return n.EncodeBLIF(), nil
+	case FormatVerilog:
+		return n.EncodeVerilog(), nil
+	}
+	return "", fmt.Errorf("logic: unknown format %q", format)
+}

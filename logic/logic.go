@@ -1,0 +1,103 @@
+// Package logic is the repository's public SDK: a stable, versionable
+// surface over the internal majority-inverter-graph (MIG) engines the DAC'14
+// paper contributes, the and-inverter-graph (AIG) baseline, and the flat
+// gate-level netlist IR.
+//
+// The package exports three things:
+//
+//   - Network, a representation-agnostic view of a combinational circuit
+//     (stats, I/O names, cloning, BLIF/Verilog encode/decode) implemented
+//     by the MIG, the AIG, and the flat netlist, so callers and passes do
+//     not care which graph they hold;
+//   - Session, a configured optimizer built from functional options
+//     (WithEffort, WithScript, WithVerify, WithWorkers, WithFraig, ...)
+//     whose Optimize(ctx, net) threads context.Context through the
+//     pipeline engine, the window-parallel workers, and the SAT solver's
+//     conflict loop, so deadlines and cancellation interrupt long solves
+//     promptly; and
+//   - construction APIs (NewMIG, NewAIG, NewNetwork) for building circuits
+//     programmatically, plus Decode/Encode for the textual formats.
+//
+// The experiment harness that reproduces the paper's tables lives in the
+// logic/bench subpackage; the HTTP optimization service built on Session is
+// the service package (daemon: cmd/migd).
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Kind identifies a Network's underlying representation.
+type Kind string
+
+// The three representations the SDK exposes.
+const (
+	KindMIG     Kind = "mig"     // majority-inverter graph (the paper's contribution)
+	KindAIG     Kind = "aig"     // and-inverter graph (the academic baseline)
+	KindNetlist Kind = "netlist" // flat gate-level netlist (the interchange IR)
+)
+
+// Stats is a Network's headline metrics — the three quantities the paper
+// tracks plus the interface shape.
+type Stats struct {
+	Kind     Kind    `json:"kind"`
+	Name     string  `json:"name"`
+	Inputs   int     `json:"inputs"`
+	Outputs  int     `json:"outputs"`
+	Size     int     `json:"size"`
+	Depth    int     `json:"depth"`
+	Activity float64 `json:"activity"`
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s %s: i/o=%d/%d size=%d depth=%d activity=%.2f",
+		s.Kind, s.Name, s.Inputs, s.Outputs, s.Size, s.Depth, s.Activity)
+}
+
+// Network is the representation-agnostic view of a combinational circuit.
+// It is implemented by *MIG, *AIG and *Netlist; the interface is sealed
+// (the unexported method) so the optimizer always knows how to reach the
+// flat IR behind a value.
+type Network interface {
+	// Kind reports the underlying representation.
+	Kind() Kind
+	// Name returns the circuit's name.
+	Name() string
+	// Stats returns the headline metrics.
+	Stats() Stats
+	// Size is the number of live logic nodes (majority nodes for a MIG,
+	// AND nodes for an AIG, gates for a netlist).
+	Size() int
+	// Depth is the longest input-to-output path in logic levels.
+	Depth() int
+	// Activity is the estimated switching activity under the given input
+	// one-probabilities (nil = uniform 0.5).
+	Activity(inputProbs []float64) float64
+	// NumInputs and NumOutputs report the interface shape.
+	NumInputs() int
+	NumOutputs() int
+	// InputNames and OutputNames list the interface names in declaration
+	// order.
+	InputNames() []string
+	OutputNames() []string
+	// Clone returns an independent deep copy.
+	Clone() Network
+	// EncodeBLIF and EncodeVerilog render the circuit in the two textual
+	// interchange formats, decodable by DecodeBLIF/DecodeVerilog.
+	EncodeBLIF() string
+	EncodeVerilog() string
+
+	// flat returns the netlist view: the implementing graph itself for
+	// *Netlist, an exported conversion for the structural graphs. Sealing
+	// the interface on it keeps every Network convertible.
+	flat() *netlist.Network
+}
+
+// Flat returns the internal flat-netlist view of any Network. It is the
+// bridge the sibling packages inside this module (logic/bench, service)
+// use to hand SDK values to the internal engines; external modules cannot
+// name the returned type and should stay on the Network interface.
+func Flat(n Network) *netlist.Network { return n.flat() }

@@ -1,0 +1,31 @@
+package logic
+
+// Technology mapping through the public API: the standard-cell mapper and
+// its two built-in libraries (generic 22 nm CMOS and a majority-native
+// library modeling the emerging technologies the paper's introduction
+// motivates MIGs with).
+
+import "repro/internal/mapping"
+
+// Library is an opaque standard-cell library handle.
+type Library = mapping.Library
+
+// MapResult is a mapped circuit's area/delay/power report (fields Area,
+// Delay, Power; String renders the summary line).
+type MapResult = mapping.Result
+
+// LibCMOS22 returns the generic 22 nm CMOS library the paper's Table I
+// bottom uses.
+func LibCMOS22() *Library { return mapping.Default22nm() }
+
+// LibMajorityNative returns a majority-native library: MAJ-3/MIN-3 as
+// single cells, as in quantum-dot cellular automata, resonant-tunneling
+// and spin-wave technologies.
+func LibMajorityNative() *Library { return mapping.MajorityNative() }
+
+// TechMap maps any Network onto a standard-cell library, optionally under
+// an input probability profile (nil = uniform 0.5), and reports area,
+// delay and power.
+func TechMap(n Network, lib *Library, inputProbs []float64) *MapResult {
+	return mapping.Map(n.flat(), lib, inputProbs)
+}

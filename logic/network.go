@@ -1,0 +1,283 @@
+package logic
+
+// The three Network implementations. Each wraps an internal graph and
+// doubles as that representation's construction API, so programs can build
+// circuits natively (NewMIG(...).Maj(...)) and still hand them to any
+// Network-consuming code. Signal and operator types are aliased from the
+// internal packages: values flow through the public API without the caller
+// ever importing an internal path.
+
+import (
+	"repro/internal/aig"
+	"repro/internal/blif"
+	"repro/internal/mig"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/verilog"
+)
+
+// ---- MIG ----
+
+// MIGSignal is a signal (node handle with optional complement) inside a
+// MIG. Use its Not/NotIf methods for inversion — edges carry complement
+// markers for free.
+type MIGSignal = mig.Signal
+
+// Constant signals of every MIG.
+const (
+	MIGConst0 = mig.Const0
+	MIGConst1 = mig.Const1
+)
+
+// MIG is a majority-inverter graph: the paper's data structure, a DAG of
+// three-input majority nodes with complemented edges. It implements
+// Network and exposes native construction.
+type MIG struct {
+	g *mig.MIG
+}
+
+// NewMIG returns an empty MIG with the given circuit name.
+func NewMIG(name string) *MIG { return &MIG{g: mig.New(name)} }
+
+// AddInput appends a primary input and returns its signal.
+func (m *MIG) AddInput(name string) MIGSignal { return m.g.AddInput(name) }
+
+// AddOutput declares a named primary output.
+func (m *MIG) AddOutput(name string, s MIGSignal) { m.g.AddOutput(name, s) }
+
+// Maj adds (or strash-reuses) a majority node M(a,b,c).
+func (m *MIG) Maj(a, b, c MIGSignal) MIGSignal { return m.g.Maj(a, b, c) }
+
+// And, Or, Xor and Mux build the derived operators from majorities.
+func (m *MIG) And(a, b MIGSignal) MIGSignal        { return m.g.And(a, b) }
+func (m *MIG) Or(a, b MIGSignal) MIGSignal         { return m.g.Or(a, b) }
+func (m *MIG) Xor(a, b MIGSignal) MIGSignal        { return m.g.Xor(a, b) }
+func (m *MIG) Mux(sel, hi, lo MIGSignal) MIGSignal { return m.g.Mux(sel, hi, lo) }
+
+func (m *MIG) Kind() Kind                            { return KindMIG }
+func (m *MIG) Name() string                          { return m.g.Name }
+func (m *MIG) Size() int                             { return m.g.Size() }
+func (m *MIG) Depth() int                            { return m.g.Depth() }
+func (m *MIG) Activity(inputProbs []float64) float64 { return m.g.Activity(inputProbs) }
+func (m *MIG) NumInputs() int                        { return m.g.NumInputs() }
+func (m *MIG) NumOutputs() int                       { return m.g.NumOutputs() }
+func (m *MIG) Clone() Network                        { return &MIG{g: m.g.Clone()} }
+func (m *MIG) Stats() Stats                          { return statsOf(m) }
+func (m *MIG) EncodeBLIF() string                    { return blif.Write(m.flat()) }
+func (m *MIG) EncodeVerilog() string                 { return verilog.Write(m.flat()) }
+func (m *MIG) flat() *netlist.Network                { return m.g.ToNetwork() }
+
+// InputNames lists the primary input names in declaration order.
+func (m *MIG) InputNames() []string { return m.g.InputNames() }
+
+// OutputNames lists the primary output names in declaration order.
+func (m *MIG) OutputNames() []string {
+	names := make([]string, len(m.g.Outputs))
+	for i, o := range m.g.Outputs {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ---- AIG ----
+
+// AIGSignal is a signal inside an AIG.
+type AIGSignal = aig.Signal
+
+// Constant signals of every AIG.
+const (
+	AIGConst0 = aig.Const0
+	AIGConst1 = aig.Const1
+)
+
+// AIG is an and-inverter graph: two-input AND nodes with complemented
+// edges, the representation of the resyn2-style baseline flow. It
+// implements Network and exposes native construction.
+type AIG struct {
+	g *aig.AIG
+}
+
+// NewAIG returns an empty AIG with the given circuit name.
+func NewAIG(name string) *AIG { return &AIG{g: aig.New(name)} }
+
+// AddInput appends a primary input and returns its signal.
+func (a *AIG) AddInput(name string) AIGSignal { return a.g.AddInput(name) }
+
+// AddOutput declares a named primary output.
+func (a *AIG) AddOutput(name string, s AIGSignal) { a.g.AddOutput(name, s) }
+
+// And adds (or strash-reuses) an AND node.
+func (a *AIG) And(x, y AIGSignal) AIGSignal { return a.g.And(x, y) }
+
+// Or, Xor, Maj and Mux build the derived operators from ANDs.
+func (a *AIG) Or(x, y AIGSignal) AIGSignal         { return a.g.Or(x, y) }
+func (a *AIG) Xor(x, y AIGSignal) AIGSignal        { return a.g.Xor(x, y) }
+func (a *AIG) Maj(x, y, z AIGSignal) AIGSignal     { return a.g.Maj(x, y, z) }
+func (a *AIG) Mux(sel, hi, lo AIGSignal) AIGSignal { return a.g.Mux(sel, hi, lo) }
+
+func (a *AIG) Kind() Kind                            { return KindAIG }
+func (a *AIG) Name() string                          { return a.g.Name }
+func (a *AIG) Size() int                             { return a.g.Size() }
+func (a *AIG) Depth() int                            { return a.g.Depth() }
+func (a *AIG) Activity(inputProbs []float64) float64 { return a.g.Activity(inputProbs) }
+func (a *AIG) NumInputs() int                        { return a.g.NumInputs() }
+func (a *AIG) NumOutputs() int                       { return a.g.NumOutputs() }
+func (a *AIG) Clone() Network                        { return &AIG{g: a.g.Clone()} }
+func (a *AIG) Stats() Stats                          { return statsOf(a) }
+func (a *AIG) EncodeBLIF() string                    { return blif.Write(a.flat()) }
+func (a *AIG) EncodeVerilog() string                 { return verilog.Write(a.flat()) }
+func (a *AIG) flat() *netlist.Network                { return a.g.ToNetwork() }
+
+// InputNames lists the primary input names in declaration order.
+func (a *AIG) InputNames() []string {
+	names := make([]string, a.g.NumInputs())
+	for i := range names {
+		names[i] = a.g.InputName(i)
+	}
+	return names
+}
+
+// OutputNames lists the primary output names in declaration order.
+func (a *AIG) OutputNames() []string {
+	names := make([]string, len(a.g.Outputs))
+	for i, o := range a.g.Outputs {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ---- flat netlist ----
+
+// Signal is a signal inside a flat netlist.
+type Signal = netlist.Signal
+
+// Constant signals of every netlist.
+const (
+	SigConst0 = netlist.SigConst0
+	SigConst1 = netlist.SigConst1
+)
+
+// Op is a netlist gate operator.
+type Op = netlist.Op
+
+// The netlist gate operators.
+const (
+	OpAnd  = netlist.And
+	OpOr   = netlist.Or
+	OpXor  = netlist.Xor
+	OpXnor = netlist.Xnor
+	OpNand = netlist.Nand
+	OpNor  = netlist.Nor
+	OpNot  = netlist.Not
+	OpBuf  = netlist.Buf
+	OpMaj  = netlist.Maj
+	OpMux  = netlist.Mux
+)
+
+// Netlist is a flat gate-level network: named gates over a fixed operator
+// set, the interchange IR behind BLIF and Verilog. It implements Network
+// and exposes native construction.
+type Netlist struct {
+	n *netlist.Network
+}
+
+// NewNetwork returns an empty netlist with the given circuit name.
+func NewNetwork(name string) *Netlist { return &Netlist{n: netlist.New(name)} }
+
+// FromNetlist wraps an internal netlist as a Network. It is the
+// module-internal bridge mirroring Flat; external modules cannot name the
+// parameter type.
+func FromNetlist(n *netlist.Network) *Netlist { return &Netlist{n: n} }
+
+// AddInput appends a primary input and returns its signal.
+func (f *Netlist) AddInput(name string) Signal { return f.n.AddInput(name) }
+
+// AddGate appends a gate and returns its signal. Variadic operators (and,
+// or, xor, ...) accept two or more fanins; Maj takes exactly three.
+func (f *Netlist) AddGate(op Op, fanins ...Signal) Signal { return f.n.AddGate(op, fanins...) }
+
+// AddOutput declares a named primary output.
+func (f *Netlist) AddOutput(name string, s Signal) { f.n.AddOutput(name, s) }
+
+func (f *Netlist) Kind() Kind     { return KindNetlist }
+func (f *Netlist) Name() string   { return f.n.Name }
+func (f *Netlist) Size() int      { return f.n.NumGates() }
+func (f *Netlist) Depth() int     { return f.n.Depth() }
+func (f *Netlist) NumInputs() int { return f.n.NumInputs() }
+func (f *Netlist) Activity(inputProbs []float64) float64 {
+	return power.Activity(f.n, inputProbs)
+}
+func (f *Netlist) NumOutputs() int        { return f.n.NumOutputs() }
+func (f *Netlist) Clone() Network         { return &Netlist{n: f.n.Clone()} }
+func (f *Netlist) Stats() Stats           { return statsOf(f) }
+func (f *Netlist) EncodeBLIF() string     { return blif.Write(f.n) }
+func (f *Netlist) EncodeVerilog() string  { return verilog.Write(f.n) }
+func (f *Netlist) flat() *netlist.Network { return f.n }
+
+// InputNames lists the primary input names in declaration order.
+func (f *Netlist) InputNames() []string {
+	names := make([]string, len(f.n.Inputs))
+	for i, idx := range f.n.Inputs {
+		names[i] = f.n.Nodes[idx].Name
+	}
+	return names
+}
+
+// OutputNames lists the primary output names in declaration order.
+func (f *Netlist) OutputNames() []string {
+	names := make([]string, len(f.n.Outputs))
+	for i, o := range f.n.Outputs {
+		names[i] = o.Name
+	}
+	return names
+}
+
+// ---- conversions ----
+
+// statsOf assembles Stats from any implementation.
+func statsOf(n Network) Stats {
+	return Stats{
+		Kind:     n.Kind(),
+		Name:     n.Name(),
+		Inputs:   n.NumInputs(),
+		Outputs:  n.NumOutputs(),
+		Size:     n.Size(),
+		Depth:    n.Depth(),
+		Activity: n.Activity(nil),
+	}
+}
+
+// ToMIG converts any Network into a MIG (structural translation; AND/OR
+// become degenerate majorities). A *MIG input is returned unchanged. Flat
+// netlists are converted as-is — use Remajorize first to recover majority
+// cones from AND/OR-only sources (BLIF, Verilog).
+func ToMIG(n Network) *MIG {
+	if m, ok := n.(*MIG); ok {
+		return m
+	}
+	return &MIG{g: mig.FromNetwork(n.flat())}
+}
+
+// ToAIG converts any Network into an AIG (majorities decompose into their
+// AND/OR cover). An *AIG input is returned unchanged.
+func ToAIG(n Network) *AIG {
+	if a, ok := n.(*AIG); ok {
+		return a
+	}
+	return &AIG{g: aig.FromNetwork(n.flat())}
+}
+
+// Flatten converts any Network into a flat netlist view. A *Netlist input
+// is returned unchanged; structural graphs export their node structure.
+func Flatten(n Network) *Netlist {
+	if f, ok := n.(*Netlist); ok {
+		return f
+	}
+	return &Netlist{n: n.flat()}
+}
+
+// Remajorize returns a netlist with majority cones recovered from their
+// AND/OR expansions — what flattened formats (BLIF, structural Verilog)
+// need before MIG construction pays off. The mighty CLI and the Session
+// apply it to flat inputs automatically.
+func (f *Netlist) Remajorize() *Netlist { return &Netlist{n: f.n.Remajorize()} }

@@ -1,0 +1,57 @@
+package logic
+
+// Pass discovery: the scriptable passes of each representation, with
+// argument signatures, in deterministic (sorted) order. This is what
+// mighty -list-passes prints and what the service's /v1/passes endpoint
+// serves.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/mig"
+)
+
+// PassInfo describes one scriptable optimization pass.
+type PassInfo struct {
+	// Name is the script identifier, e.g. "window-rewrite".
+	Name string `json:"name"`
+	// Signature is the call shape with argument names, e.g.
+	// "window-rewrite(k,cuts)"; equal to Name for argument-free passes.
+	Signature string `json:"signature"`
+	// Usage is the one-line description including argument defaults.
+	Usage string `json:"usage"`
+}
+
+// Passes lists the scriptable passes of a representation, sorted by name.
+// Flat netlists optimize through the MIG, so KindNetlist reports the MIG
+// passes.
+func Passes(kind Kind) []PassInfo {
+	var names []string
+	sig := func(string) string { return "" }
+	usage := func(string) string { return "" }
+	switch kind {
+	case KindAIG:
+		r := aig.Passes()
+		names, sig, usage = r.SortedNames(), r.Signature, r.Usage
+	default:
+		r := mig.Passes()
+		names, sig, usage = r.SortedNames(), r.Signature, r.Usage
+	}
+	infos := make([]PassInfo, len(names))
+	for i, n := range names {
+		infos[i] = PassInfo{Name: n, Signature: sig(n), Usage: usage(n)}
+	}
+	return infos
+}
+
+// FormatPassList renders the pass listing as aligned text, one line per
+// pass: the signature, then the usage. Deterministic (sorted by name).
+func FormatPassList(kind Kind) string {
+	var b strings.Builder
+	for _, p := range Passes(kind) {
+		fmt.Fprintf(&b, "  %-26s %s\n", p.Signature, p.Usage)
+	}
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package logic_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/logic"
+)
+
+// TestPassListGolden pins the -list-passes output (deterministic order,
+// argument signatures) against checked-in golden files. Regenerate with:
+//
+//	go test ./logic -run TestPassListGolden -update
+func TestPassListGolden(t *testing.T) {
+	for _, c := range []struct {
+		kind   logic.Kind
+		golden string
+	}{
+		{logic.KindMIG, "mig_passes.golden"},
+		{logic.KindAIG, "aig_passes.golden"},
+	} {
+		got := logic.FormatPassList(c.kind)
+		path := filepath.Join("testdata", c.golden)
+		if *update {
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("%s pass list changed; rerun with -update if intentional.\n got:\n%s\nwant:\n%s",
+				c.kind, got, want)
+		}
+	}
+}
+
+func TestPassesSortedWithSignatures(t *testing.T) {
+	for _, kind := range []logic.Kind{logic.KindMIG, logic.KindAIG, logic.KindNetlist} {
+		infos := logic.Passes(kind)
+		if len(infos) == 0 {
+			t.Fatalf("%s: no passes", kind)
+		}
+		names := make([]string, len(infos))
+		for i, p := range infos {
+			names[i] = p.Name
+			if p.Signature == "" || p.Usage == "" {
+				t.Errorf("%s: pass %q missing signature or usage", kind, p.Name)
+			}
+		}
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s: pass list not sorted: %v", kind, names)
+		}
+	}
+	// KindNetlist optimizes through the MIG, so it reports MIG passes.
+	if len(logic.Passes(logic.KindNetlist)) != len(logic.Passes(logic.KindMIG)) {
+		t.Error("netlist pass list differs from MIG's")
+	}
+}

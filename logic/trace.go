@@ -1,0 +1,63 @@
+package logic
+
+// Public mirror of the pass engine's per-step trace, JSON-tagged for the
+// optimization service.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/opt"
+)
+
+// Step records one optimization pass's effect.
+type Step struct {
+	Pass           string  `json:"pass"`
+	SizeBefore     int     `json:"size_before"`
+	SizeAfter      int     `json:"size_after"`
+	DepthBefore    int     `json:"depth_before"`
+	DepthAfter     int     `json:"depth_after"`
+	ActivityBefore float64 `json:"activity_before"`
+	ActivityAfter  float64 `json:"activity_after"`
+	Seconds        float64 `json:"seconds"`
+	// Equiv is "" when the step was not verified, "ok" when verified
+	// equivalent, otherwise the failure detail.
+	Equiv string `json:"equiv,omitempty"`
+}
+
+// Trace is the ordered per-pass record of one optimization run.
+type Trace []Step
+
+// Format renders the trace as an aligned table (one line per pass).
+func (t Trace) Format() string {
+	var b strings.Builder
+	for _, s := range t {
+		fmt.Fprintf(&b, "%-28s size %5d -> %5d   depth %3d -> %3d   act %8.2f -> %8.2f   %7.3fs",
+			s.Pass, s.SizeBefore, s.SizeAfter, s.DepthBefore, s.DepthAfter,
+			s.ActivityBefore, s.ActivityAfter, s.Seconds)
+		if s.Equiv != "" {
+			fmt.Fprintf(&b, "   equiv=%s", s.Equiv)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fromTrace converts the internal engine trace.
+func fromTrace(t opt.Trace) Trace {
+	out := make(Trace, len(t))
+	for i, s := range t {
+		out[i] = Step{
+			Pass:           s.Pass,
+			SizeBefore:     s.SizeBefore,
+			SizeAfter:      s.SizeAfter,
+			DepthBefore:    s.DepthBefore,
+			DepthAfter:     s.DepthAfter,
+			ActivityBefore: s.ActivityBefore,
+			ActivityAfter:  s.ActivityAfter,
+			Seconds:        s.Seconds,
+			Equiv:          s.Equiv,
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package service
+
+// Bounded LRU result cache. Optimization is a pure function of (network,
+// options), so entries never invalidate; the bound only controls memory.
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	key  string
+	resp *OptimizeResponse
+}
+
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the cached response for key, marking it most recently used.
+func (c *resultCache) get(key string) (*OptimizeResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// put stores a response, evicting the least recently used entry when full.
+func (c *resultCache) put(key string, resp *OptimizeResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

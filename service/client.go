@@ -1,0 +1,93 @@
+package service
+
+// Client for the migd optimization service. Mirrors the server's JSON
+// protocol; see examples/service for an end-to-end walkthrough.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/logic"
+)
+
+// Client talks to a migd server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8337".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when set.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON round trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("migd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("migd: HTTP %d", resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Optimize submits a circuit for optimization.
+func (c *Client) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
+	var resp OptimizeResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/optimize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Passes lists the server's scriptable passes for a representation kind
+// ("mig" or "aig"; "" = mig).
+func (c *Client) Passes(ctx context.Context, kind string) ([]logic.PassInfo, error) {
+	path := "/v1/passes"
+	if kind != "" {
+		path += "?kind=" + kind
+	}
+	var out []logic.PassInfo
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health checks server liveness.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,309 @@
+// Package service is the HTTP/JSON optimization service behind the migd
+// daemon (cmd/migd): POST a BLIF or Verilog circuit plus a pass script (or
+// canned objective) to /v1/optimize and get back the optimized network
+// with the per-pass trace. The server is a thin, production-shaped front
+// over logic.Session:
+//
+//   - a bounded worker pool caps concurrent optimizations (queued requests
+//     wait, respecting their context);
+//   - every request runs under a deadline threaded through the SAT
+//     solver's conflict loop, so a hung solve cannot pin a worker;
+//   - a result cache keyed by (network hash, script, options) serves
+//     repeated submissions of hot designs without recomputation.
+//
+// Endpoints:
+//
+//	POST /v1/optimize   OptimizeRequest -> OptimizeResponse
+//	GET  /v1/passes     ?kind=mig|aig -> []logic.PassInfo
+//	GET  /healthz       liveness
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/logic"
+)
+
+// OptimizeRequest is the /v1/optimize request body.
+type OptimizeRequest struct {
+	// Format of Source: "blif" (default) or "verilog".
+	Format string `json:"format,omitempty"`
+	// Source is the circuit text.
+	Source string `json:"source"`
+	// Script is an optional pass script replacing the canned objective.
+	Script string `json:"script,omitempty"`
+	// Objective is the canned optimization target (default "flow").
+	Objective string `json:"objective,omitempty"`
+	// Effort is the optimization effort (default 3).
+	Effort int `json:"effort,omitempty"`
+	// Verify selects the equivalence engine ("" = off).
+	Verify string `json:"verify,omitempty"`
+	// Fraig appends SAT sweeping to the canned flow.
+	Fraig bool `json:"fraig,omitempty"`
+	// Workers is the per-request parallel-pass budget (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// Output selects the response network format (default: same as Format).
+	Output string `json:"output,omitempty"`
+	// TimeoutMS bounds this request (0 = server default; capped by the
+	// server maximum).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeResponse is the /v1/optimize response body.
+type OptimizeResponse struct {
+	Name         string      `json:"name"`
+	Before       logic.Stats `json:"before"`
+	After        logic.Stats `json:"after"`
+	Trace        logic.Trace `json:"trace"`
+	Network      string      `json:"network"`
+	Format       string      `json:"format"`
+	VerifyMethod string      `json:"verify_method,omitempty"`
+	Seconds      float64     `json:"seconds"`
+	// Cached reports that the result was served from the result cache
+	// (Seconds then reports the original computation's time).
+	Cached bool `json:"cached"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Config tunes a Server. Zero values take the documented defaults.
+type Config struct {
+	// Workers caps concurrent optimizations (default 4). Excess requests
+	// queue, respecting their context.
+	Workers int
+	// DefaultTimeout bounds requests that set no timeout_ms (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline (default 10m).
+	MaxTimeout time.Duration
+	// CacheSize bounds the result cache in entries (default 256; 0 takes
+	// the default, negative disables caching).
+	CacheSize int
+	// MaxRequestBytes caps the /v1/optimize request body (default 64 MiB)
+	// so oversized submissions are rejected before any parsing work.
+	MaxRequestBytes int64
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+}
+
+// Server is the optimization service. It implements http.Handler.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	cache *resultCache
+	mux   *http.ServeMux
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Workers),
+		mux: http.NewServeMux(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newResultCache(cfg.CacheSize)
+	}
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
+	kind := logic.Kind(r.URL.Query().Get("kind"))
+	switch kind {
+	case "", logic.KindMIG, logic.KindNetlist:
+		kind = logic.KindMIG
+	case logic.KindAIG:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown kind %q (want mig or aig)", kind)})
+		return
+	}
+	writeJSON(w, http.StatusOK, logic.Passes(kind))
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, status, err := s.optimize(r.Context(), &req)
+	if err != nil {
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// optimize validates, consults the cache, acquires a worker slot, and runs
+// the session. It returns the response or an (error, http status) pair.
+func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeResponse, int, error) {
+	if req.Source == "" {
+		return nil, http.StatusBadRequest, errors.New("empty source")
+	}
+	inFormat := logic.FormatBLIF
+	if req.Format != "" {
+		var err error
+		if inFormat, err = logic.ParseFormat(req.Format); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	outFormat := inFormat
+	if req.Output != "" {
+		var err error
+		if outFormat, err = logic.ParseFormat(req.Output); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	net, err := logic.Decode(inFormat, req.Source)
+	if err != nil {
+		return nil, http.StatusBadRequest, fmt.Errorf("parse %s: %w", inFormat, err)
+	}
+	if req.Script != "" {
+		if err := logic.ValidateScript(logic.KindMIG, req.Script); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	opts := []logic.Option{
+		logic.WithScript(req.Script),
+		logic.WithVerify(req.Verify),
+		logic.WithFraig(req.Fraig),
+		logic.WithWorkers(req.Workers),
+	}
+	if req.Objective != "" {
+		opts = append(opts, logic.WithObjective(req.Objective))
+	}
+	if req.Effort != 0 {
+		opts = append(opts, logic.WithEffort(req.Effort))
+	}
+	sess, err := logic.NewSession(opts...)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+
+	// The cache key hashes the canonical (re-encoded) network rather than
+	// the raw source, so submissions differing only in whitespace or
+	// format hit the same entry — keyed on the resolved output format, so
+	// a BLIF and a Verilog submission of the same circuit don't collide
+	// when their defaulted outputs differ.
+	key := cacheKey(net, req, outFormat)
+	if s.cache != nil {
+		if resp, ok := s.cache.get(key); ok {
+			cached := *resp
+			cached.Cached = true
+			return &cached, http.StatusOK, nil
+		}
+	}
+
+	// Bounded worker pool: wait for a slot or give up with the caller.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, statusForCtx(ctx.Err()), fmt.Errorf("queued request abandoned: %w", ctx.Err())
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	runCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	optimized, result, err := sess.Optimize(runCtx, net)
+	if err != nil {
+		if ctxErr := runCtx.Err(); ctxErr != nil {
+			return nil, statusForCtx(ctxErr), fmt.Errorf("optimization interrupted after %v: %w", timeout, ctxErr)
+		}
+		return nil, http.StatusUnprocessableEntity, err
+	}
+	rendered, err := logic.Encode(optimized, outFormat)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	resp := &OptimizeResponse{
+		Name:         net.Name(),
+		Before:       result.Before,
+		After:        result.After,
+		Trace:        result.Trace,
+		Network:      rendered,
+		Format:       string(outFormat),
+		VerifyMethod: result.VerifyMethod,
+		Seconds:      result.Seconds,
+	}
+	if s.cache != nil {
+		s.cache.put(key, resp)
+	}
+	return resp, http.StatusOK, nil
+}
+
+// cacheKey derives the result-cache key from the canonical network text
+// and every option that affects the output.
+func cacheKey(net logic.Network, req *OptimizeRequest, outFormat logic.Format) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v1\x00%s\x00%s\x00%s\x00%d\x00%s\x00%v\x00%s\x00",
+		net.EncodeBLIF(), req.Script, req.Objective, req.Effort, req.Verify, req.Fraig, outFormat)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// statusForCtx maps a context error to an HTTP status: deadline expiry is
+// the server's timeout (504), cancellation means the client went away
+// (499, nginx's convention).
+func statusForCtx(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return 499
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,6 +1,6 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation section, plus ablation benchmarks for the design choices
-// called out in DESIGN.md.
+// evaluation section, plus ablation benchmarks for the headline design
+// choices (MIG depth optimization vs the AIG and BDS baselines).
 //
 //	go test -bench=Table1Top -benchmem .       # Table I-top per circuit
 //	go test -bench=Table1Bottom -benchmem .    # Table I-bottom per circuit

@@ -11,8 +11,8 @@
 //
 // Every run prints measured values next to the values the paper reports.
 // Absolute sizes differ (the MCNC originals are replaced by functional
-// stand-ins; see DESIGN.md), so the quantity to compare is the ratio
-// between flows.
+// stand-ins; internal/mcnc documents the substitution rationale), so the
+// quantity to compare is the ratio between flows.
 //
 // The benchmark engine is parallel: -jobs N distributes circuits over N
 // workers, runs the competing flows of each circuit concurrently, and sets
@@ -31,7 +31,19 @@
 //	    -mig-script "cleanup; window-rewrite; eliminate"
 //
 // which is how the window-parallel rewriting is exercised end to end; its
-// output is byte-identical for every -jobs value.
+// output is byte-identical for every -jobs value. -strategy resolves a
+// named strategy from the script library (logic/script) to the same
+// effect, and -list-strategies prints the library's names.
+//
+// -tune searches the pass-script space for a strategy beating the canned
+// flow on the benchmark suite (greedy pass-append with single-statement
+// local search, scored by suite geomeans — see logic/script.Tune):
+//
+//	migbench -tune -tune-objective depth -tune-budget 2m -only b9,count,cla
+//
+// The run prints every accepted improvement, the winning script as a
+// registrable strategy, and a per-circuit comparison against the canned
+// flow at -effort.
 //
 // -verify selects an equivalence engine (auto|exact|bdd|sim|sat) and checks
 // every optimized result against its input, exiting nonzero on any
@@ -44,13 +56,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/logic"
 	"repro/logic/bench"
+	"repro/logic/script"
 )
 
 var (
@@ -68,7 +83,38 @@ func main() {
 	only := flag.String("only", "", "comma-separated benchmark subset (default: all of Table I)")
 	compressWords := flag.Int("compress-words", 1200, "size parameter for the compression circuit")
 	migScript := flag.String("mig-script", "", "pass script replacing the canned MIG flow, e.g. \"cleanup; fraig; window-rewrite\"")
+	strategy := flag.String("strategy", "", "named strategy from the script library replacing the canned MIG flow (see -list-strategies)")
+	listStrategies := flag.Bool("list-strategies", false, "list the named strategies (name, kind, objective; one per line) and exit")
+	tune := flag.Bool("tune", false, "search pass-script space for a strategy beating the canned flow (uses -only as the suite)")
+	tuneObjective := flag.String("tune-objective", "size", "tuning objective: size|depth")
+	tuneBudget := flag.Duration("tune-budget", time.Minute, "tuning wall-clock budget (0 = unbounded)")
+	tuneTrials := flag.Int("tune-trials", 0, "cap on distinct scripts evaluated (0 = unbounded; deterministic budget)")
+	tuneSeed := flag.String("tune-seed", "", "starting script for the tuner (default \"cleanup\")")
+	tuneName := flag.String("tune-name", "", "name for the emitted strategy (default tuned-<objective>)")
 	flag.Parse()
+
+	if *listStrategies {
+		for _, st := range script.All() {
+			fmt.Printf("%-18s %-4s %s\n", st.Name, st.Kind, st.Objective)
+		}
+		return
+	}
+	if *strategy != "" {
+		if *migScript != "" {
+			fmt.Fprintln(os.Stderr, "-strategy and -mig-script are mutually exclusive")
+			os.Exit(2)
+		}
+		st, ok := script.Lookup(*strategy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown strategy %q (have %s)\n", *strategy, strings.Join(script.Names(), ", "))
+			os.Exit(2)
+		}
+		if st.Kind != script.KindMIG {
+			fmt.Fprintf(os.Stderr, "strategy %q targets %s networks; migbench scripts the MIG flow\n", st.Name, st.Kind)
+			os.Exit(2)
+		}
+		*migScript = st.Script
+	}
 
 	// Parallel-safe passes (window-rewrite, fraig) read the process worker
 	// budget.
@@ -101,6 +147,17 @@ func main() {
 	names := bench.Circuits()
 	if *only != "" {
 		names = strings.Split(*only, ",")
+	}
+
+	if *tune {
+		runTune(names, cfg, script.TuneOptions{
+			Objective: *tuneObjective,
+			Budget:    *tuneBudget,
+			MaxTrials: *tuneTrials,
+			Seed:      *tuneSeed,
+			Name:      *tuneName,
+		})
+		return
 	}
 
 	switch *experiment {
@@ -362,6 +419,48 @@ func runSweep(names []string, cfg bench.Config) {
 			fmt.Printf("  effort %2d: size=%6d depth=%4d activity=%9.2f time=%.2fs\n",
 				eff, m.Size, m.Depth, m.Activity, m.Seconds)
 		}
+	}
+}
+
+// runTune drives the script tuner (logic/script.Tune) over the selected
+// circuits with the MCNC-backed evaluator, then prints the winning
+// strategy and a per-circuit comparison against the canned flow at the
+// run's -effort.
+func runTune(names []string, cfg bench.Config, o script.TuneOptions) {
+	o.Circuits = names
+	o.Eval = bench.ScriptEvaluator()
+	o.Log = os.Stderr
+	res, err := script.Tune(context.Background(), o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "migbench: tune:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== Script tuner: objective %s over %s ==\n", res.Best.Objective, strings.Join(names, ","))
+	fmt.Printf("trials=%d stopped=%s\n", res.Trials, res.Stopped)
+	fmt.Printf("seed geomeans: size=%.2f depth=%.2f\n", res.SeedSize, res.SeedDepth)
+	fmt.Printf("best geomeans: size=%.2f depth=%.2f\n", res.BestSize, res.BestDepth)
+	fmt.Printf("\nwinning strategy (register in logic/script to ship it):\n")
+	fmt.Printf("  name:      %s\n", res.Best.Name)
+	fmt.Printf("  objective: %s\n", res.Best.Objective)
+	fmt.Printf("  script:    %s\n", res.Best.Script)
+
+	// Per-circuit comparison against the canned §V.A flow at -effort.
+	eval := bench.ScriptEvaluator()
+	flowCfg := cfg
+	flowCfg.MIGScript = ""
+	fmt.Printf("\n%-10s %14s %14s\n", "circuit", "flow size/depth", "tuned size/depth")
+	for _, name := range names {
+		flow := bench.MIGOptimizeNet(circuit(name), flowCfg)
+		tuned, err := eval(context.Background(), name, res.Best.Script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "migbench: tune:", err)
+			os.Exit(1)
+		}
+		mark := ""
+		if tuned.Size < flow.Size || tuned.Depth < flow.Depth {
+			mark = "  <- tuned wins"
+		}
+		fmt.Printf("%-10s %8d/%-5d %10d/%-5d%s\n", name, flow.Size, flow.Depth, tuned.Size, tuned.Depth, mark)
 	}
 }
 

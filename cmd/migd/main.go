@@ -1,7 +1,9 @@
 // Command migd is the MIG optimization daemon: an HTTP/JSON service over
 // the public logic SDK (see the service package). POST a BLIF or Verilog
-// circuit plus a pass script to /v1/optimize and get back the optimized
-// network and the per-pass trace.
+// circuit plus a pass script — or a named strategy from the script
+// library — to /v1/optimize and get back the optimized network and the
+// per-pass trace; GET /v1/scripts lists the library, GET /v1/passes the
+// scriptable passes.
 //
 //	migd -addr :8337 -workers 8 -timeout 60s
 //
@@ -11,13 +13,16 @@
 //	  "script": "eliminate(8); reshape-depth; eliminate",
 //	  "verify": "auto"
 //	}'
+//	curl -s localhost:8337/v1/scripts?kind=mig
+//	curl -s localhost:8337/v1/optimize -d '{"source": "...", "script_name": "tuned-depth"}'
 //
 // Operational properties: a bounded worker pool (-workers) caps concurrent
 // optimizations; every request runs under a deadline (-timeout, capped by
 // -max-timeout) threaded through the SAT solver's conflict loop, so a hung
 // solve cannot pin a worker; a result cache (-cache entries) keyed by
-// (network hash, script, options) serves repeated submissions of hot
-// designs without recomputation. See examples/service for a Go client.
+// (network hash, effective script, options) serves repeated submissions of
+// hot designs without recomputation. docs/SERVICE.md is the wire-protocol
+// reference; see examples/service for a Go client.
 package main
 
 import (

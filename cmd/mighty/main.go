@@ -7,7 +7,9 @@
 //	mighty -in ctrl.blif -opt size -out ctrl_opt.blif
 //	mighty -in adder.v -stats             # just print metrics
 //	mighty -in adder.v -script "eliminate(8); reshape-depth; eliminate"
+//	mighty -in adder.v -strategy migscript2
 //	mighty -list-passes                   # show the scriptable passes
+//	mighty -list-scripts                  # show the named strategy library
 //
 // The -opt flag selects the §IV algorithm: size (Alg. 1), depth (Alg. 2),
 // activity (§IV.C), or flow (the paper's experimental recipe:
@@ -18,6 +20,11 @@
 // ';', '#' comments allowed). The per-pass trace (size/depth/activity
 // deltas and wall time) is printed to stderr; with -verify every pass is
 // additionally checked for functional equivalence against the input.
+//
+// The -strategy flag resolves a named strategy from the script library
+// (logic/script) — a curated or tuner-discovered pass script with
+// metadata — and runs it exactly as -script would run its text;
+// -list-scripts prints the library.
 //
 // The -verify flag selects the equivalence engine: auto (default; layers
 // exact -> BDD -> SAT -> simulation by circuit size), exact, bdd, sim, sat,
@@ -36,14 +43,17 @@ import (
 	"os"
 
 	"repro/logic"
+	"repro/logic/script"
 )
 
 func main() {
 	in := flag.String("in", "", "input file (.v or .blif)")
 	out := flag.String("out", "", "output file (.v or .blif); default stdout")
 	optFlag := flag.String("opt", "flow", "optimization: size|depth|activity|flow|none")
-	script := flag.String("script", "", "pass script, e.g. \"eliminate(8); reshape-depth; eliminate\" (overrides -opt)")
+	scriptFlag := flag.String("script", "", "pass script, e.g. \"eliminate(8); reshape-depth; eliminate\" (overrides -opt)")
+	strategy := flag.String("strategy", "", "named strategy from the script library, e.g. migscript2 (overrides -opt and -script; see -list-scripts)")
 	listPasses := flag.Bool("list-passes", false, "list the scriptable passes and exit")
+	listScripts := flag.Bool("list-scripts", false, "list the named strategy library and exit")
 	effort := flag.Int("effort", 3, "optimization effort (cycles)")
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.String("verify", "auto", "equivalence engine for verification: auto|exact|bdd|sim|sat, or none/off/false to skip")
@@ -53,6 +63,10 @@ func main() {
 
 	if *listPasses {
 		fmt.Print(logic.FormatPassList(logic.KindMIG))
+		return
+	}
+	if *listScripts {
+		fmt.Print(script.Format())
 		return
 	}
 	if *in == "" {
@@ -74,18 +88,22 @@ func main() {
 	}
 
 	verifyEngine := *verify
-	if *script == "" && *optFlag == "none" {
+	if *scriptFlag == "" && *strategy == "" && *optFlag == "none" {
 		// Representation conversion only: nothing to verify (matches the
 		// pre-SDK CLI, which skipped the check for -opt none).
 		verifyEngine = "none"
 	}
-	sess, err := logic.NewSession(
+	opts := []logic.Option{
 		logic.WithObjective(*optFlag),
-		logic.WithScript(*script),
+		logic.WithScript(*scriptFlag),
 		logic.WithEffort(*effort),
 		logic.WithVerify(verifyEngine),
 		logic.WithWorkers(*jobs),
-	)
+	}
+	if *strategy != "" {
+		opts = append(opts, logic.WithStrategy(*strategy))
+	}
+	sess, err := logic.NewSession(opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +116,7 @@ func main() {
 	}
 
 	optimized, res, err := sess.Optimize(ctx, net)
-	if *script != "" && res != nil {
+	if (*scriptFlag != "" || *strategy != "") && res != nil {
 		fmt.Fprint(os.Stderr, res.Trace.Format())
 	}
 	if err != nil {

@@ -13,24 +13,38 @@
 //     MIG, the AIG and the flat netlist, plus construction APIs (NewMIG,
 //     NewAIG, NewNetwork) and conversions (ToMIG, ToAIG, Flatten).
 //   - logic.Session is the configured optimizer: functional options
-//     (WithEffort, WithObjective, WithScript, WithVerify, WithWorkers,
-//     WithFraig, ...) replace bare config literals, and
+//     (WithEffort, WithObjective, WithScript, WithStrategy, WithVerify,
+//     WithWorkers, WithFraig, ...) replace bare config literals, and
 //     Optimize(ctx, net) threads context.Context through the pass
 //     pipeline, the window-parallel workers and the SAT solver's conflict
 //     loop, so deadlines and cancellation interrupt C6288-class solves
 //     promptly instead of waiting out conflict budgets. logic.Equivalent
 //     is context-aware combinational equivalence checking;
 //     logic.Passes/FormatPassList enumerate the scriptable passes with
-//     argument signatures in deterministic order.
+//     argument signatures in deterministic order, and logic.Strategies
+//     lists the named strategy library.
+//   - logic/script is the strategy library and tuner: whole optimization
+//     flows as named, versioned objects (migscript, migscript-depth,
+//     migscript2, aigscript, compress2rs, tuned-size, tuned-depth), each
+//     validated against the live pass registry at init and resolvable by
+//     logic.WithStrategy, mighty/migbench -strategy and the service's
+//     script_name; script.Tune searches pass-script space (greedy
+//     pass-append plus local search under wall-clock/trial/ctx budgets)
+//     for new strategies — the shipped tuned-* entries are its output on
+//     the MCNC suite. script.Register adds site-local strategies at
+//     runtime.
 //   - logic/bench is the experiment harness: the paper's benchmark
 //     circuits (Circuit, Compress), the Table I flows and batch engine
-//     (RunOptRows, RunSynthRows, RunCompress), report JSON and the
-//     quality-trajectory diff (DiffReports).
+//     (RunOptRows, RunSynthRows, RunCompress), report JSON, the
+//     quality-trajectory diff (DiffReports), and the MCNC-backed
+//     evaluator behind the script tuner (ScriptEvaluator).
 //   - service is the HTTP/JSON optimization daemon behind cmd/migd:
 //     POST /v1/optimize runs a Session under a bounded worker pool with
 //     per-request deadlines and an LRU result cache keyed by
-//     (network hash, script, options); the package also ships the Go
-//     Client used by examples/service.
+//     (network hash, effective script, options) — named strategies are
+//     accepted as script_name and listed by GET /v1/scripts; the package
+//     also ships the Go Client used by examples/service. The wire
+//     protocol is documented in docs/SERVICE.md.
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //
@@ -131,7 +145,9 @@
 //     per-pair cone proofs fanned over opt.ForEach workers, refutation
 //     counterexamples refining the next round, and proven nodes merged
 //     through the dense-remap rebuild. Deterministic for any worker count
-//     and never size-increasing.
+//     and never size-increasing. The representation-independent sweeping
+//     core (stimulus rows, canonical-signature classification, round
+//     orchestration) lives in internal/sweep, shared with the miter.
 //   - The solver itself is proven against brute-force enumeration on
 //     random CNFs (and continuously via FuzzSolver).
 //
@@ -157,6 +173,15 @@
 // miggen, benchdiff, migd) and runnable examples under examples/.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
-// paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for measured-vs-paper results.
+// paper's evaluation; migbench prints measured values next to the values
+// the paper reports, and internal/mcnc documents the benchmark
+// substitution rationale (the MCNC originals are not redistributable, so
+// functional stand-ins preserve each circuit's I/O shape, functional
+// family and size scale).
+//
+// The user-facing documentation lives in README.md (overview and
+// quickstart), docs/PASSES.md (the generated pass and strategy
+// reference) and docs/SERVICE.md (the migd wire protocol).
+//
+//go:generate go run ./cmd/passdoc -out docs/PASSES.md
 package repro

@@ -85,6 +85,27 @@ func main() {
 	fmt.Printf("\nscripted run trace:\n%s", resp.Trace.Format())
 	fmt.Printf("optimized Verilog is %d bytes\n", len(resp.Network))
 
+	// Discover the named strategy library and optimize by script_name —
+	// whole flows as first-class objects instead of script strings.
+	strategies, err := client.Scripts(ctx, "mig")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nserver ships %d MIG strategies:\n", len(strategies))
+	for _, s := range strategies {
+		fmt.Printf("  %-16s %-8s %s\n", s.Name, s.Objective, s.Script)
+	}
+	resp, err = client.Optimize(ctx, service.OptimizeRequest{
+		Format:     "blif",
+		Source:     n.EncodeBLIF(),
+		ScriptName: "tuned-depth",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("script_name=tuned-depth: size %d -> %d, depth %d -> %d\n",
+		resp.Before.Size, resp.After.Size, resp.Before.Depth, resp.After.Depth)
+
 	// Hot designs are served from the result cache.
 	resp, err = client.Optimize(ctx, service.OptimizeRequest{
 		Format: "blif",

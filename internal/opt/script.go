@@ -259,6 +259,20 @@ func Parse[G Graph](r *Registry[G], script string) (*Pipeline[G], error) {
 	return p, nil
 }
 
+// Canonical parses script against r and renders it back in canonical
+// statement form — the exact text Pipeline.String produces, with one
+// statement per pass and explicit arguments kept as written. Textual
+// variants of the same pipeline (whitespace, comments, trailing
+// semicolons) map to one canonical string, which is what the strategy
+// library stores and the script tuner dedups trials by.
+func Canonical[G Graph](r *Registry[G], script string) (string, error) {
+	p, err := Parse(r, script)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
 func parseScript(src string) ([]stmt, error) {
 	var stmts []stmt
 	i := 0

@@ -25,6 +25,34 @@ func scriptRegistry() *Registry[fake] {
 	return r
 }
 
+// TestCanonical checks that textual variants of one pipeline map to a
+// single canonical string and that errors stay located.
+func TestCanonical(t *testing.T) {
+	r := scriptRegistry()
+	want := "eliminate; reshape-depth(4, 2); pushup2"
+	for _, variant := range []string{
+		"eliminate; reshape-depth(4, 2); pushup2",
+		"eliminate ;reshape-depth( 4,2 ) ; pushup2;",
+		"eliminate # comment\n; reshape-depth(4,2)\n; pushup2",
+	} {
+		got, err := Canonical(r, variant)
+		if err != nil {
+			t.Fatalf("Canonical(%q): %v", variant, err)
+		}
+		if got != want {
+			t.Errorf("Canonical(%q) = %q, want %q", variant, got, want)
+		}
+	}
+	if _, err := Canonical(r, "eliminate; nope"); err == nil {
+		t.Error("Canonical accepted an unknown pass")
+	} else {
+		var se *ScriptError
+		if !errors.As(err, &se) || se.Token != "nope" {
+			t.Errorf("Canonical error = %v, want located ScriptError on \"nope\"", err)
+		}
+	}
+}
+
 func TestParseRoundTrip(t *testing.T) {
 	r := scriptRegistry()
 	for _, script := range []string{

@@ -307,7 +307,7 @@ func CSTOptPipeline() *opt.Pipeline[*aig.AIG] {
 }
 
 // CSTFlow simulates the commercial tool: the CSTOptPipeline script and the
-// same mapper. See DESIGN.md for the substitution rationale.
+// same mapper. See internal/mcnc for the substitution rationale.
 func CSTFlow(n logic.Network, lib *logic.Library) (SynthResult, *logic.MapResult) {
 	return cstFlow(logic.Flat(n), lib)
 }

@@ -1,0 +1,185 @@
+// Package script is the named-strategy library: whole optimization flows
+// as first-class, versioned, shareable objects instead of CLI flag
+// strings.
+//
+// A Strategy bundles a pass script (the same textual form mighty -script
+// and logic.WithScript accept) with metadata — target representation,
+// optimization objective, a description, and a recommended effort class —
+// under a stable name. The library ships LSOracle-style curated strategies
+// (migscript, migscript2, ...) plus strategies discovered by the tuner in
+// this package (Tune), which searches the pass-registry space against the
+// MCNC suite.
+//
+// Strategies resolve by name everywhere scripts are accepted:
+//
+//   - logic.WithStrategy("migscript2") on a Session,
+//   - mighty -strategy migscript2 (and -list-scripts),
+//   - migbench -strategy migscript2 (and -tune to discover new ones),
+//   - script_name in the migd service's POST /v1/optimize, with the
+//     library served from GET /v1/scripts.
+//
+// Every shipped strategy is parsed against the live pass registry at
+// package init and stored in canonical statement form, so a pass rename or
+// arity change fails the build's tests instead of a user's run.
+package script
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/aig"
+	"repro/internal/mig"
+	"repro/internal/opt"
+)
+
+// Strategy kinds: the representation a strategy's passes target.
+const (
+	KindMIG = "mig"
+	KindAIG = "aig"
+)
+
+// Sources: how a strategy entered the library.
+const (
+	SourceCurated = "curated" // hand-written, LSOracle/ABC-style
+	SourceTuned   = "tuned"   // discovered by Tune on the MCNC suite
+)
+
+// Strategy is a named, versioned optimization flow.
+type Strategy struct {
+	// Name is the stable identifier strategies resolve by.
+	Name string `json:"name"`
+	// Kind is the representation the script's passes target: "mig" or
+	// "aig" (flat netlists optimize through the MIG, so "mig" strategies
+	// accept them too).
+	Kind string `json:"kind"`
+	// Objective is what the flow optimizes for: "size", "depth" or
+	// "balanced".
+	Objective string `json:"objective"`
+	// Description says what the flow does and where it comes from.
+	Description string `json:"description"`
+	// Effort is the recommended effort class (1 = quick, 2 = standard,
+	// 3 = thorough) — a cost hint, since a script's iteration counts are
+	// fixed by its arguments.
+	Effort int `json:"effort"`
+	// Script is the pass script in canonical statement form.
+	Script string `json:"script"`
+	// Source is "curated" or "tuned".
+	Source string `json:"source"`
+}
+
+// String renders the strategy header on one line.
+func (s Strategy) String() string {
+	return fmt.Sprintf("%-16s %s/%s effort=%d  %s", s.Name, s.Kind, s.Objective, s.Effort, s.Script)
+}
+
+// library is the name-keyed strategy registry, built and validated at init
+// from the checked-in tables; Register may extend it at runtime (a migd
+// embedder serving site-local strategies), so access is mutex-guarded.
+var (
+	libMu   sync.RWMutex
+	library = map[string]Strategy{}
+)
+
+// Register validates a strategy — non-empty name, known kind, script that
+// parses against the live pass registry — canonicalizes its script, and
+// adds it to the library, where WithStrategy, the CLIs and the service's
+// /v1/scripts resolve it. Registering an existing name is an error; the
+// shipped entries cannot be replaced.
+func Register(s Strategy) error {
+	if s.Name == "" {
+		return fmt.Errorf("script: strategy has no name")
+	}
+	canon, err := Canonical(s.Kind, s.Script)
+	if err != nil {
+		return fmt.Errorf("script: strategy %q does not validate: %w", s.Name, err)
+	}
+	s.Script = canon
+	libMu.Lock()
+	defer libMu.Unlock()
+	if _, dup := library[s.Name]; dup {
+		return fmt.Errorf("script: duplicate strategy %q", s.Name)
+	}
+	library[s.Name] = s
+	return nil
+}
+
+// register is Register for the checked-in tables: registration happens at
+// package init, so a failure is a build-time defect caught by panicking
+// (and the package tests exercise every entry).
+func register(s Strategy) {
+	if err := Register(s); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Canonical validates a pass script against the registry of the given kind
+// ("mig" or "aig") and returns it in canonical statement form. The error is
+// the located *opt.ScriptError the parser produces.
+func Canonical(kind, script string) (string, error) {
+	switch kind {
+	case KindMIG:
+		return opt.Canonical(mig.Passes(), script)
+	case KindAIG:
+		return opt.Canonical(aig.Passes(), script)
+	}
+	return "", fmt.Errorf("script: unknown strategy kind %q (want %s or %s)", kind, KindMIG, KindAIG)
+}
+
+// Lookup resolves a strategy by name.
+func Lookup(name string) (Strategy, bool) {
+	libMu.RLock()
+	defer libMu.RUnlock()
+	s, ok := library[name]
+	return s, ok
+}
+
+// Names lists the library's strategy names in lexicographic order.
+func Names() []string {
+	libMu.RLock()
+	defer libMu.RUnlock()
+	names := make([]string, 0, len(library))
+	for n := range library {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered strategy, sorted by name.
+func All() []Strategy {
+	names := Names()
+	libMu.RLock()
+	defer libMu.RUnlock()
+	out := make([]Strategy, 0, len(names))
+	for _, n := range names {
+		out = append(out, library[n])
+	}
+	return out
+}
+
+// ForKind returns the strategies targeting one representation kind, sorted
+// by name.
+func ForKind(kind string) []Strategy {
+	var out []Strategy
+	for _, s := range All() {
+		if s.Kind == kind {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Format renders the library as an aligned listing, one strategy per name:
+// header line (name, kind/objective, effort, source), then the description
+// and the script, indented. Deterministic (sorted by name).
+func Format() string {
+	var b strings.Builder
+	for _, s := range All() {
+		fmt.Fprintf(&b, "%-18s %s/%-8s effort=%d %s\n", s.Name, s.Kind, s.Objective, s.Effort, s.Source)
+		fmt.Fprintf(&b, "    %s\n", s.Description)
+		fmt.Fprintf(&b, "    script: %s\n", s.Script)
+	}
+	return b.String()
+}

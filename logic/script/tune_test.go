@@ -1,0 +1,173 @@
+package script
+
+// Tuner unit tests on synthetic evaluators: deterministic landscapes with
+// known optima, so the greedy-append + local-search mechanics, the memo,
+// and every budget path are checked without running real optimizations
+// (logic/bench has the MCNC-backed integration tests).
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// landscapeEval scores a script by which statements it contains: each
+// distinct scoring statement subtracts its value once, every statement
+// costs 10. The unique optimum over candidates {eliminate, cut-rewrite,
+// cleanup} is "eliminate; cut-rewrite" (size 870).
+func landscapeEval(calls *atomic.Int64) Evaluator {
+	return func(_ context.Context, _, s string) (Metrics, error) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		stmts := strings.Split(s, "; ")
+		size := 1000 + 10*len(stmts)
+		seen := map[string]bool{}
+		for _, st := range stmts {
+			if seen[st] {
+				continue
+			}
+			seen[st] = true
+			switch st {
+			case "eliminate":
+				size -= 100
+			case "cut-rewrite":
+				size -= 50
+			}
+		}
+		return Metrics{Size: size, Depth: size / 100}, nil
+	}
+}
+
+func TestTuneFindsOptimum(t *testing.T) {
+	var calls atomic.Int64
+	res, err := Tune(context.Background(), TuneOptions{
+		Circuits:   []string{"a", "b"},
+		Eval:       landscapeEval(&calls),
+		Candidates: []string{"eliminate", "cut-rewrite", "cleanup"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Script != "eliminate; cut-rewrite" {
+		t.Errorf("best script = %q, want \"eliminate; cut-rewrite\"", res.Best.Script)
+	}
+	if res.Stopped != "converged" {
+		t.Errorf("stopped = %q, want converged", res.Stopped)
+	}
+	if res.BestSize >= res.SeedSize {
+		t.Errorf("best size %v did not improve on seed %v", res.BestSize, res.SeedSize)
+	}
+	if res.Best.Kind != KindMIG || res.Best.Source != SourceTuned || res.Best.Name != "tuned-size" {
+		t.Errorf("emitted strategy metadata wrong: %+v", res.Best)
+	}
+	// Every distinct script is evaluated once per circuit: the memo dedups
+	// revisited neighbors.
+	if got, want := calls.Load(), int64(2*res.Trials); got != want {
+		t.Errorf("evaluator ran %d times, want trials*circuits = %d", got, want)
+	}
+	if len(res.History) < 2 || res.History[0].Script != "cleanup" {
+		t.Errorf("history = %+v, want seed first and at least one improvement", res.History)
+	}
+}
+
+func TestTuneDepthObjective(t *testing.T) {
+	// Depth landscape: only pushup reduces depth; size breaks ties.
+	eval := func(_ context.Context, _, s string) (Metrics, error) {
+		m := Metrics{Size: 100 + len(s), Depth: 50}
+		if strings.Contains(s, "pushup") {
+			m.Depth = 20
+		}
+		return m, nil
+	}
+	res, err := Tune(context.Background(), TuneOptions{
+		Objective:  "depth",
+		Circuits:   []string{"c"},
+		Eval:       eval,
+		Candidates: []string{"pushup", "eliminate"},
+		MaxTrials:  50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Script != "pushup" {
+		t.Errorf("best script = %q, want \"pushup\" (shortest depth-optimal)", res.Best.Script)
+	}
+	if res.Best.Objective != "depth" || math.Abs(res.BestDepth-20) > 1e-6 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestTuneBudgets(t *testing.T) {
+	// Trial cap: the seed is scored, then the search stops.
+	res, err := Tune(context.Background(), TuneOptions{
+		Circuits:  []string{"a"},
+		Eval:      landscapeEval(nil),
+		MaxTrials: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != "trials" || res.Trials != 1 || res.Best.Script != "cleanup" {
+		t.Errorf("trial-capped run = stopped %q trials %d best %q", res.Stopped, res.Trials, res.Best.Script)
+	}
+
+	// Wall-clock budget: the seed is scored (the budget is checked before
+	// each trial), then the slow evaluator exhausts the budget.
+	res, err = Tune(context.Background(), TuneOptions{
+		Circuits: []string{"a"},
+		Eval: func(ctx context.Context, c, s string) (Metrics, error) {
+			time.Sleep(60 * time.Millisecond)
+			return landscapeEval(nil)(ctx, c, s)
+		},
+		Budget: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != "budget" || res.Best.Script != "cleanup" {
+		t.Errorf("budget-capped run = stopped %q best %q", res.Stopped, res.Best.Script)
+	}
+
+	// Cancelled context before the seed: a hard error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Tune(ctx, TuneOptions{Circuits: []string{"a"}, Eval: landscapeEval(nil)}); err == nil {
+		t.Error("cancelled-context run succeeded, want error")
+	}
+}
+
+func TestTuneOptionErrors(t *testing.T) {
+	eval := landscapeEval(nil)
+	cases := []TuneOptions{
+		{Circuits: []string{"a"}}, // no evaluator
+		{Eval: eval},              // no circuits
+		{Eval: eval, Circuits: []string{"a"}, Objective: "area"},           // bad objective
+		{Eval: eval, Circuits: []string{"a"}, Seed: "nope"},                // bad seed
+		{Eval: eval, Circuits: []string{"a"}, Candidates: []string{"zz)"}}, // bad candidate
+	}
+	for i, o := range cases {
+		if _, err := Tune(context.Background(), o); err == nil {
+			t.Errorf("case %d: Tune accepted bad options %+v", i, o)
+		}
+	}
+}
+
+func TestTuneMaxLen(t *testing.T) {
+	// With MaxLen 1 the search can only substitute the single statement.
+	res, err := Tune(context.Background(), TuneOptions{
+		Circuits:   []string{"a"},
+		Eval:       landscapeEval(nil),
+		Candidates: []string{"eliminate", "cut-rewrite"},
+		MaxLen:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Script != "eliminate" {
+		t.Errorf("MaxLen=1 best = %q, want \"eliminate\"", res.Best.Script)
+	}
+}

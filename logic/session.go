@@ -26,10 +26,14 @@ type Session struct {
 	workers   int
 	objective string
 	script    string
-	verify    string // equivalence engine; "" = verification off
-	verifyOn  bool
-	fraig     bool
-	probs     []float64
+	// strategy and strategyKind record a WithStrategy resolution: the
+	// library name behind script, and the representation it targets.
+	strategy     string
+	strategyKind string
+	verify       string // equivalence engine; "" = verification off
+	verifyOn     bool
+	fraig        bool
+	probs        []float64
 }
 
 // Option configures a Session.
@@ -63,10 +67,13 @@ func WithObjective(o string) Option {
 
 // WithScript replaces the canned objective with a pass script such as
 // "eliminate(8); reshape-depth; fraig" compiled against the input
-// representation's pass registry (see Passes).
+// representation's pass registry (see Passes). Use WithStrategy to resolve
+// a named script from the strategy library instead; a later WithScript
+// clears any earlier strategy resolution.
 func WithScript(script string) Option {
 	return func(s *Session) error {
 		s.script = script
+		s.strategy, s.strategyKind = "", ""
 		return nil
 	}
 }
@@ -219,6 +226,9 @@ func (s *Session) Optimize(ctx context.Context, net Network) (Network, *Result, 
 
 // optimizeMIG builds and runs the MIG pipeline for this configuration.
 func (s *Session) optimizeMIG(ctx context.Context, in *MIG) (Network, Trace, error) {
+	if err := s.checkStrategyKind(KindMIG); err != nil {
+		return nil, nil, err
+	}
 	var pipe *opt.Pipeline[*mig.MIG]
 	if s.script != "" {
 		var err error
@@ -257,6 +267,9 @@ func (s *Session) optimizeMIG(ctx context.Context, in *MIG) (Network, Trace, err
 // the resyn2 recipe plus a final balance (the academic-baseline flow), or
 // the session's script.
 func (s *Session) optimizeAIG(ctx context.Context, in *AIG) (Network, Trace, error) {
+	if err := s.checkStrategyKind(KindAIG); err != nil {
+		return nil, nil, err
+	}
 	var pipe *opt.Pipeline[*aig.AIG]
 	if s.script != "" {
 		var err error

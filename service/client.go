@@ -12,6 +12,7 @@ import (
 	"net/http"
 
 	"repro/logic"
+	"repro/logic/script"
 )
 
 // Client talks to a migd server.
@@ -81,6 +82,21 @@ func (c *Client) Passes(ctx context.Context, kind string) ([]logic.PassInfo, err
 		path += "?kind=" + kind
 	}
 	var out []logic.PassInfo
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Scripts lists the server's named-strategy library, optionally filtered
+// by target representation kind ("mig" or "aig"; "" = all). Any returned
+// name is accepted as script_name by Optimize.
+func (c *Client) Scripts(ctx context.Context, kind string) ([]script.Strategy, error) {
+	path := "/v1/scripts"
+	if kind != "" {
+		path += "?kind=" + kind
+	}
+	var out []script.Strategy
 	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@
 //
 //	POST /v1/optimize   OptimizeRequest -> OptimizeResponse
 //	GET  /v1/passes     ?kind=mig|aig -> []logic.PassInfo
+//	GET  /v1/scripts    ?kind=mig|aig -> []script.Strategy (the named library)
 //	GET  /healthz       liveness
 package service
 
@@ -26,9 +27,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/logic"
+	"repro/logic/script"
 )
 
 // OptimizeRequest is the /v1/optimize request body.
@@ -39,6 +42,10 @@ type OptimizeRequest struct {
 	Source string `json:"source"`
 	// Script is an optional pass script replacing the canned objective.
 	Script string `json:"script,omitempty"`
+	// ScriptName resolves a named strategy from the server's script
+	// library (GET /v1/scripts) instead of an inline Script; the two are
+	// mutually exclusive.
+	ScriptName string `json:"script_name,omitempty"`
 	// Objective is the canned optimization target (default "flow").
 	Objective string `json:"objective,omitempty"`
 	// Effort is the optimization effort (default 3).
@@ -132,6 +139,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
+	s.mux.HandleFunc("GET /v1/scripts", s.handleScripts)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
@@ -154,6 +162,23 @@ func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, logic.Passes(kind))
+}
+
+// handleScripts serves the named-strategy library: every registered
+// strategy with its metadata and canonical script, optionally filtered by
+// target representation (?kind=mig|aig; netlist maps to mig like
+// /v1/passes, since flat netlists optimize through the MIG).
+func (s *Server) handleScripts(w http.ResponseWriter, r *http.Request) {
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "":
+		writeJSON(w, http.StatusOK, script.All())
+	case string(logic.KindNetlist):
+		writeJSON(w, http.StatusOK, script.ForKind(script.KindMIG))
+	case script.KindMIG, script.KindAIG:
+		writeJSON(w, http.StatusOK, script.ForKind(kind))
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown kind %q (want mig or aig)", kind)})
+	}
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
@@ -200,13 +225,31 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	if err != nil {
 		return nil, http.StatusBadRequest, fmt.Errorf("parse %s: %w", inFormat, err)
 	}
-	if req.Script != "" {
-		if err := logic.ValidateScript(logic.KindMIG, req.Script); err != nil {
+	// A named strategy resolves to its library script; the request runs
+	// through the MIG path (sources decode to flat netlists), so only
+	// "mig" strategies apply.
+	scriptText := req.Script
+	if req.ScriptName != "" {
+		if req.Script != "" {
+			return nil, http.StatusBadRequest, errors.New("script and script_name are mutually exclusive")
+		}
+		st, ok := script.Lookup(req.ScriptName)
+		if !ok {
+			return nil, http.StatusBadRequest, fmt.Errorf("unknown script_name %q (have %s)",
+				req.ScriptName, strings.Join(script.Names(), ", "))
+		}
+		if st.Kind != script.KindMIG {
+			return nil, http.StatusBadRequest, fmt.Errorf("script_name %q targets %s networks; the service optimizes through the MIG", st.Name, st.Kind)
+		}
+		scriptText = st.Script
+	}
+	if scriptText != "" {
+		if err := logic.ValidateScript(logic.KindMIG, scriptText); err != nil {
 			return nil, http.StatusBadRequest, err
 		}
 	}
 	opts := []logic.Option{
-		logic.WithScript(req.Script),
+		logic.WithScript(scriptText),
 		logic.WithVerify(req.Verify),
 		logic.WithFraig(req.Fraig),
 		logic.WithWorkers(req.Workers),
@@ -226,8 +269,11 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	// the raw source, so submissions differing only in whitespace or
 	// format hit the same entry — keyed on the resolved output format, so
 	// a BLIF and a Verilog submission of the same circuit don't collide
-	// when their defaulted outputs differ.
-	key := cacheKey(net, req, outFormat)
+	// when their defaulted outputs differ. Named strategies key by their
+	// resolved script text, so script_name "migscript" and the identical
+	// inline script share one entry (the library is append-only within a
+	// process, so a name can never silently change its script).
+	key := cacheKey(net, req, scriptText, outFormat)
 	if s.cache != nil {
 		if resp, ok := s.cache.get(key); ok {
 			cached := *resp
@@ -282,11 +328,12 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 }
 
 // cacheKey derives the result-cache key from the canonical network text
-// and every option that affects the output.
-func cacheKey(net logic.Network, req *OptimizeRequest, outFormat logic.Format) string {
+// and every option that affects the output; scriptText is the request's
+// effective script (the inline Script, or the ScriptName resolution).
+func cacheKey(net logic.Network, req *OptimizeRequest, scriptText string, outFormat logic.Format) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "v1\x00%s\x00%s\x00%s\x00%d\x00%s\x00%v\x00%s\x00",
-		net.EncodeBLIF(), req.Script, req.Objective, req.Effort, req.Verify, req.Fraig, outFormat)
+	fmt.Fprintf(h, "v2\x00%s\x00%s\x00%s\x00%d\x00%s\x00%v\x00%s\x00",
+		net.EncodeBLIF(), scriptText, req.Objective, req.Effort, req.Verify, req.Fraig, outFormat)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"repro/logic"
 	"repro/logic/bench"
+	"repro/logic/script"
 )
 
 func testServer(t *testing.T, cfg Config) (*Server, *Client) {
@@ -316,5 +317,102 @@ func TestRequestBodyTooLarge(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "413") {
 		t.Fatalf("err = %v, want HTTP 413", err)
+	}
+}
+
+// TestScriptsEndpoint lists the named-strategy library and round-trips a
+// listed name through /v1/optimize: the response must be byte-identical to
+// submitting the strategy's script text inline.
+func TestScriptsEndpoint(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	all, err := client.Scripts(ctx, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(script.All()) {
+		t.Fatalf("listing has %d strategies, library has %d", len(all), len(script.All()))
+	}
+	var mig *script.Strategy
+	for i, s := range all {
+		if i > 0 && all[i-1].Name > s.Name {
+			t.Fatalf("scripts not sorted: %q before %q", all[i-1].Name, s.Name)
+		}
+		if s.Name == "" || s.Script == "" || s.Description == "" {
+			t.Fatalf("strategy listing entry incomplete: %+v", s)
+		}
+		if s.Kind == script.KindMIG && mig == nil {
+			mig = &all[i]
+		}
+	}
+	if mig == nil {
+		t.Fatal("no MIG strategy in the listing")
+	}
+
+	migOnly, err := client.Scripts(ctx, "mig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range migOnly {
+		if s.Kind != script.KindMIG {
+			t.Fatalf("kind=mig listing contains %q (%s)", s.Name, s.Kind)
+		}
+	}
+	// netlist maps to mig, mirroring /v1/passes (decoded sources are
+	// netlists and optimize through the MIG).
+	asNetlist, err := client.Scripts(ctx, "netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asNetlist) != len(migOnly) {
+		t.Fatalf("kind=netlist returned %d strategies, kind=mig %d", len(asNetlist), len(migOnly))
+	}
+	if _, err := client.Scripts(ctx, "verilog"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+
+	// Round trip: optimize by name, compare against the inline script.
+	src := circuitBLIF(t, "count")
+	byName, err := client.Optimize(ctx, OptimizeRequest{Source: src, ScriptName: mig.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := client.Optimize(ctx, OptimizeRequest{Source: src, Script: mig.Script})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Network != inline.Network {
+		t.Fatalf("script_name %q and its inline script produced different networks", mig.Name)
+	}
+	// Both spellings resolve to the same cache key, so the inline
+	// submission must have been a cache hit.
+	if !inline.Cached {
+		t.Fatal("inline script missed the cache entry its script_name twin created")
+	}
+}
+
+// TestScriptNameRequestValidation pins the script_name error cases.
+func TestScriptNameRequestValidation(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	src := circuitBLIF(t, "b9")
+	cases := []struct {
+		name string
+		req  OptimizeRequest
+		want string
+	}{
+		{"unknown name", OptimizeRequest{Source: src, ScriptName: "no-such"}, "unknown script_name"},
+		{"both set", OptimizeRequest{Source: src, ScriptName: "migscript", Script: "cleanup"}, "mutually exclusive"},
+		{"aig strategy", OptimizeRequest{Source: src, ScriptName: "aigscript"}, "targets aig networks"},
+	}
+	for _, c := range cases {
+		_, err := client.Optimize(ctx, c.req)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+		if err != nil && !strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("%s: err = %v, want HTTP 400", c.name, err)
+		}
 	}
 }

@@ -128,28 +128,43 @@
 // first-UIP learning, VSIDS activities, Luby restarts, incremental solving
 // under assumptions with conflict budgets) plus Tseitin CNF encoders for
 // the netlist IR — the majority gate encodes as its six two-out-of-three
-// cover clauses. Three layers build on it:
+// cover clauses. The solver is built for reuse: clause groups
+// (PushGroup/ReleaseGroup) gate batches of clauses behind activation
+// literals so they can be retracted without discarding what the solver
+// learned, Purge recycles released clauses and variables, and Reset
+// rewinds a solver to the exact fresh-solver state while keeping its
+// memory. Three layers build on it:
 //
 //   - internal/equiv gained a fourth engine: a SAT miter strengthened by
 //     internal-point sweeping (shared random simulation proposes internal
-//     node pairs, each is proved with a small conflict budget and asserted
-//     as an equality clause), which decides arithmetic-circuit miters that
-//     are hopeless for a bare CDCL run. The auto layering is now
-//     exact -> BDD -> SAT -> simulation, so large-network equivalence is
-//     decided exactly where it used to be probabilistic; mismatches carry
-//     the failing input assignment in Result.Detail (the simulation engine
-//     reports counterexamples in the same format). Options.Engine and the
-//     CLIs' -verify flag force a specific engine.
+//     node pairs, each proved inside a retractable clause group under an
+//     explicit half-of-budget cap and asserted as a permanent equality
+//     clause), which decides arithmetic-circuit miters that are hopeless
+//     for a bare CDCL run. The auto layering is exact -> BDD -> SAT ->
+//     simulation; mismatches carry the failing input assignment in
+//     Result.Detail, and Result now also reports the conflicts and
+//     restarts the check consumed. For scripted pipeline runs,
+//     equiv.Incremental proves each pass against the previous step with
+//     one persistent solver: a structural cone diff discharges untouched
+//     outputs for free and a group-scoped cone miter spans only the
+//     rewritten region, falling back to the full layered check when
+//     undecided. Options.Engine and the CLIs' -verify flag force a
+//     specific engine.
 //   - The fraig passes (internal/mig, internal/aig) are simulation-guided
 //     SAT sweeping: candidate equivalence classes from random simulation,
 //     per-pair cone proofs fanned over opt.ForEach workers, refutation
 //     counterexamples refining the next round, and proven nodes merged
-//     through the dense-remap rebuild. Deterministic for any worker count
+//     through the dense-remap rebuild. Each worker owns one long-lived
+//     solver rewound with Reset per pair, so solver constructions are
+//     O(workers) while results stay deterministic for any worker count
 //     and never size-increasing. The representation-independent sweeping
 //     core (stimulus rows, canonical-signature classification, round
-//     orchestration) lives in internal/sweep, shared with the miter.
+//     orchestration, the session counterexample pool that persists
+//     refutation patterns across the passes of one run) lives in
+//     internal/sweep, shared with the miter.
 //   - The solver itself is proven against brute-force enumeration on
-//     random CNFs (and continuously via FuzzSolver).
+//     random CNFs (and continuously via FuzzSolver), with the same suite
+//     replayed through reused group-gated solvers.
 //
 // See internal/sat/README.md for the architecture and encoding details.
 //

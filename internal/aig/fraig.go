@@ -3,11 +3,15 @@ package aig
 // Simulation-guided SAT sweeping over the AIG, mirroring the MIG side
 // (internal/mig/fraig.go) on the shared internal/sweep core: random
 // simulation partitions the live nodes into candidate equivalence classes,
-// each (representative, member) candidate is proved or refuted by a fresh
-// SAT solver on the pair's fanin cones, refutation counterexamples refine
-// the next round's classes, and proven-equivalent nodes merge through the
-// dense remap rebuild. Candidate pairs fan out over opt.ForEach workers;
-// the pass is deterministic for any worker count and never increases size.
+// each (representative, member) candidate is proved or refuted by SAT on
+// the pair's fanin cones, refutation counterexamples refine the next
+// round's classes, and proven-equivalent nodes merge through the dense
+// remap rebuild. Candidate pairs fan out over opt.ForEach workers, each
+// owning one long-lived solver rewound with Reset between pairs (see the
+// MIG side for why Reset rather than state carry-over is what keeps the
+// pass byte-identical for any worker count); the session counterexample
+// pool seeds the first round and collects this pass's refutations. The
+// pass is deterministic for any worker count and never increases size.
 
 import (
 	"context"
@@ -39,8 +43,10 @@ func (a *AIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget i
 	if rounds < 1 {
 		rounds = 1
 	}
+	pool := sweep.PoolFrom(ctx)
+	cexes := pool.Snapshot(len(a.inputs))
+	seeded := len(cexes)
 	cur := a
-	var cexes [][]bool
 	for round := 0; round < rounds; round++ {
 		next, merged, newCex := cur.fraigRound(ctx, words, queryBudget, jobs, int64(round), cexes)
 		if err := ctx.Err(); err != nil {
@@ -52,6 +58,7 @@ func (a *AIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget i
 		}
 		cur = next
 	}
+	pool.Add(cexes[seeded:])
 	if cur.Size() > a.Size() {
 		return a, nil
 	}
@@ -106,16 +113,27 @@ func (a *AIG) fraigRound(ctx context.Context, words int, budget int64, jobs int,
 	return out.Cleanup(), merged, newCex
 }
 
-// fraigScratchPool holds per-worker cone scratch (see the MIG side).
-var fraigScratchPool = sync.Pool{New: func() any { return new(sweep.Scratch[sat.Lit]) }}
+// fraigWorker is the per-worker solving state (see the MIG side): one
+// long-lived solver plus the cone traversal scratch, pooled so solver
+// constructions are bounded by the worker count, not the pair count.
+type fraigWorker struct {
+	s       *sat.Solver
+	scr     sweep.Scratch[sat.Lit]
+	stack   []int
+	cone    []int
+	piNodes []int
+}
+
+var fraigWorkerPool = sync.Pool{New: func() any { return &fraigWorker{s: sat.NewSolver()} }}
 
 func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop func() bool) sweep.Verdict {
-	scr := fraigScratchPool.Get().(*sweep.Scratch[sat.Lit])
-	defer fraigScratchPool.Put(scr)
-	scr.Reset(len(a.nodes))
+	w := fraigWorkerPool.Get().(*fraigWorker)
+	defer fraigWorkerPool.Put(w)
+	w.scr.Reset(len(a.nodes))
+	scr := &w.scr
 
-	stack := []int{p.Repr, p.Member}
-	var cone []int
+	stack := append(w.stack[:0], p.Repr, p.Member)
+	cone := w.cone[:0]
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -129,10 +147,12 @@ func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop fun
 		}
 	}
 	sort.Ints(cone)
+	w.stack, w.cone = stack, cone
 
-	s := sat.NewSolver()
+	s := w.s
+	s.Reset()
 	s.Stop = stop
-	var piNodes []int
+	piNodes := w.piNodes[:0]
 	lit := func(x Signal) sat.Lit { return scr.Get(x.Node()).NotIf(x.Neg()) }
 	for _, v := range cone {
 		switch a.nodes[v].kind {
@@ -148,6 +168,7 @@ func (a *AIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop fun
 			scr.Set(v, o)
 		}
 	}
+	w.piNodes = piNodes
 	d := sat.MkLit(s.NewVar(), false)
 	s.AddXorGate(d, scr.Get(p.Repr), scr.Get(p.Member).NotIf(p.Phase))
 	if !s.AddClause(d) {

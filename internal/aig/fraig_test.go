@@ -76,10 +76,11 @@ func TestFraigRegisteredAndJobsInvariantAIG(t *testing.T) {
 	if _, err := ParseScript("fraig(4, 2, 0)"); err == nil {
 		t.Error("degenerate conflict budget accepted")
 	}
-	serial := FromNetwork(n).FraigPass(4, 2, 2000, 1)
-	parallel := FromNetwork(n).FraigPass(4, 2, 2000, 8)
-	sn, pn := serial.ToNetwork(), parallel.ToNetwork()
-	if sn.NumGates() != pn.NumGates() || sn.Stats() != pn.Stats() {
-		t.Error("fraig differs between 1 and 8 workers")
+	sn := FromNetwork(n).FraigPass(4, 2, 2000, 1).ToNetwork()
+	for _, jobs := range []int{2, 8} {
+		pn := FromNetwork(n).FraigPass(4, 2, 2000, jobs).ToNetwork()
+		if sn.NumGates() != pn.NumGates() || sn.Stats() != pn.Stats() {
+			t.Errorf("fraig differs between 1 and %d workers", jobs)
+		}
 	}
 }

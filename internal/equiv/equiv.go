@@ -38,6 +38,9 @@ const (
 	MethodBDD   Method = "bdd"
 	MethodSAT   Method = "sat"
 	MethodSim   Method = "simulation"
+	// MethodStruct is reported by the incremental checker when every output
+	// cone was structurally unchanged — no solving was needed at all.
+	MethodStruct Method = "structural"
 )
 
 // Result of an equivalence check.
@@ -45,6 +48,10 @@ type Result struct {
 	Equivalent bool
 	Method     Method
 	Detail     string
+	// Conflicts and Restarts report the SAT effort behind the verdict
+	// (zero for the non-SAT engines).
+	Conflicts int64
+	Restarts  int64
 }
 
 // Options controls the check.
@@ -191,12 +198,16 @@ func checkSAT(ctx context.Context, a, b *netlist.Network, budget int64) (Result,
 			Equivalent: true,
 			Method:     MethodSAT,
 			Detail:     fmt.Sprintf("miter UNSAT after %d conflicts", res.Conflicts),
+			Conflicts:  res.Conflicts,
+			Restarts:   res.Restarts,
 		}, true, nil
 	case sat.Sat:
 		return Result{
 			Equivalent: false,
 			Method:     MethodSAT,
 			Detail:     cexDetail(a, b, res.Inputs),
+			Conflicts:  res.Conflicts,
+			Restarts:   res.Restarts,
 		}, true, nil
 	}
 	return Result{}, false, nil

@@ -1,0 +1,172 @@
+package equiv
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// parityAnd builds a two-output network over 8 inputs: "p" is the parity
+// of x0..x3 (left fold or balanced tree per the flag) and "q" is
+// (x4&x5)|(x6&x7) in a fixed structure. The two output cones are disjoint,
+// so restructuring one leaves the other byte-identical — exactly the shape
+// the incremental checker's structural diff exploits.
+func parityAnd(name string, balanced bool) *netlist.Network {
+	n := netlist.New(name)
+	xs := make([]netlist.Signal, 8)
+	for i := range xs {
+		xs[i] = n.AddInput("x")
+	}
+	var p netlist.Signal
+	if balanced {
+		a := n.AddGate(netlist.Xor, xs[0], xs[1])
+		b := n.AddGate(netlist.Xor, xs[2], xs[3])
+		p = n.AddGate(netlist.Xor, a, b)
+	} else {
+		p = xs[0]
+		for _, x := range xs[1:4] {
+			p = n.AddGate(netlist.Xor, p, x)
+		}
+	}
+	n.AddOutput("p", p)
+	q := n.AddGate(netlist.Or,
+		n.AddGate(netlist.And, xs[4], xs[5]),
+		n.AddGate(netlist.And, xs[6], xs[7]))
+	n.AddOutput("q", q)
+	return n
+}
+
+// TestIncrementalStructuralSkip: a step that rebuilds the same structure
+// must be discharged without any SAT work.
+func TestIncrementalStructuralSkip(t *testing.T) {
+	ref := parityAnd("ref", false)
+	same := parityAnd("same", false)
+	inc := NewIncremental(Options{})
+	st, err := inc.Step(context.Background(), ref, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != MethodStruct {
+		t.Fatalf("method = %s, want %s", st.Method, MethodStruct)
+	}
+	if st.Changed != 0 || st.Conflicts != 0 {
+		t.Fatalf("structural skip reported changed=%d conflicts=%d", st.Changed, st.Conflicts)
+	}
+}
+
+// TestIncrementalConeDiff: restructuring one of two disjoint cones must be
+// proved by SAT on that cone alone, with the untouched output discharged
+// structurally; a later step flipping the other cone's output must fail.
+func TestIncrementalConeDiff(t *testing.T) {
+	ref := parityAnd("ref", false)
+	step1 := parityAnd("s1", true) // parity cone rewritten, q untouched
+	inc := NewIncremental(Options{Engine: "sat"})
+
+	st, err := inc.Step(context.Background(), ref, step1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != MethodSAT {
+		t.Fatalf("method = %s, want %s", st.Method, MethodSAT)
+	}
+	if st.Changed != 1 {
+		t.Fatalf("changed = %d, want 1 (only the parity cone was rewritten)", st.Changed)
+	}
+
+	// Second step: same structure again — proved against step1, not ref.
+	step2 := parityAnd("s2", true)
+	st, err = inc.Step(context.Background(), ref, step2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Method != MethodStruct || st.Changed != 0 {
+		t.Fatalf("step2: method=%s changed=%d, want pure structural skip", st.Method, st.Changed)
+	}
+
+	// Third step: break the AND-OR cone. The checker must refute it with a
+	// counterexample against step2.
+	broken := parityAnd("s3", true)
+	broken.Outputs[1].Sig = broken.Outputs[1].Sig.Not()
+	st, err = inc.Step(context.Background(), ref, broken)
+	if err == nil {
+		t.Fatal("flipped output accepted")
+	}
+	if !strings.Contains(err.Error(), "not equivalent") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if st.Changed != 1 {
+		t.Fatalf("broken step changed = %d, want 1", st.Changed)
+	}
+}
+
+// TestIncrementalChain: a multi-step pipeline where every step restructures
+// the whole network must still close the equivalence chain by transitivity.
+func TestIncrementalChain(t *testing.T) {
+	ref := adder(4, "ref")
+	steps := []*netlist.Network{adderExpanded(4), adder(4, "again"), adderExpanded(4)}
+	inc := NewIncremental(Options{Engine: "sat"})
+	for i, got := range steps {
+		st, err := inc.Step(context.Background(), ref, got)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if st.Outputs != ref.NumOutputs() {
+			t.Fatalf("step %d: outputs = %d, want %d", i, st.Outputs, ref.NumOutputs())
+		}
+	}
+}
+
+// TestIncrementalNonEquivalentFirstStep: errors must surface on the very
+// first step (proved against ref itself).
+func TestIncrementalNonEquivalentFirstStep(t *testing.T) {
+	ref := adder(3, "ref")
+	bad := adder(3, "bad")
+	bad.Outputs[0].Sig = bad.Outputs[0].Sig.Not()
+	inc := NewIncremental(Options{Engine: "sat"})
+	if _, err := inc.Step(context.Background(), ref, bad); err == nil {
+		t.Fatal("non-equivalent first step accepted")
+	}
+}
+
+// TestIncrementalInterfaceGuard: a step that changes the I/O interface must
+// be rejected, not mis-proved.
+func TestIncrementalInterfaceGuard(t *testing.T) {
+	ref := adder(3, "ref")
+	inc := NewIncremental(Options{})
+	if _, err := inc.Step(context.Background(), ref, adder(4, "wider")); err == nil {
+		t.Fatal("interface change accepted")
+	}
+}
+
+// TestIncrementalTinyBudgetFallback: with a conflict budget too small for
+// the cone miter, Step must still prove the step via the full fallback
+// check rather than failing or reporting Unknown.
+func TestIncrementalTinyBudgetFallback(t *testing.T) {
+	ref := adder(6, "ref")
+	inc := NewIncremental(Options{Engine: "sat", SATConflicts: 1})
+	if _, err := inc.Step(context.Background(), ref, adderExpanded(6)); err != nil {
+		t.Fatalf("budget-starved step failed: %v", err)
+	}
+}
+
+// TestIncrementalSolverReuse: the persistent solver must survive many
+// steps — variables recycled via group release — and keep answering
+// correctly late in the chain.
+func TestIncrementalSolverReuse(t *testing.T) {
+	ref := parityAnd("ref", false)
+	inc := NewIncremental(Options{Engine: "sat"})
+	for i := 0; i < 20; i++ {
+		got := parityAnd("step", i%2 == 1)
+		if _, err := inc.Step(context.Background(), ref, got); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	// The chain must still catch a break at the end.
+	bad := parityAnd("bad", false)
+	bad.Outputs[0].Sig = bad.Outputs[0].Sig.Not()
+	if _, err := inc.Step(context.Background(), ref, bad); err == nil {
+		t.Fatal("broken final step accepted after long chain")
+	}
+}

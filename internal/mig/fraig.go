@@ -2,7 +2,7 @@ package mig
 
 // Simulation-guided SAT sweeping (the classic fraig flow) over the MIG:
 // random simulation partitions the live nodes into candidate equivalence
-// classes, a fresh SAT solver (internal/sat) proves or refutes each
+// classes, a SAT solver (internal/sat) proves or refutes each
 // (representative, member) candidate on the pair's fanin cones, refutation
 // counterexamples are fed back as simulation patterns refining the next
 // round's classes, and proven-equivalent nodes merge through the dense
@@ -10,11 +10,19 @@ package mig
 // fanout, so the pass can only shrink the graph.
 //
 // The representation-independent parts (stimulus construction, signature
-// classification) live in internal/sweep, shared with the AIG side.
-// Candidate pairs are independent single-shot SAT problems, so they fan
-// out over opt.ForEach workers; every per-pair solve is deterministic and
-// the pair order is fixed, making the pass byte-identical for any worker
-// count (the same guarantee window-rewrite gives).
+// classification, the session counterexample pool) live in internal/sweep,
+// shared with the AIG side. Candidate pairs are independent single-shot
+// SAT problems, so they fan out over opt.ForEach workers. Each worker owns
+// one long-lived solver (fraigWorkerPool) and rewinds it with Reset
+// between pairs: Reset restores the exact fresh-solver logical state while
+// keeping the memory, so every verdict — decisions, conflicts, models —
+// is a pure function of the pair, independent of which worker solved it or
+// what it solved before. That is what keeps the pass byte-identical for
+// any worker count (the same guarantee window-rewrite gives) while solver
+// constructions drop from one per candidate pair to one per worker.
+// Carrying learnt clauses across pairs instead would make verdict models
+// depend on scheduling history and break that guarantee, which is why the
+// sharing stops at memory reuse.
 
 import (
 	"context"
@@ -41,6 +49,13 @@ func (m *MIG) FraigPass(words, rounds int, queryBudget int64, jobs int) *MIG {
 // unmodified input graph with the context's error (partial rounds are
 // never committed, so the result stays byte-identical for any worker count
 // and any cancellation point).
+//
+// When the context carries a session counterexample pool
+// (sweep.ContextWithPool — pipelines install one per run), the first round
+// seeds its stimulus with every pattern the session has accumulated, and
+// the patterns this pass refutes are committed back on success. Both
+// transfers happen here, serially, so the pool's content — like the pass
+// result — is independent of the worker budget.
 func (m *MIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget int64, jobs int) (*MIG, error) {
 	if words < 1 {
 		words = 1
@@ -48,8 +63,10 @@ func (m *MIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget i
 	if rounds < 1 {
 		rounds = 1
 	}
+	pool := sweep.PoolFrom(ctx)
+	cexes := pool.Snapshot(len(m.inputs))
+	seeded := len(cexes)
 	cur := m
-	var cexes [][]bool
 	for round := 0; round < rounds; round++ {
 		next, merged, newCex := cur.fraigRound(ctx, words, queryBudget, jobs, int64(round), cexes)
 		if err := ctx.Err(); err != nil {
@@ -61,6 +78,7 @@ func (m *MIG) FraigPassCtx(ctx context.Context, words, rounds int, queryBudget i
 		}
 		cur = next
 	}
+	pool.Add(cexes[seeded:])
 	if cur.Size() > m.Size() {
 		return m, nil // cannot happen (merges only redirect fanout), kept as a guard
 	}
@@ -126,21 +144,32 @@ func (m *MIG) fraigRound(ctx context.Context, words int, budget int64, jobs int,
 	return out.Cleanup(), merged, newCex
 }
 
-// fraigScratchPool holds per-worker cone scratch: a bounded number of
-// instances (one per concurrently solving worker) instead of whole-graph
-// allocations per candidate pair.
-var fraigScratchPool = sync.Pool{New: func() any { return new(sweep.Scratch[sat.Lit]) }}
+// fraigWorker is the per-worker solving state: one long-lived solver plus
+// the cone traversal scratch. Pooled so the number of live instances — and
+// therefore of solver constructions — is bounded by the number of
+// concurrently solving workers, not by the number of candidate pairs.
+type fraigWorker struct {
+	s       *sat.Solver
+	scr     sweep.Scratch[sat.Lit]
+	stack   []int
+	cone    []int
+	piNodes []int
+}
+
+var fraigWorkerPool = sync.Pool{New: func() any { return &fraigWorker{s: sat.NewSolver()} }}
 
 // solveFraigPair decides one candidate on the union of the two fanin
-// cones in a fresh solver: UNSAT proves member == repr XOR phase. stop,
-// when non-nil, interrupts the solve (the pair is left unmerged).
+// cones: UNSAT proves member == repr XOR phase. The worker's solver is
+// rewound with Reset, so the verdict is identical to a fresh solver's.
+// stop, when non-nil, interrupts the solve (the pair is left unmerged).
 func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop func() bool) sweep.Verdict {
-	scr := fraigScratchPool.Get().(*sweep.Scratch[sat.Lit])
-	defer fraigScratchPool.Put(scr)
-	scr.Reset(len(m.nodes))
+	w := fraigWorkerPool.Get().(*fraigWorker)
+	defer fraigWorkerPool.Put(w)
+	w.scr.Reset(len(m.nodes))
+	scr := &w.scr
 
-	stack := []int{p.Repr, p.Member}
-	var cone []int
+	stack := append(w.stack[:0], p.Repr, p.Member)
+	cone := w.cone[:0]
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -156,10 +185,12 @@ func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop fun
 		}
 	}
 	sort.Ints(cone)
+	w.stack, w.cone = stack, cone
 
-	s := sat.NewSolver()
+	s := w.s
+	s.Reset()
 	s.Stop = stop
-	var piNodes []int
+	piNodes := w.piNodes[:0]
 	lit := func(x Signal) sat.Lit { return scr.Get(x.Node()).NotIf(x.Neg()) }
 	for _, v := range cone {
 		switch m.nodes[v].kind {
@@ -175,6 +206,7 @@ func (m *MIG) solveFraigPair(p sweep.Pair, budget int64, piOrd []int32, stop fun
 			scr.Set(v, o)
 		}
 	}
+	w.piNodes = piNodes
 	d := sat.MkLit(s.NewVar(), false)
 	s.AddXorGate(d, scr.Get(p.Repr), scr.Get(p.Member).NotIf(p.Phase))
 	if !s.AddClause(d) {

@@ -1,11 +1,14 @@
 package mig
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/equiv"
 	"repro/internal/mcnc"
 	"repro/internal/opt"
+	"repro/internal/sat"
+	"repro/internal/sweep"
 )
 
 // TestFraigPreservesEquivalenceMCNC: the acceptance property — on every
@@ -128,10 +131,79 @@ func TestFraigScriptAddressable(t *testing.T) {
 // budget, like window-rewrite.
 func TestFraigJobsInvariant(t *testing.T) {
 	for _, bench := range []string{"b9", "dalu", "C1355"} {
-		serial := migFor(t, bench).FraigPass(4, 2, 2000, 1)
-		parallel := migFor(t, bench).FraigPass(4, 2, 2000, 8)
-		if fingerprint(serial) != fingerprint(parallel) {
-			t.Errorf("%s: fraig differs between 1 and 8 workers", bench)
+		serial := fingerprint(migFor(t, bench).FraigPass(4, 2, 2000, 1))
+		for _, jobs := range []int{2, 8} {
+			if got := fingerprint(migFor(t, bench).FraigPass(4, 2, 2000, jobs)); got != serial {
+				t.Errorf("%s: fraig differs between 1 and %d workers", bench, jobs)
+			}
 		}
 	}
+}
+
+// TestFraigSolverReuse: solver constructions must scale with the worker
+// count, not the candidate-pair count. A circuit with hundreds of candidate
+// pairs must get by on a handful of solvers (the pooled workers, plus any
+// the GC recycled mid-pass).
+func TestFraigSolverReuse(t *testing.T) {
+	m := migFor(t, "dalu")
+	before := sat.SolverConstructions()
+	m.FraigPass(4, 2, 2000, 4)
+	if delta := sat.SolverConstructions() - before; delta > 64 {
+		t.Errorf("fraig constructed %d solvers; reuse should keep this near the worker count", delta)
+	}
+}
+
+// TestFraigCexPoolFlow: a context-scoped pool must collect this pass's
+// refutation patterns, seed a later pass with them, and stay byte-identical
+// for any worker budget — pool content included, since snapshot and commit
+// happen in the serial part of the pass.
+func TestFraigCexPoolFlow(t *testing.T) {
+	run := func(jobs int) (*MIG, *MIG, int) {
+		pool := sweep.NewCexPool(0)
+		ctx := sweep.ContextWithPool(context.Background(), pool)
+		first, err := migFor(t, "dalu").FraigPassCtx(ctx, 4, 2, 2000, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := first.FraigPassCtx(ctx, 4, 2, 2000, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return first, second, pool.Len()
+	}
+	f1, s1, n1 := run(1)
+	if n1 == 0 {
+		t.Fatal("no refutation patterns committed to the pool")
+	}
+	f8, s8, n8 := run(8)
+	if fingerprint(f1) != fingerprint(f8) || fingerprint(s1) != fingerprint(s8) {
+		t.Error("pool-seeded fraig differs between 1 and 8 workers")
+	}
+	if n1 != n8 {
+		t.Errorf("pool content depends on the worker budget: %d vs %d patterns", n1, n8)
+	}
+	// The first pass never sees the pool it is about to fill: with or
+	// without a pool on the context, pass one is byte-identical.
+	bare := migFor(t, "dalu").FraigPass(4, 2, 2000, 1)
+	if fingerprint(bare) != fingerprint(f1) {
+		t.Error("an empty pool changed the first pass's result")
+	}
+}
+
+// BenchmarkFraigPass measures the sweep on a mid-size MCNC circuit; paired
+// with the solver-construction counter it tracks the solver-reuse win.
+func BenchmarkFraigPass(b *testing.B) {
+	n, err := mcnc.Generate("dalu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := FromNetwork(n)
+	b.ReportAllocs()
+	c0 := sat.SolverConstructions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FraigPass(4, 2, 2000, 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sat.SolverConstructions()-c0)/float64(b.N), "solvers/op")
 }

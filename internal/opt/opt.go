@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/equiv"
 	"repro/internal/netlist"
+	"repro/internal/sweep"
 )
 
 // Graph is the contract a logic representation must satisfy to be driven by
@@ -162,6 +163,12 @@ type Step struct {
 	ActivityBefore, ActivityAfter float64
 	Seconds                       float64
 	Equiv                         string // "" = not checked, "ok", or the failure detail
+	// Verification cost, separated from the pass's own wall time: seconds
+	// spent in the checker plus the SAT effort it reported (all zero when
+	// Check is unset).
+	VerifySeconds   float64
+	VerifyConflicts int64
+	VerifyRestarts  int64
 }
 
 // Trace is the ordered per-pass record of one pipeline run.
@@ -182,22 +189,52 @@ func (t Trace) Format() string {
 	return b.String()
 }
 
-// Checker verifies that got is functionally equivalent to ref, returning a
-// non-nil error when it is not (or when the check itself fails). The
-// context carries the pipeline run's deadline into SAT-backed engines.
-type Checker func(ctx context.Context, ref, got *netlist.Network) error
+// CheckStats is the cost a Checker reports for one verification: the SAT
+// effort behind the verdict (zero for the structural and non-SAT engines).
+type CheckStats struct {
+	Conflicts int64
+	Restarts  int64
+}
 
-// EquivChecker adapts the equiv engine to the Checker contract.
+// Checker verifies that got is functionally equivalent to ref, returning a
+// non-nil error when it is not (or when the check itself fails), plus the
+// solving effort spent either way. The context carries the pipeline run's
+// deadline into SAT-backed engines. ref is always the pipeline's input
+// network; stateful checkers (IncrementalChecker) may verify against their
+// own committed baseline instead, which is equivalent by transitivity.
+type Checker func(ctx context.Context, ref, got *netlist.Network) (CheckStats, error)
+
+// EquivChecker adapts the one-shot equiv engine to the Checker contract:
+// every step is proved against the pipeline input from scratch.
 func EquivChecker(opts equiv.Options) Checker {
-	return func(ctx context.Context, ref, got *netlist.Network) error {
+	return func(ctx context.Context, ref, got *netlist.Network) (CheckStats, error) {
 		res, err := equiv.CheckCtx(ctx, ref, got, opts)
 		if err != nil {
-			return err
+			return CheckStats{}, err
 		}
+		stats := CheckStats{Conflicts: res.Conflicts, Restarts: res.Restarts}
 		if !res.Equivalent {
-			return fmt.Errorf("not equivalent (%s)", res.Detail)
+			return stats, fmt.Errorf("not equivalent (%s)", res.Detail)
 		}
-		return nil
+		return stats, nil
+	}
+}
+
+// IncrementalChecker adapts equiv.Incremental to the Checker contract:
+// each step is proved against the previous step's committed network (sound
+// by transitivity), a structural cone diff discharges unchanged outputs
+// without solving, and one SAT solver persists across the whole run. A new
+// ref network (a new pipeline run) starts a fresh incremental chain.
+func IncrementalChecker(opts equiv.Options) Checker {
+	var inc *equiv.Incremental
+	var curRef *netlist.Network
+	return func(ctx context.Context, ref, got *netlist.Network) (CheckStats, error) {
+		if inc == nil || ref != curRef {
+			inc = equiv.NewIncremental(opts)
+			curRef = ref
+		}
+		st, err := inc.Step(ctx, ref, got)
+		return CheckStats{Conflicts: st.Conflicts, Restarts: st.Restarts}, err
 	}
 }
 
@@ -239,6 +276,13 @@ func (p *Pipeline[G]) Run(g G) (G, Trace, error) {
 // promptly. On interruption the last completed graph, the trace so far,
 // and the context's error are returned.
 func (p *Pipeline[G]) RunContext(ctx context.Context, g G) (G, Trace, error) {
+	// One counterexample pool per run unless the caller scoped one wider
+	// (a Session sharing refutation patterns across its pipelines): every
+	// fraig pass downstream starts from classes pre-refined by the patterns
+	// earlier passes discovered.
+	if sweep.PoolFrom(ctx) == nil {
+		ctx = sweep.ContextWithPool(ctx, sweep.NewCexPool(0))
+	}
 	var ref *netlist.Network
 	if p.Check != nil {
 		ref = g.ToNetwork()
@@ -265,7 +309,12 @@ func (p *Pipeline[G]) RunContext(ctx context.Context, g G) (G, Trace, error) {
 		st.DepthAfter = next.Depth()
 		st.ActivityAfter = next.Activity(nil)
 		if p.Check != nil {
-			if err := p.Check(ctx, ref, next.ToNetwork()); err != nil {
+			vstart := time.Now()
+			cost, err := p.Check(ctx, ref, next.ToNetwork())
+			st.VerifySeconds = time.Since(vstart).Seconds()
+			st.VerifyConflicts = cost.Conflicts
+			st.VerifyRestarts = cost.Restarts
+			if err != nil {
 				if ctx.Err() != nil {
 					// The check was interrupted, not failed.
 					return cur, trace, fmt.Errorf("opt: pass %q interrupted: %w", ps.Name(), ctx.Err())

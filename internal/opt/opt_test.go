@@ -72,12 +72,12 @@ func TestPipelineCheckAborts(t *testing.T) {
 	calls := 0
 	p := &Pipeline[fake]{
 		Passes: []Pass[fake]{shrink(1), shrink(1), shrink(1)},
-		Check: func(ctx context.Context, ref, got *netlist.Network) error {
+		Check: func(ctx context.Context, ref, got *netlist.Network) (CheckStats, error) {
 			calls++
 			if calls == 2 {
-				return errors.New("boom")
+				return CheckStats{}, errors.New("boom")
 			}
-			return nil
+			return CheckStats{}, nil
 		},
 	}
 	got, trace, err := p.Run(fake{size: 10})

@@ -14,6 +14,7 @@ package sat
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/netlist"
 )
@@ -106,61 +107,120 @@ func encodeNodes(s *Solver, n *netlist.Network, inputs []Lit) (in, lits []Lit, e
 		}
 		return constFalse
 	}
-	sig := func(x netlist.Signal) Lit { return lits[x.Node()].NotIf(x.Neg()) }
-	fresh := func() Lit { return MkLit(s.NewVar(), false) }
-
 	inIdx := 0
 	for i, nd := range n.Nodes {
-		switch nd.Op {
-		case netlist.Const0:
-			lits[i] = falseLit()
-		case netlist.Input:
+		if nd.Op == netlist.Input {
 			if inputs != nil {
 				lits[i] = inputs[inIdx]
 			} else {
-				lits[i] = fresh()
+				lits[i] = MkLit(s.NewVar(), false)
 			}
 			in = append(in, lits[i])
 			inIdx++
-		case netlist.Not:
-			lits[i] = sig(nd.Fanins[0]).Not()
-		case netlist.Buf:
-			lits[i] = sig(nd.Fanins[0])
-		case netlist.And, netlist.Nand:
-			o := fresh()
-			lits[i] = o.NotIf(nd.Op == netlist.Nand)
-			fs := make([]Lit, len(nd.Fanins))
-			for k, f := range nd.Fanins {
-				fs[k] = sig(f)
-			}
-			s.AddAndGate(o, fs...)
-		case netlist.Or, netlist.Nor:
-			o := fresh()
-			lits[i] = o.NotIf(nd.Op == netlist.Nor)
-			fs := make([]Lit, len(nd.Fanins))
-			for k, f := range nd.Fanins {
-				fs[k] = sig(f)
-			}
-			s.AddOrGate(o, fs...)
-		case netlist.Xor, netlist.Xnor:
-			cur := sig(nd.Fanins[0])
-			for _, f := range nd.Fanins[1:] {
-				o := fresh()
-				s.AddXorGate(o, cur, sig(f))
-				cur = o
-			}
-			lits[i] = cur.NotIf(nd.Op == netlist.Xnor)
-		case netlist.Maj:
-			o := fresh()
-			lits[i] = o
-			s.AddMajGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
-		case netlist.Mux:
-			o := fresh()
-			lits[i] = o
-			s.AddMuxGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
-		default:
-			return nil, nil, fmt.Errorf("sat: EncodeNetwork unsupported op %v", nd.Op)
+			continue
+		}
+		if err := encodeOne(s, n, i, lits, falseLit); err != nil {
+			return nil, nil, err
 		}
 	}
 	return in, lits, nil
+}
+
+// encodeOne encodes the non-input node i into lits[i]; its fanins must
+// already be encoded. falseLit lazily supplies the shared constant-false
+// literal.
+func encodeOne(s *Solver, n *netlist.Network, i int, lits []Lit, falseLit func() Lit) error {
+	nd := &n.Nodes[i]
+	sig := func(x netlist.Signal) Lit { return lits[x.Node()].NotIf(x.Neg()) }
+	fresh := func() Lit { return MkLit(s.NewVar(), false) }
+	switch nd.Op {
+	case netlist.Const0:
+		lits[i] = falseLit()
+	case netlist.Not:
+		lits[i] = sig(nd.Fanins[0]).Not()
+	case netlist.Buf:
+		lits[i] = sig(nd.Fanins[0])
+	case netlist.And, netlist.Nand:
+		o := fresh()
+		lits[i] = o.NotIf(nd.Op == netlist.Nand)
+		fs := make([]Lit, len(nd.Fanins))
+		for k, f := range nd.Fanins {
+			fs[k] = sig(f)
+		}
+		s.AddAndGate(o, fs...)
+	case netlist.Or, netlist.Nor:
+		o := fresh()
+		lits[i] = o.NotIf(nd.Op == netlist.Nor)
+		fs := make([]Lit, len(nd.Fanins))
+		for k, f := range nd.Fanins {
+			fs[k] = sig(f)
+		}
+		s.AddOrGate(o, fs...)
+	case netlist.Xor, netlist.Xnor:
+		cur := sig(nd.Fanins[0])
+		for _, f := range nd.Fanins[1:] {
+			o := fresh()
+			s.AddXorGate(o, cur, sig(f))
+			cur = o
+		}
+		lits[i] = cur.NotIf(nd.Op == netlist.Xnor)
+	case netlist.Maj:
+		o := fresh()
+		lits[i] = o
+		s.AddMajGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
+	case netlist.Mux:
+		o := fresh()
+		lits[i] = o
+		s.AddMuxGate(o, sig(nd.Fanins[0]), sig(nd.Fanins[1]), sig(nd.Fanins[2]))
+	default:
+		return fmt.Errorf("sat: EncodeNetwork unsupported op %v", nd.Op)
+	}
+	return nil
+}
+
+// EncodeCone adds a Tseitin encoding of the fanin cones of the given root
+// nodes to the solver. lits is the caller-owned per-node literal table
+// (len(n.Nodes) entries): entries other than LitUndef are treated as
+// already encoded — the traversal prunes there — and newly encoded nodes
+// are filled in place. Primary-input entries must be pre-seeded by the
+// caller; reaching an unseeded input is an error. This is the workhorse of
+// the incremental cone-diff checker: seeding lits with the previous
+// generation's literals for structurally unchanged interior nodes makes the
+// miter span only the actually rewritten region.
+func EncodeCone(s *Solver, n *netlist.Network, roots []int, lits []Lit) error {
+	if len(lits) != len(n.Nodes) {
+		return fmt.Errorf("sat: EncodeCone literal table has %d entries, want %d", len(lits), len(n.Nodes))
+	}
+	inCone := make([]bool, len(n.Nodes))
+	var cone []int
+	stack := append([]int(nil), roots...)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if inCone[i] || lits[i] != LitUndef {
+			continue
+		}
+		inCone[i] = true
+		cone = append(cone, i)
+		for _, f := range n.Nodes[i].Fanins {
+			stack = append(stack, f.Node())
+		}
+	}
+	sort.Ints(cone) // nodes are topologically ordered by index
+	var constFalse Lit = LitUndef
+	falseLit := func() Lit {
+		if constFalse == LitUndef {
+			constFalse = s.FalseLit()
+		}
+		return constFalse
+	}
+	for _, i := range cone {
+		if n.Nodes[i].Op == netlist.Input {
+			return fmt.Errorf("sat: EncodeCone reached unseeded input node %d", i)
+		}
+		if err := encodeOne(s, n, i, lits, falseLit); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -57,11 +57,26 @@ func FuzzSolver(f *testing.F) {
 		// The incremental contract: the solved instance accepts more
 		// clauses and stays correct.
 		if got == Sat {
+			// First through a retractable group: the extra clause must bind
+			// under the group literal and vanish again after release.
 			extra := []Lit{MkLit(0, true), MkLit(1, false)}
-			cnf = append(cnf, extra)
-			want2, _ := bruteForce(nv, cnf)
+			want2, _ := bruteForce(nv, append(cnf, extra))
+			g := s.PushGroup()
 			ok := s.AddClause(extra...)
-			got2 := ok && s.Solve() == Sat
+			s.EndGroup()
+			got2 := ok && s.Solve(s.GroupLit(g)) == Sat
+			if got2 != want2 {
+				t.Fatalf("grouped incremental: solver=%v brute=%v", got2, want2)
+			}
+			s.ReleaseGroup(g)
+			if s.Solve() != Sat {
+				t.Fatal("released group still constrains the instance")
+			}
+			checkModel(t, s, cnf)
+			// Then permanently.
+			cnf = append(cnf, extra)
+			ok = s.AddClause(extra...)
+			got2 = ok && s.Solve() == Sat
 			if got2 != want2 {
 				t.Fatalf("incremental: solver=%v brute=%v", got2, want2)
 			}

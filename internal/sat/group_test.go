@@ -1,0 +1,317 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mapCNF maps an abstract CNF over variables 0..nv-1 onto concrete solver
+// variables.
+func mapCNF(cnf [][]Lit, vars []Var) [][]Lit {
+	out := make([][]Lit, len(cnf))
+	for i, cl := range cnf {
+		mapped := make([]Lit, len(cl))
+		for j, l := range cl {
+			mapped[j] = MkLit(vars[l.Var()], l.Sign())
+		}
+		out[i] = mapped
+	}
+	return out
+}
+
+// TestGroupsVsFreshSolvers is the clause-group correctness suite: one
+// long-lived solver answers hundreds of random instances, each loaded into
+// its own activation group, solved under the group literal and then
+// released — and every verdict must match both brute force and a fresh
+// solver on the same CNF. Purging between instances recycles the released
+// groups' variables, so the reused solver must also stay bounded instead of
+// growing with the instance count.
+func TestGroupsVsFreshSolvers(t *testing.T) {
+	r := rand.New(rand.NewSource(0x6709))
+	s := NewSolver()
+	sat, unsat := 0, 0
+	const trials = 250
+	for trial := 0; trial < trials; trial++ {
+		nv := 1 + r.Intn(12)
+		nc := 1 + r.Intn(6*nv)
+		cnf := randomCNF(r, nv, nc)
+		want, _ := bruteForce(nv, cnf)
+
+		g := s.PushGroup()
+		vars := make([]Var, nv)
+		for i := range vars {
+			vars[i] = s.NewVar() // group-owned: recycled after release
+		}
+		mapped := mapCNF(cnf, vars)
+		for _, cl := range mapped {
+			if !s.AddClause(cl...) {
+				t.Fatalf("trial %d: gated clause reported the solver dead", trial)
+			}
+		}
+		s.EndGroup()
+
+		got := s.Solve(s.GroupLit(g))
+		if got == Unknown {
+			t.Fatalf("trial %d: Unknown without a conflict budget", trial)
+		}
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: grouped solver says %v, brute force says sat=%v (nv=%d nc=%d)",
+				trial, got, want, nv, nc)
+		}
+		if got == Sat {
+			checkModel(t, s, mapped)
+			sat++
+		} else {
+			unsat++
+		}
+
+		// Cross-check against a fresh solver on the same instance.
+		fresh := solverFor(nv, cnf)
+		if fresh == nil {
+			if want {
+				t.Fatalf("trial %d: fresh AddClause proved UNSAT on a satisfiable instance", trial)
+			}
+		} else if fg := fresh.Solve(); (fg == Sat) != want {
+			t.Fatalf("trial %d: fresh solver disagrees: %v vs sat=%v", trial, fg, want)
+		}
+
+		s.ReleaseGroup(g)
+		s.Purge()
+	}
+	if sat < 30 || unsat < 30 {
+		t.Fatalf("degenerate test mix: %d sat / %d unsat", sat, unsat)
+	}
+	// Released groups must recycle their variables: the live variable count
+	// may grow by the one activation variable per group (pinned by its
+	// level-0 release assignment) but not by the instance variables.
+	if nvars := s.NumVars(); nvars > trials+32 {
+		t.Fatalf("variable recycling failed: %d live vars after %d released groups", nvars, trials)
+	}
+}
+
+// TestGroupIndependence: clauses of distinct groups only constrain solves
+// that assume their group literal, and releasing one group must not disturb
+// another.
+func TestGroupIndependence(t *testing.T) {
+	s := NewSolver()
+	x := MkLit(s.NewVar(), false) // shared, ungated variable
+
+	ga := s.PushGroup()
+	s.AddClause(x)
+	s.EndGroup()
+	gb := s.PushGroup()
+	s.AddClause(x.Not())
+	s.EndGroup()
+
+	if got := s.Solve(s.GroupLit(ga)); got != Sat || !s.ValueLit(x) {
+		t.Fatalf("group A alone: %v x=%v, want Sat x=true", got, s.ValueLit(x))
+	}
+	if got := s.Solve(s.GroupLit(gb)); got != Sat || s.ValueLit(x) {
+		t.Fatalf("group B alone: %v x=%v, want Sat x=false", got, s.ValueLit(x))
+	}
+	if got := s.Solve(s.GroupLit(ga), s.GroupLit(gb)); got != Unsat {
+		t.Fatalf("both groups: %v, want Unsat", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("no groups assumed: %v, want Sat", got)
+	}
+
+	s.ReleaseGroup(ga)
+	if got := s.Solve(s.GroupLit(gb)); got != Sat || s.ValueLit(x) {
+		t.Fatalf("group B after releasing A: %v x=%v, want Sat x=false", got, s.ValueLit(x))
+	}
+	// Releasing is idempotent and must not kill the solver.
+	s.ReleaseGroup(ga)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("after double release: %v, want Sat", got)
+	}
+}
+
+// TestGroupReleaseThenReuse releases a group mid-stream and checks that
+// later, unrelated groups — built partly from recycled variables — still
+// solve correctly, including a group added after an explicit Purge.
+func TestGroupReleaseThenReuse(t *testing.T) {
+	s := NewSolver()
+
+	// Group 1: a small unsatisfiable core (a & ~a via two chained clauses).
+	g1 := s.PushGroup()
+	a := MkLit(s.NewVar(), false)
+	b := MkLit(s.NewVar(), false)
+	s.AddClause(a)
+	s.AddClause(a.Not(), b)
+	s.AddClause(b.Not())
+	s.EndGroup()
+	if got := s.Solve(s.GroupLit(g1)); got != Unsat {
+		t.Fatalf("group 1: %v, want Unsat", got)
+	}
+	s.ReleaseGroup(g1)
+	s.Purge()
+	before := s.NumVars()
+
+	// Group 2 allocates variables again; some should be recycled slots.
+	g2 := s.PushGroup()
+	c := MkLit(s.NewVar(), false)
+	d := MkLit(s.NewVar(), false)
+	s.AddClause(c, d)
+	s.AddClause(c.Not(), d)
+	s.EndGroup()
+	if s.NumVars() > before+1 { // +1 for g2's activation variable
+		t.Fatalf("no recycling: %d vars before group 2, %d after", before, s.NumVars())
+	}
+	if got := s.Solve(s.GroupLit(g2)); got != Sat || !s.ValueLit(d) {
+		t.Fatalf("group 2: %v d=%v, want Sat d=true", got, s.ValueLit(d))
+	}
+	if got := s.Solve(s.GroupLit(g2), d.Not()); got != Unsat {
+		t.Fatalf("group 2 assuming ~d: %v, want Unsat", got)
+	}
+}
+
+// TestPurgeDropsReleasedClauses: Purge must physically delete the clauses
+// of released groups from the database.
+func TestPurgeDropsReleasedClauses(t *testing.T) {
+	s := NewSolver()
+	g := s.PushGroup()
+	lits := make([]Lit, 8)
+	for i := range lits {
+		lits[i] = MkLit(s.NewVar(), false)
+	}
+	for i := 0; i+1 < len(lits); i++ {
+		s.AddClause(lits[i], lits[i+1].Not())
+	}
+	s.EndGroup()
+	if got := s.Solve(s.GroupLit(g)); got != Sat {
+		t.Fatalf("chain group: %v, want Sat", got)
+	}
+	grouped := s.NumClauses()
+	s.ReleaseGroup(g)
+	s.Purge()
+	if after := s.NumClauses(); after >= grouped {
+		t.Fatalf("Purge kept the released clauses: %d before, %d after", grouped, after)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solver dead after purge: %v", got)
+	}
+}
+
+// TestResetDeterminism: Reset must restore the exact fresh-solver logical
+// state — re-encoding the same instance after Reset yields the same
+// verdict, the same model bits and the same conflict count as a
+// just-constructed solver. This is the guarantee the fraig workers rely on
+// for byte-identical results under any worker count.
+func TestResetDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	reused := NewSolver()
+	for trial := 0; trial < 60; trial++ {
+		nv := 4 + r.Intn(8)
+		cnf := randomCNF(r, nv, 1+r.Intn(5*nv))
+
+		run := func(s *Solver) (Status, int64, []bool) {
+			c0 := s.Conflicts()
+			vars := make([]Var, nv)
+			for i := range vars {
+				vars[i] = s.NewVar()
+			}
+			for _, cl := range mapCNF(cnf, vars) {
+				if !s.AddClause(cl...) {
+					return Unsat, s.Conflicts() - c0, nil
+				}
+			}
+			st := s.Solve()
+			var model []bool
+			if st == Sat {
+				model = make([]bool, nv)
+				for i, v := range vars {
+					model[i] = s.Value(v)
+				}
+			}
+			return st, s.Conflicts() - c0, model
+		}
+
+		reused.Reset()
+		gotR, confR, modelR := run(reused)
+		gotF, confF, modelF := run(NewSolver())
+		if gotR != gotF || confR != confF {
+			t.Fatalf("trial %d: reset solver (%v, %d conflicts) != fresh solver (%v, %d conflicts)",
+				trial, gotR, confR, gotF, confF)
+		}
+		for i := range modelR {
+			if modelR[i] != modelF[i] {
+				t.Fatalf("trial %d: models diverge at var %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestSolverConstructions: the construction counter must track NewSolver
+// calls (the fraig reuse tests key off it).
+func TestSolverConstructions(t *testing.T) {
+	before := SolverConstructions()
+	NewSolver()
+	NewSolver()
+	if got := SolverConstructions() - before; got != 2 {
+		t.Fatalf("constructions delta = %d, want 2", got)
+	}
+}
+
+// benchCNF is a fixed mid-size instance for the reuse benchmarks.
+func benchCNF() (int, [][]Lit) {
+	r := rand.New(rand.NewSource(99))
+	nv := 12
+	return nv, randomCNF(r, nv, 5*nv)
+}
+
+// BenchmarkSolverReset measures the fraig workers' reuse model: rewind,
+// re-encode, re-solve. Steady state should be allocation-free thanks to
+// the clause-literal arena and retained watch storage.
+func BenchmarkSolverReset(b *testing.B) {
+	nv, cnf := benchCNF()
+	s := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		// A reset solver hands out variables 0..nv-1 again, so the abstract
+		// instance needs no remapping.
+		for j := 0; j < nv; j++ {
+			s.NewVar()
+		}
+		alive := true
+		for _, cl := range cnf {
+			if !s.AddClause(cl...) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			s.Solve()
+		}
+	}
+}
+
+// BenchmarkSolverGroups measures the retractable-group reuse model used by
+// the miter sweep and the incremental pipeline checker: load an instance
+// into a group, solve under its literal, release.
+func BenchmarkSolverGroups(b *testing.B) {
+	nv, cnf := benchCNF()
+	s := NewSolver()
+	vars := make([]Var, nv)
+	mapped := make([]Lit, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := s.PushGroup()
+		for j := range vars {
+			vars[j] = s.NewVar()
+		}
+		for _, cl := range cnf {
+			mapped = mapped[:len(cl)]
+			for k, l := range cl {
+				mapped[k] = MkLit(vars[l.Var()], l.Sign())
+			}
+			s.AddClause(mapped...)
+		}
+		s.EndGroup()
+		s.Solve(s.GroupLit(g))
+		s.ReleaseGroup(g)
+	}
+}

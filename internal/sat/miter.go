@@ -53,6 +53,13 @@ type MiterResult struct {
 	Inputs []bool
 	// Conflicts is the number of conflicts the check needed.
 	Conflicts int64
+	// SweepConflicts and FinalConflicts split Conflicts between the
+	// internal sweep and the output-miter solve, so a budget regression is
+	// attributable to the phase that overspent.
+	SweepConflicts int64
+	FinalConflicts int64
+	// Restarts is the number of solver restarts across the whole check.
+	Restarts int64
 	// ProvedPairs counts internal equivalences the sweep asserted.
 	ProvedPairs int
 }
@@ -66,9 +73,11 @@ const (
 
 // Miter decides whether two networks with matching interfaces are
 // functionally equivalent. Inputs are matched positionally. maxConflicts
-// bounds the whole check — internal sweep plus the final output-miter
-// solve share the budget, so a small budget means a fast Unknown (0 =
-// unlimited, always exact; the sweep stays per-query bounded either way).
+// bounds the whole check with an explicit split: the internal sweep may
+// spend at most half, the final output-miter solve gets whatever the sweep
+// left over. A small budget therefore means a fast Unknown (0 = unlimited,
+// always exact; the sweep stays per-query bounded either way), and
+// MiterResult reports how much each phase spent.
 func Miter(a, b *netlist.Network, maxConflicts int64) (MiterResult, error) {
 	return MiterCtx(context.Background(), a, b, maxConflicts)
 }
@@ -100,9 +109,26 @@ func MiterCtx(ctx context.Context, a, b *netlist.Network, maxConflicts int64) (M
 		return lits[o.Node()].NotIf(o.Neg())
 	}
 
-	proved := sweepInternalPairs(ctx, s, a, b, ins, litsA, litsB, maxConflicts)
+	// Explicit budget split: the sweep may spend at most half the total,
+	// the final output-miter solve gets whatever remains.
+	sweepBudget := maxConflicts
+	if maxConflicts > 0 {
+		sweepBudget = maxConflicts / 2
+	}
+	proved := sweepInternalPairs(ctx, s, a, b, ins, litsA, litsB, sweepBudget)
+	sweepSpent := s.Conflicts()
+	done := func(st Status) MiterResult {
+		return MiterResult{
+			Status:         st,
+			Conflicts:      s.Conflicts(),
+			SweepConflicts: sweepSpent,
+			FinalConflicts: s.Conflicts() - sweepSpent,
+			Restarts:       s.Restarts(),
+			ProvedPairs:    proved,
+		}
+	}
 	if err := ctx.Err(); err != nil {
-		return MiterResult{Status: Unknown, Conflicts: s.Conflicts(), ProvedPairs: proved}, err
+		return done(Unknown), err
 	}
 
 	var diffs []Lit
@@ -116,23 +142,23 @@ func MiterCtx(ctx context.Context, a, b *netlist.Network, maxConflicts int64) (M
 		diffs = append(diffs, d)
 	}
 	if len(diffs) == 0 {
-		return MiterResult{Status: Unsat, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+		return done(Unsat), nil
 	}
 	if !s.AddClause(diffs...) {
 		// The difference disjunction is already contradicted at level 0:
 		// every output pair is forced equal.
-		return MiterResult{Status: Unsat, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+		return done(Unsat), nil
 	}
 	if maxConflicts > 0 {
 		remaining := maxConflicts - s.Conflicts()
 		if remaining <= 0 {
-			return MiterResult{Status: Unknown, Conflicts: s.Conflicts(), ProvedPairs: proved}, nil
+			return done(Unknown), nil
 		}
 		s.MaxConflicts = remaining
 	} else {
 		s.MaxConflicts = 0
 	}
-	res := MiterResult{Status: s.Solve(), Conflicts: s.Conflicts(), ProvedPairs: proved}
+	res := done(s.Solve())
 	if res.Status == Unknown {
 		if err := ctx.Err(); err != nil {
 			return res, err
@@ -221,25 +247,32 @@ func sweepInternalPairs(ctx context.Context, s *Solver, a, b *netlist.Network, i
 		if refuted(sigA, sigB, ra.node, j, phase) {
 			continue
 		}
+		// The XOR gadget lives in a clause group released as soon as the
+		// candidate is decided, so its variables and clauses — and every
+		// learnt clause that depends on them — are recycled instead of
+		// accumulating across thousands of candidates.
+		g := s.PushGroup()
 		d := MkLit(s.NewVar(), false)
 		s.AddXorGate(d, la, lb)
+		s.EndGroup()
 		s.MaxConflicts = sweepQueryBudget
 		if maxTotal > 0 {
 			if remaining := maxTotal - s.Conflicts(); remaining < sweepQueryBudget {
 				s.MaxConflicts = remaining
 			}
 		}
-		switch s.Solve(d) {
+		switch s.Solve(s.GroupLit(g), d) {
 		case Unsat:
-			// Proven: with d <-> (la XOR lb), the unit ¬d asserts the
-			// equality permanently, strengthening every later query and
-			// the final output miter.
-			s.AddClause(d.Not())
+			// Proven: assert the equality permanently with two ungated
+			// binary clauses, strengthening every later query and the
+			// final output miter; the XOR gadget itself is dropped.
+			s.ReleaseGroup(g)
+			s.AddClause(la.Not(), lb)
+			s.AddClause(la, lb.Not())
 			proved++
 		case Sat:
-			// Refuted: d stays free (its definition clauses are inert).
-			// Fold the counterexample back into the signatures so later
-			// candidates inherit the refinement.
+			// Refuted: fold the counterexample back into the signatures so
+			// later candidates inherit the refinement.
 			if cexes < sweepMaxCex {
 				row := make([]uint64, nin)
 				for i, l := range ins {
@@ -251,6 +284,9 @@ func sweepInternalPairs(ctx context.Context, s *Solver, a, b *netlist.Network, i
 				sigB = append(sigB, b.EvalWord(row))
 				cexes++
 			}
+			s.ReleaseGroup(g)
+		default:
+			s.ReleaseGroup(g)
 		}
 	}
 	s.MaxConflicts = 0

@@ -1,6 +1,9 @@
 package sat
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // lbool values: +1 true, -1 false, 0 unassigned.
 const (
@@ -65,12 +68,36 @@ type Solver struct {
 	toClear     []Var
 	model       []int8
 	conflicts   int64
+	restarts    int64
 	propagation int64
+
+	// arena backs problem-clause literal storage so AddClause stays
+	// allocation-free on a warmed-up (Reset) solver.
+	arena []Lit
+
+	// Clause groups (see groups.go): curGroup routes AddClause/NewVar into
+	// the open group, freeVars recycles variables reclaimed from released
+	// groups, pendingFree holds released-group variables awaiting a Purge.
+	groups      []groupInfo
+	curGroup    int32
+	freeVars    []Var
+	pendingFree []Var
+	deadClauses int
 }
+
+// constructions counts NewSolver calls process-wide. It is a diagnostic
+// for reuse-sensitive callers: the fraig passes hold one solver per worker
+// and assert through it that solving N candidate pairs does not construct
+// N solvers.
+var constructions atomic.Int64
+
+// SolverConstructions returns the process-wide count of NewSolver calls.
+func SolverConstructions() int64 { return constructions.Load() }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
-	return &Solver{ok: true, varInc: 1, claInc: 1}
+	constructions.Add(1)
+	return &Solver{ok: true, varInc: 1, claInc: 1, curGroup: -1}
 }
 
 // NumVars returns the number of variables created so far.
@@ -87,21 +114,47 @@ func (s *Solver) NumClauses() int {
 	return n
 }
 
-// Conflicts returns the total conflicts over the solver's lifetime.
+// Conflicts returns the total conflicts over the solver's lifetime
+// (Reset does not clear it).
 func (s *Solver) Conflicts() int64 { return s.conflicts }
 
-// NewVar creates a fresh variable.
+// Restarts returns the total restarts over the solver's lifetime
+// (Reset does not clear it).
+func (s *Solver) Restarts() int64 { return s.restarts }
+
+// NewVar creates a fresh variable — or recycles one reclaimed from a
+// released clause group (see ReleaseGroup/Purge), whose solver slots were
+// reset to the fresh-variable state when it was reclaimed. While a group is
+// open (BeginGroup), the variable is owned by that group.
 func (s *Solver) NewVar() Var {
-	v := Var(len(s.assigns))
-	s.assigns = append(s.assigns, lUndef)
-	s.vlevel = append(s.vlevel, 0)
-	s.reason = append(s.reason, -1)
-	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, false)
-	s.seen = append(s.seen, false)
-	s.watches = append(s.watches, nil, nil)
-	s.heapIdx = append(s.heapIdx, -1)
+	var v Var
+	if n := len(s.freeVars); n > 0 {
+		v = s.freeVars[n-1]
+		s.freeVars = s.freeVars[:n-1]
+	} else {
+		v = Var(len(s.assigns))
+		s.assigns = append(s.assigns, lUndef)
+		s.vlevel = append(s.vlevel, 0)
+		s.reason = append(s.reason, -1)
+		s.activity = append(s.activity, 0)
+		s.polarity = append(s.polarity, false)
+		s.seen = append(s.seen, false)
+		s.heapIdx = append(s.heapIdx, -1)
+		if cap(s.watches) >= len(s.watches)+2 {
+			// Post-Reset revival: re-expose the retained watch-list slots
+			// so their backing arrays are reused allocation-free.
+			s.watches = s.watches[:len(s.watches)+2]
+			s.watches[2*int(v)] = s.watches[2*int(v)][:0]
+			s.watches[2*int(v)+1] = s.watches[2*int(v)+1][:0]
+		} else {
+			s.watches = append(s.watches, nil, nil)
+		}
+	}
 	s.heapInsert(v)
+	if s.curGroup >= 0 {
+		g := &s.groups[s.curGroup]
+		g.vars = append(g.vars, v)
+	}
 	return v
 }
 
@@ -118,15 +171,32 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 // AddClause adds a clause over existing variables. It returns false when the
 // clause set has become unsatisfiable at level 0 (and the solver is dead).
 // Adding clauses between Solve calls is allowed (incremental interface).
+// While a clause group is open (BeginGroup/PushGroup) the clause is gated on
+// the group's activation literal; adding to a released group is a no-op.
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	gate := LitUndef
+	var grp *groupInfo
+	if s.curGroup >= 0 {
+		grp = &s.groups[s.curGroup]
+		if grp.released {
+			return true // released group: the clause would be inert
+		}
+		gate = MkLit(grp.act, true)
+	}
 	s.cancelUntil(0)
 	// Sort, dedupe, drop level-0-false literals, detect tautologies and
-	// level-0-satisfied clauses.
-	ls := append(make([]Lit, 0, len(lits)), lits...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	// level-0-satisfied clauses. The literal storage comes from the clause
+	// arena so a warmed-up (Reset) solver adds clauses allocation-free.
+	reserve := len(lits) + 1
+	ls := s.allocLits(reserve)[:0]
+	ls = append(ls, lits...)
+	if gate != LitUndef {
+		ls = append(ls, gate)
+	}
+	sortLits(ls)
 	j := 0
 	var prev Lit = LitUndef
 	for _, l := range ls {
@@ -134,6 +204,7 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		case l == prev || s.litValue(l) == lFalse:
 			continue
 		case l == prev.Not() || s.litValue(l) == lTrue:
+			s.arena = s.arena[:len(s.arena)-reserve]
 			return true // tautology or already satisfied at level 0
 		}
 		ls[j] = l
@@ -143,18 +214,113 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	ls = ls[:j]
 	switch len(ls) {
 	case 0:
+		s.arena = s.arena[:len(s.arena)-reserve]
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(ls[0], -1)
+		l := ls[0]
+		s.arena = s.arena[:len(s.arena)-reserve]
+		s.uncheckedEnqueue(l, -1)
 		if s.propagate() >= 0 {
 			s.ok = false
 			return false
 		}
 		return true
 	}
+	s.arena = s.arena[:len(s.arena)-(reserve-j)]
+	if grp != nil {
+		grp.clauses++
+	}
 	s.attach(s.pushClause(ls, false))
 	return true
+}
+
+// allocLits reserves n literal slots at the tail of the clause arena. The
+// caller may return unused tail slots by truncating s.arena. When the
+// current chunk is exhausted a bigger one is allocated; clauses referencing
+// the old chunk keep it alive, and after a Reset the grown chunk is reused
+// from the start, so steady-state reuse allocates nothing.
+func (s *Solver) allocLits(n int) []Lit {
+	if cap(s.arena)-len(s.arena) < n {
+		c := 2 * cap(s.arena)
+		if c < 4096 {
+			c = 4096
+		}
+		if c < n {
+			c = n
+		}
+		s.arena = make([]Lit, 0, c)
+	}
+	off := len(s.arena)
+	s.arena = s.arena[:off+n]
+	return s.arena[off : off+n : off+n]
+}
+
+// sortLits insertion-sorts a literal slice. Clauses are short (gate
+// gadgets), so this beats sort.Slice and avoids its closure allocation.
+func sortLits(ls []Lit) {
+	for i := 1; i < len(ls); i++ {
+		l := ls[i]
+		j := i - 1
+		for j >= 0 && ls[j] > l {
+			ls[j+1] = ls[j]
+			j--
+		}
+		ls[j+1] = l
+	}
+}
+
+// Reset restores the solver to the logical state of a freshly constructed
+// one while retaining every allocation (variable slots, watch lists, the
+// clause arena). A Reset solver makes byte-for-byte the same decisions as a
+// new solver given the same variable and clause sequence — which is what
+// lets a fraig worker reuse one solver across thousands of candidate pairs
+// without perturbing the deterministic verdict stream. The lifetime
+// counters (Conflicts, Restarts) survive, as does the memory; MaxConflicts
+// and Stop are cleared like any other per-problem state.
+func (s *Solver) Reset() {
+	s.MaxConflicts = 0
+	s.Stop = nil
+	s.ok = true
+	s.stopTick = 0
+	s.db = s.db[:0]
+	s.watches = s.watches[:0] // per-lit lists revived lazily by NewVar
+	s.assigns = s.assigns[:0]
+	s.vlevel = s.vlevel[:0]
+	s.reason = s.reason[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+	s.activity = s.activity[:0]
+	s.varInc = 1
+	s.polarity = s.polarity[:0]
+	s.heap = s.heap[:0]
+	s.heapIdx = s.heapIdx[:0]
+	s.claInc = 1
+	s.learnts = 0
+	s.maxLearnts = 0
+	s.seen = s.seen[:0]
+	s.toClear = s.toClear[:0]
+	s.model = nil
+	s.arena = s.arena[:0]
+	s.groups = s.groups[:0]
+	s.curGroup = -1
+	s.freeVars = s.freeVars[:0]
+	s.pendingFree = s.pendingFree[:0]
+	s.deadClauses = 0
+}
+
+// freeVar returns a reclaimed variable to the fresh-variable state and
+// pushes it onto the recycle list for a later NewVar.
+func (s *Solver) freeVar(v Var) {
+	s.vlevel[v] = 0
+	s.reason[v] = -1
+	s.activity[v] = 0
+	s.polarity[v] = false
+	s.heapRemove(v)
+	s.watches[2*int(v)] = s.watches[2*int(v)][:0]
+	s.watches[2*int(v)+1] = s.watches[2*int(v)+1][:0]
+	s.freeVars = append(s.freeVars, v)
 }
 
 func (s *Solver) pushClause(ls []Lit, learnt bool) int32 {
@@ -418,6 +584,7 @@ func (s *Solver) Solve(assumps ...Lit) Status {
 		}
 		if s.conflicts >= restartLimit {
 			restarts++
+			s.restarts++
 			restartLimit = s.conflicts + 64*luby(restarts)
 			s.cancelUntil(0)
 			continue
@@ -579,6 +746,23 @@ func (s *Solver) heapInsert(v Var) {
 	s.heapIdx[v] = int32(len(s.heap))
 	s.heap = append(s.heap, v)
 	s.heapUp(len(s.heap) - 1)
+}
+
+// heapRemove deletes v from the heap (no-op when absent).
+func (s *Solver) heapRemove(v Var) {
+	i := int(s.heapIdx[v])
+	if i < 0 {
+		return
+	}
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	s.heapIdx[v] = -1
+	if i < len(s.heap) {
+		s.heap[i] = last
+		s.heapIdx[last] = int32(i)
+		s.heapDown(i)
+		s.heapUp(int(s.heapIdx[last]))
+	}
 }
 
 func (s *Solver) heapPop() (Var, bool) {

@@ -1,0 +1,105 @@
+package sweep
+
+// Session-level counterexample persistence. Every refutation pattern a
+// fraig round discovers splits an equivalence class that simulation alone
+// could not; remembering those patterns across passes means each later
+// pass's sweep starts from classes pre-refined by everything the session
+// has already learned, instead of re-discovering the same distinctions by
+// SAT. The pool rides on the context (ContextWithPool), scoped to one
+// optimization run — independent sessions get independent pools, so no
+// patterns leak between unrelated workloads.
+//
+// Determinism: passes snapshot the pool once at pass start and commit new
+// patterns once at pass end, in the serial part of the pass (never from
+// worker goroutines), so the pool's content is a pure function of the pass
+// sequence, independent of the worker budget.
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultPoolLimit bounds a pool's retained patterns when NewCexPool is
+// given no explicit limit. It matches the per-pass cex cap of the fraig
+// rounds, so a pool never inflates a later pass's stimulus beyond what one
+// pass could have produced itself.
+const DefaultPoolLimit = 2048
+
+// CexPool accumulates refutation input patterns across the passes of one
+// optimization run. The zero value is not ready; use NewCexPool. Methods
+// are safe for concurrent use (pipelines and services may verify steps on
+// one goroutine while another inspects stats), though the intended
+// discipline is serial snapshot/commit per pass.
+type CexPool struct {
+	mu    sync.Mutex
+	limit int
+	pats  [][]bool
+}
+
+// NewCexPool returns an empty pool retaining at most limit patterns
+// (limit <= 0 selects DefaultPoolLimit).
+func NewCexPool(limit int) *CexPool {
+	if limit <= 0 {
+		limit = DefaultPoolLimit
+	}
+	return &CexPool{limit: limit}
+}
+
+// Add appends patterns to the pool, dropping the excess once the retention
+// limit is reached (earliest patterns are kept: they proved the most
+// classes apart and later passes re-discover anything still relevant).
+func (p *CexPool) Add(pats [][]bool) {
+	if p == nil || len(pats) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pat := range pats {
+		if len(p.pats) >= p.limit {
+			break
+		}
+		p.pats = append(p.pats, append([]bool(nil), pat...))
+	}
+}
+
+// Snapshot returns a copy of the retained patterns that have exactly nin
+// bits — patterns recorded for a different input interface (another
+// network optimized under the same session) are skipped, not truncated.
+func (p *CexPool) Snapshot(nin int) [][]bool {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out [][]bool
+	for _, pat := range p.pats {
+		if len(pat) == nin {
+			out = append(out, append([]bool(nil), pat...))
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained patterns.
+func (p *CexPool) Len() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pats)
+}
+
+type poolKey struct{}
+
+// ContextWithPool attaches a counterexample pool to the context; the fraig
+// passes of any representation pick it up from there.
+func ContextWithPool(ctx context.Context, p *CexPool) context.Context {
+	return context.WithValue(ctx, poolKey{}, p)
+}
+
+// PoolFrom returns the context's counterexample pool, or nil.
+func PoolFrom(ctx context.Context) *CexPool {
+	p, _ := ctx.Value(poolKey{}).(*CexPool)
+	return p
+}

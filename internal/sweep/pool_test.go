@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCexPoolAddSnapshot(t *testing.T) {
+	p := NewCexPool(0)
+	p.Add([][]bool{{true, false}, {false, true}})
+	p.Add([][]bool{{true, true, true}}) // different width: stored, filtered on read
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+	two := p.Snapshot(2)
+	if len(two) != 2 {
+		t.Fatalf("Snapshot(2) returned %d patterns, want 2", len(two))
+	}
+	if len(p.Snapshot(3)) != 1 || len(p.Snapshot(5)) != 0 {
+		t.Fatal("Snapshot width filtering wrong")
+	}
+	// Snapshots are copies: mutating one must not corrupt the pool.
+	two[0][0] = !two[0][0]
+	if got := p.Snapshot(2); got[0][0] == two[0][0] {
+		t.Fatal("Snapshot aliases pool storage")
+	}
+}
+
+func TestCexPoolAddCopies(t *testing.T) {
+	p := NewCexPool(0)
+	pat := []bool{true, false}
+	p.Add([][]bool{pat})
+	pat[0] = false
+	if got := p.Snapshot(2); !got[0][0] {
+		t.Fatal("Add aliases caller storage")
+	}
+}
+
+func TestCexPoolLimit(t *testing.T) {
+	p := NewCexPool(3)
+	var pats [][]bool
+	for i := 0; i < 10; i++ {
+		pats = append(pats, []bool{i%2 == 0})
+	}
+	p.Add(pats)
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want limit 3", p.Len())
+	}
+	// Earliest patterns win.
+	got := p.Snapshot(1)
+	for i, pat := range got {
+		if pat[0] != (i%2 == 0) {
+			t.Fatalf("pattern %d not the earliest-added", i)
+		}
+	}
+	p.Add([][]bool{{true}})
+	if p.Len() != 3 {
+		t.Fatal("limit not enforced on later Add")
+	}
+}
+
+func TestCexPoolNilSafety(t *testing.T) {
+	var p *CexPool
+	p.Add([][]bool{{true}})
+	if p.Snapshot(1) != nil || p.Len() != 0 {
+		t.Fatal("nil pool must behave as empty")
+	}
+}
+
+func TestPoolContext(t *testing.T) {
+	ctx := context.Background()
+	if PoolFrom(ctx) != nil {
+		t.Fatal("bare context has a pool")
+	}
+	p := NewCexPool(0)
+	if got := PoolFrom(ContextWithPool(ctx, p)); got != p {
+		t.Fatal("pool did not round-trip through the context")
+	}
+}

@@ -68,13 +68,14 @@ func RunSynthRows(nets []logic.Network, cfg Config, jobs int) []SynthRow {
 	return rows
 }
 
-// ZeroTimes clears the wall-time fields of opt rows, the one field that
-// differs between repeated (or serial vs parallel) runs.
+// ZeroTimes clears the wall-time fields of opt rows — the only fields that
+// differ between repeated (or serial vs parallel) runs.
 func ZeroTimes(rows []OptRow) {
 	for i := range rows {
 		rows[i].MIG.Seconds = 0
 		rows[i].AIG.Seconds = 0
 		rows[i].BDS.Seconds = 0
+		rows[i].VerifyMS = 0
 	}
 }
 

@@ -49,7 +49,7 @@ func RunCompress(words int, cfg Config, jobs int) (OptRow, *logic.Netlist) {
 		if am.OK {
 			labels, nets = append(labels, "aig"), append(nets, ag.ToNetwork())
 		}
-		row.VerifyErr = VerifyNetworks(n, cfg, labels, nets)
+		row.VerifyErr, row.VerifyMS, row.Conflicts, row.SolverRestarts = VerifyNetworks(n, cfg, labels, nets)
 	}
 	return row, wrapped
 }

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/aig"
 	"repro/internal/equiv"
@@ -56,6 +57,11 @@ type OptRow struct {
 	AIG       OptMetrics `json:"aig"`
 	BDS       OptMetrics `json:"bds"`
 	VerifyErr string     `json:"verify_err,omitempty"`
+	// Verification cost across the row's checks (zero and omitted when
+	// Verify is off): wall milliseconds, SAT conflicts, solver restarts.
+	VerifyMS       float64 `json:"verify_ms,omitempty"`
+	Conflicts      int64   `json:"conflicts,omitempty"`
+	SolverRestarts int64   `json:"solver_restarts,omitempty"`
 }
 
 // RunOptRow measures logic optimization (Table I-top) for one circuit.
@@ -90,20 +96,23 @@ func runOptRow(n *netlist.Network, cfg Config, concurrent bool) OptRow {
 		if row.BDS.OK {
 			labels, nets = append(labels, "bds"), append(nets, d)
 		}
-		row.VerifyErr = VerifyNetworks(n, cfg, labels, nets)
+		row.VerifyErr, row.VerifyMS, row.Conflicts, row.SolverRestarts = VerifyNetworks(n, cfg, labels, nets)
 	}
 	return row
 }
 
 // VerifyNetworks checks each labeled result against the reference network
 // with cfg's verification engine, returning the accumulated failure
-// description ("" = all equivalent). Shared by the batch rows and the
-// migbench compress experiment.
-func VerifyNetworks(n *netlist.Network, cfg Config, labels []string, nets []*netlist.Network) string {
+// description ("" = all equivalent) plus the cost of checking: wall
+// milliseconds and the SAT effort the engines reported. Shared by the
+// batch rows and the migbench compress experiment.
+func VerifyNetworks(n *netlist.Network, cfg Config, labels []string, nets []*netlist.Network) (msg string, ms float64, conflicts, restarts int64) {
 	opts := equiv.Options{SimRounds: cfg.SimRounds, Engine: cfg.VerifyEngine}
-	msg := ""
+	start := time.Now()
 	for i, got := range nets {
 		res, err := equiv.Check(n, got, opts)
+		conflicts += res.Conflicts
+		restarts += res.Restarts
 		if err != nil {
 			msg += fmt.Sprintf("%s: %v; ", labels[i], err)
 			continue
@@ -112,7 +121,7 @@ func VerifyNetworks(n *netlist.Network, cfg Config, labels []string, nets []*net
 			msg += fmt.Sprintf("%s NOT equivalent (%s); ", labels[i], res.Detail)
 		}
 	}
-	return msg
+	return msg, float64(time.Since(start).Nanoseconds()) / 1e6, conflicts, restarts
 }
 
 // SynthRow is one benchmark's Table I-bottom measurement.

@@ -216,6 +216,55 @@ func TestSessionWorkersByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSessionCexPoolIsolation: the counterexample pool fraig passes share
+// is scoped to one Optimize call. Re-running the same session, or a second
+// independent session, must be byte-identical — no pattern learned in one
+// run may influence another — and a pooled multi-fraig script must stay
+// worker-invariant.
+func TestSessionCexPoolIsolation(t *testing.T) {
+	net := circuit(t, "dalu")
+	run := func(workers int) string {
+		t.Helper()
+		sess, err := logic.NewSession(
+			logic.WithScript("fraig; eliminate; fraig"),
+			logic.WithWorkers(workers),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := sess.Optimize(context.Background(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.EncodeBLIF()
+	}
+	first := run(1)
+	if run(1) != first {
+		t.Fatal("a second run of the same configuration differs: pool state leaked across Optimize calls")
+	}
+	if run(8) != first {
+		t.Fatal("worker budget changed a pooled multi-fraig run")
+	}
+
+	// A session reused across different Optimize calls must also behave as
+	// if each call were its first.
+	sess, err := logic.NewSession(logic.WithScript("fraig; eliminate; fraig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outs []string
+	for i := 0; i < 2; i++ {
+		out, _, err := sess.Optimize(context.Background(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out.EncodeBLIF())
+	}
+	if outs[0] != outs[1] || outs[0] != first {
+		t.Fatal("session reuse changed results: pools must not persist between calls")
+	}
+}
+
 func TestNetworkInterface(t *testing.T) {
 	m := logic.NewMIG("t")
 	x := m.AddInput("x")

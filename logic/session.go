@@ -15,6 +15,7 @@ import (
 	"repro/internal/equiv"
 	"repro/internal/mig"
 	"repro/internal/opt"
+	"repro/internal/sweep"
 )
 
 // Session is an immutable optimizer configuration. Build one with
@@ -190,6 +191,13 @@ func (s *Session) Optimize(ctx context.Context, net Network) (Network, *Result, 
 	if s.workers > 0 {
 		ctx = opt.ContextWithWorkers(ctx, s.workers)
 	}
+	// One counterexample pool per Optimize call: every fraig pass in this
+	// run seeds from and feeds the same pattern set, and independent runs
+	// (or Sessions) never share state. Callers that want wider sharing can
+	// scope their own pool on the context.
+	if sweep.PoolFrom(ctx) == nil {
+		ctx = sweep.ContextWithPool(ctx, sweep.NewCexPool(0))
+	}
 	res := &Result{Before: net.Stats()}
 	start := time.Now()
 
@@ -254,13 +262,26 @@ func (s *Session) optimizeMIG(ctx context.Context, in *MIG) (Network, Trace, err
 		}
 	}
 	if s.verifyOn && s.script != "" {
-		pipe.Check = opt.EquivChecker(equiv.Options{Engine: s.verify})
+		pipe.Check = s.stepChecker()
 	}
 	out, trace, err := pipe.RunContext(ctx, in.g)
 	if err != nil {
 		return nil, fromTrace(trace), err
 	}
 	return &MIG{g: out}, fromTrace(trace), nil
+}
+
+// stepChecker selects the per-pass verifier for scripted runs. The default
+// and SAT engines use the incremental cone-diff checker — each step is
+// proved against the previous one with a persistent solver, and outputs a
+// pass did not touch are discharged structurally — while a forced exact,
+// BDD or simulation engine keeps its one-shot per-step semantics.
+func (s *Session) stepChecker() opt.Checker {
+	switch s.verify {
+	case "", "sat":
+		return opt.IncrementalChecker(equiv.Options{Engine: s.verify})
+	}
+	return opt.EquivChecker(equiv.Options{Engine: s.verify})
 }
 
 // optimizeAIG builds and runs the AIG pipeline for this configuration:
@@ -286,7 +307,7 @@ func (s *Session) optimizeAIG(ctx context.Context, in *AIG) (Network, Trace, err
 		}
 	}
 	if s.verifyOn && s.script != "" {
-		pipe.Check = opt.EquivChecker(equiv.Options{Engine: s.verify})
+		pipe.Check = s.stepChecker()
 	}
 	out, trace, err := pipe.RunContext(ctx, in.g)
 	if err != nil {

@@ -23,6 +23,13 @@ type Step struct {
 	// Equiv is "" when the step was not verified, "ok" when verified
 	// equivalent, otherwise the failure detail.
 	Equiv string `json:"equiv,omitempty"`
+	// Verification cost, separated from the pass's own wall time: VerifyMS
+	// is the checker's wall time in milliseconds, Conflicts and
+	// SolverRestarts the SAT effort it reported. All omitted when the step
+	// was not verified or the check needed no solving.
+	VerifyMS       float64 `json:"verify_ms,omitempty"`
+	Conflicts      int64   `json:"conflicts,omitempty"`
+	SolverRestarts int64   `json:"solver_restarts,omitempty"`
 }
 
 // Trace is the ordered per-pass record of one optimization run.
@@ -57,6 +64,9 @@ func fromTrace(t opt.Trace) Trace {
 			ActivityAfter:  s.ActivityAfter,
 			Seconds:        s.Seconds,
 			Equiv:          s.Equiv,
+			VerifyMS:       s.VerifySeconds * 1000,
+			Conflicts:      s.VerifyConflicts,
+			SolverRestarts: s.VerifyRestarts,
 		}
 	}
 	return out

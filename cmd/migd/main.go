@@ -3,7 +3,7 @@
 // circuit plus a pass script — or a named strategy from the script
 // library — to /v1/optimize and get back the optimized network and the
 // per-pass trace; GET /v1/scripts lists the library, GET /v1/passes the
-// scriptable passes.
+// scriptable passes, GET /v1/stats the robustness counters.
 //
 //	migd -addr :8337 -workers 8 -timeout 60s
 //
@@ -16,12 +16,20 @@
 //	curl -s localhost:8337/v1/scripts?kind=mig
 //	curl -s localhost:8337/v1/optimize -d '{"source": "...", "script_name": "tuned-depth"}'
 //
-// Operational properties: a bounded worker pool (-workers) caps concurrent
-// optimizations; every request runs under a deadline (-timeout, capped by
-// -max-timeout) threaded through the SAT solver's conflict loop, so a hung
-// solve cannot pin a worker; a result cache (-cache entries) keyed by
-// (network hash, effective script, options) serves repeated submissions of
-// hot designs without recomputation. docs/SERVICE.md is the wire-protocol
+// Operational properties: a bounded worker pool (-workers) with a bounded
+// admission queue (-queue) sheds excess load with 429 + Retry-After
+// instead of queueing unboundedly; a per-client token bucket (-rate,
+// -burst) limits abusive clients; every request runs under a deadline
+// (-timeout, capped by -max-timeout) covering queue wait plus
+// optimization, threaded through the SAT solver's conflict loop, so a
+// hung solve cannot pin a worker; a result cache (-cache entries) keyed
+// by (network hash, effective script, options) serves repeated
+// submissions of hot designs without recomputation.
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: /readyz flips to 503,
+// new optimize requests are rejected with 503, in-flight work finishes
+// (up to -drain-timeout), then the process exits 0. A second signal
+// aborts in-flight work immediately. docs/SERVICE.md is the wire-protocol
 // reference; see examples/service for a Go client.
 package main
 
@@ -41,31 +49,53 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8337", "listen address")
-	workers := flag.Int("workers", 4, "max concurrent optimizations (excess requests queue)")
+	workers := flag.Int("workers", 4, "max concurrent optimizations")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x workers; negative = no queue)")
 	cache := flag.Int("cache", 256, "result-cache entries (negative disables)")
-	timeout := flag.Duration("timeout", 60*time.Second, "default per-request optimization deadline")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-request deadline (queue wait + optimization)")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested deadlines")
+	rate := flag.Float64("rate", 0, "per-client rate limit in requests/second (0 disables)")
+	burst := flag.Int("burst", 0, "per-client burst allowance (0 = 2x rate)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
 	flag.Parse()
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
+		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		CacheSize:      *cache,
+		RateLimit:      *rate,
+		RateBurst:      *burst,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
-	// Graceful shutdown: stop accepting, let in-flight requests finish
-	// (their own deadlines bound the wait).
+	// Graceful drain: flip /readyz to 503 and reject new optimizations so
+	// load balancers route elsewhere, then let http.Server.Shutdown stop
+	// the listener and wait for in-flight requests up to -drain-timeout.
+	// Either way the process exits cleanly (0); a second signal cuts the
+	// wait short.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		sig := make(chan os.Signal, 1)
+		sig := make(chan os.Signal, 2)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+		fmt.Fprintf(os.Stderr, "migd: signal received; draining (up to %s)\n", *drainTimeout)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		_ = httpSrv.Shutdown(ctx)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "migd: second signal; aborting in-flight work")
+			cancel()
+		}()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "migd: drain cut short (%v); closing\n", err)
+			_ = httpSrv.Close()
+			return
+		}
+		fmt.Fprintln(os.Stderr, "migd: drained cleanly")
 	}()
 
 	fmt.Fprintf(os.Stderr, "migd: listening on %s (workers=%d, cache=%d, timeout=%s)\n",

@@ -39,12 +39,18 @@
 //     quality-trajectory diff (DiffReports), and the MCNC-backed
 //     evaluator behind the script tuner (ScriptEvaluator).
 //   - service is the HTTP/JSON optimization daemon behind cmd/migd:
-//     POST /v1/optimize runs a Session under a bounded worker pool with
-//     per-request deadlines and an LRU result cache keyed by
-//     (network hash, effective script, options) — named strategies are
-//     accepted as script_name and listed by GET /v1/scripts; the package
-//     also ships the Go Client used by examples/service. The wire
-//     protocol is documented in docs/SERVICE.md.
+//     POST /v1/optimize runs a Session under deadline-aware admission
+//     control (bounded worker pool + bounded wait queue, 429+Retry-After
+//     load shedding), per-client token-bucket rate limits, singleflight
+//     collapsing of identical in-flight work, panic containment, and
+//     graceful drain (/readyz flips 503, in-flight work finishes), with
+//     an LRU result cache keyed by (network hash, effective script,
+//     options) — named strategies are accepted as script_name and listed
+//     by GET /v1/scripts, GET /v1/stats exposes the robustness counters;
+//     the package also ships the Go Client (bounded-backoff retries of
+//     429/503/transport failures only) used by examples/service. The
+//     wire protocol and failure semantics are documented in
+//     docs/SERVICE.md.
 //
 // Quickstart (see examples/quickstart for the runnable version):
 //

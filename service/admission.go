@@ -1,0 +1,207 @@
+package service
+
+// Admission control: a deadline-aware bounded wait queue in front of the
+// worker pool. The old model — a bare semaphore — queued unboundedly, so
+// under saturation every request eventually timed out after burning its
+// full deadline in line. Admission instead sheds load at the door:
+//
+//   - the wait queue is bounded (QueueDepth); an arrival that finds it
+//     full is rejected immediately with 429 + Retry-After,
+//   - an arrival whose context deadline is closer than the estimated
+//     queue wait (EWMA of recent service times, scaled by queue position)
+//     is rejected immediately with 429 instead of waiting out a deadline
+//     it cannot meet,
+//   - a queued request whose context dies is removed from the queue and
+//     mapped to 499/504 without ever holding a slot.
+//
+// Slots are handed off FIFO: a releasing worker transfers its slot
+// directly to the oldest waiter, so the queue cannot be starved by new
+// arrivals racing the channel.
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type admission struct {
+	mu       sync.Mutex
+	workers  int
+	maxQueue int
+
+	inUse   int
+	waiters list.List // of *admWaiter, FIFO
+
+	// ewma tracks recent in-slot service time; 0 until the first request
+	// completes (no history = no predictive rejection).
+	ewma time.Duration
+
+	admitted uint64
+	rejected map[string]uint64
+}
+
+type admWaiter struct {
+	grant   chan struct{} // closed when a releasing worker hands over its slot
+	granted bool          // written under admission.mu, read by the ctx race path
+}
+
+func newAdmission(workers, maxQueue int) *admission {
+	return &admission{
+		workers:  workers,
+		maxQueue: maxQueue,
+		rejected: make(map[string]uint64),
+	}
+}
+
+// acquire obtains a worker slot, waiting in the bounded queue if needed.
+// On success the returned release must be called exactly once (it is
+// idempotent anyway); on failure the error is an *httpError ready for the
+// wire.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.inUse < a.workers {
+		a.inUse++
+		a.admitted++
+		a.mu.Unlock()
+		return a.releaseFunc(time.Now()), nil
+	}
+	position := a.waiters.Len()
+	if position >= a.maxQueue {
+		wait := a.estWaitLocked(position)
+		a.rejected[ReasonQueueFull]++
+		a.mu.Unlock()
+		return nil, &httpError{
+			status:     http.StatusTooManyRequests,
+			reason:     ReasonQueueFull,
+			retryAfter: wait,
+			err: fmt.Errorf("overloaded: %d requests already waiting for %d workers; retry in ~%s",
+				position, a.workers, wait.Round(time.Millisecond)),
+		}
+	}
+	if d, ok := ctx.Deadline(); ok && a.ewma > 0 {
+		if wait := a.estWaitLocked(position); time.Until(d) < wait {
+			a.rejected[ReasonDeadlineUnreachable]++
+			a.mu.Unlock()
+			return nil, &httpError{
+				status:     http.StatusTooManyRequests,
+				reason:     ReasonDeadlineUnreachable,
+				retryAfter: wait,
+				err: fmt.Errorf("overloaded: estimated queue wait ~%s exceeds the request deadline; retry in ~%s",
+					wait.Round(time.Millisecond), wait.Round(time.Millisecond)),
+			}
+		}
+	}
+	w := &admWaiter{grant: make(chan struct{})}
+	el := a.waiters.PushBack(w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		// The releasing worker transferred its slot: inUse already counts
+		// us, and admitted was bumped at handoff.
+		return a.releaseFunc(time.Now()), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation; pass the slot on instead
+			// of leaking it (no service-time sample — we never ran).
+			a.handoffLocked()
+		} else {
+			a.waiters.Remove(el)
+			a.rejected[reasonForCtx(ctx.Err())]++
+		}
+		a.mu.Unlock()
+		return nil, ctxError(ctx.Err(), "request abandoned while queued for a worker: %w", ctx.Err())
+	}
+}
+
+// releaseFunc returns the idempotent slot release, recording the service
+// time for the wait estimator.
+func (a *admission) releaseFunc(start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.observeLocked(time.Since(start))
+			a.handoffLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// handoffLocked frees the caller's slot: the oldest waiter inherits it
+// directly, or the pool shrinks by one.
+func (a *admission) handoffLocked() {
+	if el := a.waiters.Front(); el != nil {
+		w := a.waiters.Remove(el).(*admWaiter)
+		w.granted = true
+		a.admitted++
+		close(w.grant)
+		return
+	}
+	a.inUse--
+}
+
+func (a *admission) observeLocked(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	if a.ewma == 0 {
+		a.ewma = d
+		return
+	}
+	a.ewma = (4*a.ewma + d) / 5
+}
+
+// estWaitLocked estimates how long an arrival at the given queue position
+// waits for a slot: with all workers busy, one frees every ewma/workers on
+// average, so position p is served after ~ewma·(p+1)/workers. With no
+// history yet the estimate is a flat second — enough for a Retry-After
+// hint without pretending precision.
+func (a *admission) estWaitLocked(position int) time.Duration {
+	if a.ewma <= 0 {
+		return time.Second
+	}
+	wait := time.Duration(int64(a.ewma) * int64(position+1) / int64(a.workers))
+	if wait < 10*time.Millisecond {
+		wait = 10 * time.Millisecond
+	}
+	return wait
+}
+
+// AdmissionStats is the admission-control section of ServerStats.
+type AdmissionStats struct {
+	// Workers is the slot count; InUse how many are running now.
+	Workers int `json:"workers"`
+	InUse   int `json:"in_use"`
+	// Queued is the current wait-queue depth; QueueCapacity its bound.
+	Queued        int `json:"queued"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Admitted counts requests that ever held a slot.
+	Admitted uint64 `json:"admitted"`
+	// EWMAServiceMS is the current service-time estimate feeding the
+	// deadline-aware rejection (0 = no history yet).
+	EWMAServiceMS float64 `json:"ewma_service_ms"`
+}
+
+// stats snapshots the counters; the rejected map is merged into
+// ServerStats.Rejected by the caller.
+func (a *admission) stats() (AdmissionStats, map[string]uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rej := make(map[string]uint64, len(a.rejected))
+	for k, v := range a.rejected {
+		rej[k] = v
+	}
+	return AdmissionStats{
+		Workers:       a.workers,
+		InUse:         a.inUse,
+		Queued:        a.waiters.Len(),
+		QueueCapacity: a.maxQueue,
+		Admitted:      a.admitted,
+		EWMAServiceMS: float64(a.ewma) / float64(time.Millisecond),
+	}, rej
+}

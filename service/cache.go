@@ -6,7 +6,22 @@ package service
 import (
 	"container/list"
 	"sync"
+
+	"repro/logic"
 )
+
+// clone deep-copies a response. Trace is a slice: a shallow `*resp` copy
+// would share its backing array, so a caller mutating its response (or a
+// coalesced follower mutating its copy) would corrupt the cached entry
+// for every future hit. Step itself is all value fields, so copying the
+// slice is a full deep copy.
+func (r *OptimizeResponse) clone() *OptimizeResponse {
+	cp := *r
+	if r.Trace != nil {
+		cp.Trace = append(logic.Trace(nil), r.Trace...)
+	}
+	return &cp
+}
 
 type cacheEntry struct {
 	key  string
@@ -28,7 +43,8 @@ func newResultCache(max int) *resultCache {
 	}
 }
 
-// get returns the cached response for key, marking it most recently used.
+// get returns a private deep copy of the cached response for key, marking
+// it most recently used. Callers own (and may mutate) the copy.
 func (c *resultCache) get(key string) (*OptimizeResponse, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -37,19 +53,20 @@ func (c *resultCache) get(key string) (*OptimizeResponse, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).resp, true
+	return el.Value.(*cacheEntry).resp.clone(), true
 }
 
-// put stores a response, evicting the least recently used entry when full.
+// put stores a deep copy of resp (isolating the entry from later caller
+// mutations), evicting the least recently used entry when full.
 func (c *resultCache) put(key string, resp *OptimizeResponse) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*cacheEntry).resp = resp
+		el.Value.(*cacheEntry).resp = resp.clone()
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, resp: resp.clone()})
 	for c.order.Len() > c.max {
 		last := c.order.Back()
 		c.order.Remove(last)

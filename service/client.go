@@ -2,14 +2,26 @@ package service
 
 // Client for the migd optimization service. Mirrors the server's JSON
 // protocol; see examples/service for an end-to-end walkthrough.
+//
+// Robustness: non-2xx answers surface as *APIError (status, reason,
+// retry hint), response bodies are always drained so keep-alive
+// connections are reused, and an optional RetryPolicy adds bounded
+// exponential backoff with jitter over the retryable failures only —
+// 429, 503, and transport errors; a 4xx semantic failure is never
+// retried. Retry-After hints from the server are honored, and the
+// request context bounds everything including backoff sleeps.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/logic"
 	"repro/logic/script"
@@ -21,7 +33,83 @@ type Client struct {
 	BaseURL string
 	// HTTPClient overrides http.DefaultClient when set.
 	HTTPClient *http.Client
+	// ClientID, when set, is sent as X-Client-ID so the server's
+	// per-client rate limiter keys on it instead of the remote address.
+	ClientID string
+	// Retry enables automatic retries of retryable failures (429, 503,
+	// transport errors — never other 4xx). Nil disables retries.
+	Retry *RetryPolicy
 }
+
+// RetryPolicy is bounded exponential backoff with jitter. Zero fields
+// take the DefaultRetryPolicy values.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each retry doubles it (default
+	// 100ms). The actual sleep is jittered uniformly in [delay/2, delay].
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 5s). A server Retry-After
+	// hint overrides the computed backoff, uncapped — the server knows.
+	MaxDelay time.Duration
+}
+
+// DefaultRetryPolicy returns the recommended policy: 4 attempts, 100ms
+// base, 5s cap.
+func DefaultRetryPolicy() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+func (p *RetryPolicy) withDefaults() RetryPolicy {
+	q := *p
+	if q.MaxAttempts <= 0 {
+		q.MaxAttempts = 4
+	}
+	if q.BaseDelay <= 0 {
+		q.BaseDelay = 100 * time.Millisecond
+	}
+	if q.MaxDelay <= 0 {
+		q.MaxDelay = 5 * time.Second
+	}
+	return q
+}
+
+// APIError is a non-2xx answer from the server.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error text ("" if the body was not the
+	// standard envelope).
+	Message string
+	// Reason is the machine-readable rejection reason on load-shedding
+	// answers (e.g. "queue_full", "rate_limited", "draining").
+	Reason string
+	// RetryAfter is the server's advisory backoff (0 = none), from the
+	// precise retry_after_ms body field or the Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("migd: HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("migd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// Retryable reports whether the failure is transient: the server shed
+// load (429) or is unavailable/draining (503). Semantic failures (other
+// 4xx, 422, 500) are final.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// transportError wraps a failure below HTTP (dial, reset, EOF): the
+// request may never have reached a server, so it is retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "migd: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
@@ -30,39 +118,129 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one JSON round trip; out may be nil.
+// do issues one JSON exchange, retrying per the client's RetryPolicy;
+// out may be nil.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
 			return err
 		}
-		body = bytes.NewReader(buf)
+	}
+	policy := RetryPolicy{MaxAttempts: 1}
+	if c.Retry != nil {
+		policy = c.Retry.withDefaults()
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt+1 >= policy.MaxAttempts || !retryable(err) || ctx.Err() != nil {
+			return lastErr
+		}
+		delay := backoffDelay(policy, attempt)
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			delay = ae.RetryAfter // the server knows; honor it over the schedule
+		}
+		// Sleeping past the caller's deadline cannot help: give up now
+		// with the real failure rather than a later context error.
+		if d, ok := ctx.Deadline(); ok && time.Until(d) < delay {
+			return lastErr
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return lastErr
+		}
+	}
+}
+
+// backoffDelay is the attempt's jittered exponential backoff: base·2^n
+// capped at max, then jittered uniformly into [d/2, d] so synchronized
+// clients desynchronize.
+func backoffDelay(p RetryPolicy, attempt int) time.Duration {
+	d := p.BaseDelay << attempt
+	if d > p.MaxDelay || d <= 0 { // <=0 guards shift overflow
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryable: 429/503 answers and transport errors; never other statuses,
+// never context death (the caller's deadline is final).
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// doOnce is a single HTTP round trip. The response body is always fully
+// drained before close — even on error paths and when out is nil — so
+// the keep-alive connection returns to the pool for reuse.
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e errorResponse
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("migd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		if ctx.Err() != nil {
+			return ctx.Err()
 		}
-		return fmt.Errorf("migd: HTTP %d", resp.StatusCode)
+		return &transportError{err}
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		ae := &APIError{Status: resp.StatusCode}
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			ae.Message, ae.Reason = e.Error, e.Reason
+			if e.RetryAfterMS > 0 {
+				ae.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+			}
+		}
+		if ae.RetryAfter == 0 {
+			if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+				ae.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// drainClose reads the body to EOF (bounded — a server spewing garbage
+// is not worth a connection) and closes it, so the transport can reuse
+// the connection instead of tearing it down.
+func drainClose(rc io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(rc, 1<<20))
+	_ = rc.Close()
 }
 
 // Optimize submits a circuit for optimization.
@@ -103,7 +281,23 @@ func (c *Client) Scripts(ctx context.Context, kind string) ([]script.Strategy, e
 	return out, nil
 }
 
-// Health checks server liveness.
+// Stats fetches the server's robustness counters (admission, rejections,
+// cache occupancy).
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	var out ServerStats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks server liveness (200 even while draining).
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Ready checks server readiness: a draining server answers 503, which
+// surfaces as an *APIError.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
 }

@@ -1,0 +1,215 @@
+package service
+
+// Client-side robustness: the retry policy (what is and is not retried,
+// Retry-After honoring, context respect) and keep-alive connection reuse
+// (every response body is drained before close).
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers scripted statuses in order, then 200 forever.
+type flakyHandler struct {
+	calls    atomic.Int32
+	statuses []int        // per-call status; beyond the slice => 200
+	body     []byte       // optional 429/503 body (errorResponse JSON)
+	header   http.Header  // optional extra headers on failures
+	hijack   map[int]bool // calls (0-based) whose connection is cut pre-response
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := int(h.calls.Add(1)) - 1
+	if h.hijack[n] {
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err == nil {
+			conn.Close() // simulate a transport failure mid-exchange
+		}
+		return
+	}
+	status := http.StatusOK
+	if n < len(h.statuses) {
+		status = h.statuses[n]
+	}
+	for k, vs := range h.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if status == http.StatusOK {
+		_, _ = w.Write([]byte(`{"name":"ok","network":"n"}`))
+		return
+	}
+	if h.body != nil {
+		_, _ = w.Write(h.body)
+		return
+	}
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: "scripted failure"})
+}
+
+func retryClient(t *testing.T, h http.Handler) (*Client, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return &Client{
+		BaseURL:    ts.URL,
+		HTTPClient: &http.Client{Transport: &http.Transport{}},
+		Retry:      &RetryPolicy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+	}, ts
+}
+
+func TestClientRetriesRetryableStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		h := &flakyHandler{statuses: []int{status, status}}
+		client, _ := retryClient(t, h)
+		resp, err := client.Optimize(context.Background(), OptimizeRequest{Source: "x"})
+		if err != nil {
+			t.Fatalf("status %d: retries failed: %v", status, err)
+		}
+		if resp.Name != "ok" {
+			t.Fatalf("status %d: unexpected payload %+v", status, resp)
+		}
+		if got := h.calls.Load(); got != 3 {
+			t.Fatalf("status %d: %d attempts, want 3 (2 failures + success)", status, got)
+		}
+	}
+}
+
+func TestClientNeverRetriesSemanticFailures(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusInternalServerError} {
+		h := &flakyHandler{statuses: []int{status, status, status, status}}
+		client, _ := retryClient(t, h)
+		_, err := client.Optimize(context.Background(), OptimizeRequest{Source: "x"})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != status {
+			t.Fatalf("status %d: err=%v", status, err)
+		}
+		if got := h.calls.Load(); got != 1 {
+			t.Fatalf("status %d retried: %d attempts, want 1", status, got)
+		}
+		if want := fmt.Sprintf("(HTTP %d)", status); !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q lost the HTTP status %q", err, want)
+		}
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	h := &flakyHandler{hijack: map[int]bool{0: true, 1: true}}
+	client, _ := retryClient(t, h)
+	if _, err := client.Optimize(context.Background(), OptimizeRequest{Source: "x"}); err != nil {
+		t.Fatalf("transport retries failed: %v", err)
+	}
+	if got := h.calls.Load(); got != 3 {
+		t.Fatalf("%d attempts, want 3", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	body, _ := json.Marshal(errorResponse{Error: "busy", Reason: ReasonQueueFull, RetryAfterMS: 300})
+	h := &flakyHandler{statuses: []int{429}, body: body}
+	client, _ := retryClient(t, h)
+	start := time.Now()
+	if _, err := client.Optimize(context.Background(), OptimizeRequest{Source: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// The policy's own backoff is ≤100ms; a ≥250ms wait proves the
+	// server's 300ms hint won.
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("retried after %v; Retry-After of 300ms not honored", elapsed)
+	}
+}
+
+func TestClientParsesRetryAfterHeader(t *testing.T) {
+	// No structured body: the standard header is the fallback.
+	h := &flakyHandler{
+		statuses: []int{429},
+		body:     []byte("busy\n"),
+		header:   http.Header{"Retry-After": []string{"1"}},
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	client := &Client{BaseURL: ts.URL, HTTPClient: &http.Client{Transport: &http.Transport{}}}
+	_, err := client.Optimize(context.Background(), OptimizeRequest{Source: "x"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err=%v", err)
+	}
+	if ae.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter=%v, want 1s from the header", ae.RetryAfter)
+	}
+	if ae.Message != "" {
+		t.Fatalf("non-envelope body produced message %q", ae.Message)
+	}
+}
+
+func TestClientRetryRespectsContext(t *testing.T) {
+	// Server always says "come back in 10s"; a 150ms context must win,
+	// and the client should surface the real failure (the 429), not burn
+	// the wait.
+	body, _ := json.Marshal(errorResponse{Error: "busy", RetryAfterMS: 10000})
+	h := &flakyHandler{statuses: []int{429, 429, 429, 429}, body: body}
+	client, _ := retryClient(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Optimize(ctx, OptimizeRequest{Source: "x"})
+	elapsed := time.Since(start)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Fatalf("err=%v, want the underlying 429", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("took %v; retry slept past the context deadline", elapsed)
+	}
+	if got := h.calls.Load(); got != 1 {
+		t.Fatalf("%d attempts; sleeping 10s inside a 150ms budget is futile", got)
+	}
+}
+
+// TestClientConnectionReuse (satellite): success, error, and nil-out
+// paths all drain the response body, so every exchange rides one
+// keep-alive connection instead of dialing per request.
+func TestClientConnectionReuse(t *testing.T) {
+	srv := New(Config{Workers: 1, Logger: quietLogger()})
+	ts := httptest.NewUnstartedServer(srv)
+	var newConns atomic.Int32
+	ts.Config.ConnState = func(_ net.Conn, state http.ConnState) {
+		if state == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	ts.Start()
+	t.Cleanup(ts.Close)
+
+	transport := &http.Transport{}
+	t.Cleanup(transport.CloseIdleConnections)
+	client := &Client{BaseURL: ts.URL, HTTPClient: &http.Client{Transport: transport}}
+	ctx := context.Background()
+
+	if err := client.Health(ctx); err != nil { // nil-out path
+		t.Fatal(err)
+	}
+	if _, err := client.Passes(ctx, "mig"); err != nil { // decoded path
+		t.Fatal(err)
+	}
+	if _, err := client.Optimize(ctx, OptimizeRequest{}); err == nil { // error path (400)
+		t.Fatal("empty source must 400")
+	}
+	if _, err := client.Optimize(ctx, OptimizeRequest{Source: xorChainBLIF("reuse", 4), Script: "cleanup"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := newConns.Load(); got != 1 {
+		t.Fatalf("4 sequential exchanges used %d connections, want 1 (body not drained?)", got)
+	}
+}

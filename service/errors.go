@@ -1,0 +1,124 @@
+package service
+
+// Failure semantics. Every error leaving a handler is an *httpError
+// carrying the HTTP status, a machine-readable rejection reason, and an
+// optional retry hint; writeError renders it as the JSON error envelope
+// plus a Retry-After header. docs/SERVICE.md ("Failure semantics") is the
+// wire-level reference.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// errorResponse is the JSON error envelope. Reason and RetryAfterMS are
+// set on load-shedding rejections (429/503) so clients can distinguish
+// "come back later" from semantic failures and back off precisely.
+type errorResponse struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// Machine-readable rejection reasons (errorResponse.Reason, and the keys
+// of ServerStats.Rejected).
+const (
+	// ReasonQueueFull: the admission queue is at capacity (429).
+	ReasonQueueFull = "queue_full"
+	// ReasonDeadlineUnreachable: the queue is so long the request could
+	// not plausibly reach a worker slot before its deadline (429).
+	ReasonDeadlineUnreachable = "deadline_unreachable"
+	// ReasonRateLimited: the per-client token bucket is empty (429).
+	ReasonRateLimited = "rate_limited"
+	// ReasonDraining: the server is shutting down (503).
+	ReasonDraining = "draining"
+	// ReasonPanic: a pass-engine panic was recovered (500).
+	ReasonPanic = "panic"
+	// ReasonClientGone: the request context was canceled while queued or
+	// running (499).
+	ReasonClientGone = "client_gone"
+	// ReasonDeadlineExpired: the request deadline expired while queued or
+	// running (504).
+	ReasonDeadlineExpired = "deadline_expired"
+)
+
+// httpError is the internal error type of the request path: an error plus
+// the HTTP status it maps to, the rejection reason, and an advisory
+// retry-after delay (0 = none).
+type httpError struct {
+	status     int
+	reason     string
+	retryAfter time.Duration
+	err        error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+// errStatus wraps err with a bare HTTP status.
+func errStatus(status int, err error) *httpError {
+	return &httpError{status: status, err: err}
+}
+
+// badRequestf is the 400 shorthand used by request validation.
+func badRequestf(format string, args ...any) *httpError {
+	return errStatus(http.StatusBadRequest, fmt.Errorf(format, args...))
+}
+
+// ctxError maps a context failure (while queued, coalesced, or running)
+// to its status/reason pair: deadline expiry is the server-side timeout
+// (504), cancellation means the client went away (499, nginx's
+// convention).
+func ctxError(ctxErr error, format string, args ...any) *httpError {
+	return &httpError{
+		status: statusForCtx(ctxErr),
+		reason: reasonForCtx(ctxErr),
+		err:    fmt.Errorf(format, args...),
+	}
+}
+
+func statusForCtx(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return 499
+}
+
+func reasonForCtx(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ReasonDeadlineExpired
+	}
+	return ReasonClientGone
+}
+
+// writeError renders err as the JSON error envelope. An *httpError
+// supplies the status and the structured fields; anything else is a 500.
+// A retry hint is surfaced twice: precise milliseconds in the body and
+// ceiled whole seconds (min 1) in the standard Retry-After header.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	body := errorResponse{Error: err.Error()}
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+		body.Reason = he.reason
+		if he.retryAfter > 0 {
+			// Floor at 1ms: a sub-millisecond hint must not round to 0 and
+			// push clients onto the whole-second header fallback.
+			if body.RetryAfterMS = he.retryAfter.Milliseconds(); body.RetryAfterMS < 1 {
+				body.RetryAfterMS = 1
+			}
+			secs := int64(math.Ceil(he.retryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+	}
+	writeJSON(w, status, body)
+}

@@ -1,0 +1,82 @@
+package service
+
+// Fault injection. A *Faults threaded through Config lets tests
+// deterministically force the failure modes the robustness layer exists
+// for — slot exhaustion (delay inside a worker slot), slow optimizations,
+// pass-engine panics, and drain races — without depending on circuit
+// sizes or scheduler timing. A nil *Faults (production) is inert: every
+// hook is a nil-receiver no-op.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Fault injection stages, in request order.
+const (
+	// StageAdmit fires before admission control (outside any worker slot).
+	StageAdmit = "admit"
+	// StageOptimize fires inside a worker slot, before the session runs —
+	// a Delay here pins a slot, an Err simulates a pass failure, a Panic
+	// simulates a pass-engine crash.
+	StageOptimize = "optimize"
+)
+
+// Fault is what happens when a stage is reached: first Delay (respecting
+// the request context), then Panic, then Err. Zero values are skipped.
+type Fault struct {
+	Delay time.Duration
+	Panic string // non-empty panics with this message
+	Err   error
+}
+
+// Faults is the injectable per-stage fault table. Safe for concurrent use.
+type Faults struct {
+	mu     sync.Mutex
+	stages map[string]Fault
+}
+
+// Set installs (or replaces) the fault for a stage.
+func (f *Faults) Set(stage string, ft Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.stages == nil {
+		f.stages = make(map[string]Fault)
+	}
+	f.stages[stage] = ft
+}
+
+// Clear removes the fault for a stage.
+func (f *Faults) Clear(stage string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.stages, stage)
+}
+
+// fire runs the stage's fault, if any. The delay is interruptible: a dead
+// context returns its error immediately.
+func (f *Faults) fire(ctx context.Context, stage string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	ft, ok := f.stages[stage]
+	f.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if ft.Delay > 0 {
+		t := time.NewTimer(ft.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if ft.Panic != "" {
+		panic("fault injection: " + ft.Panic)
+	}
+	return ft.Err
+}

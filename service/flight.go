@@ -1,0 +1,79 @@
+package service
+
+// Singleflight collapsing of identical in-flight work. A thundering herd
+// on one cold design — N clients submitting the same circuit+options
+// before the first result lands in the cache — used to compute N times on
+// N worker slots. Here the first caller per cache key becomes the leader
+// and computes; concurrent callers with the same key wait (respecting
+// their own contexts, holding no slot) and receive a deep copy of the
+// leader's result marked Coalesced.
+//
+// Errors are shared too, with one exception: a leader that died of *its
+// own* context (499/504) says nothing about the work, so a still-live
+// follower re-enters and computes for itself.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+)
+
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when resp/err are final
+	resp *OptimizeResponse
+	err  error
+}
+
+// do runs fn once per key among concurrent callers. coalesced reports
+// that this caller shared another's computation instead of running fn.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*OptimizeResponse, error)) (resp *OptimizeResponse, coalesced bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*flightCall)
+		}
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, true, ctxError(ctx.Err(), "request abandoned while awaiting a coalesced result: %w", ctx.Err())
+			}
+			if c.err != nil {
+				if leaderDiedOfOwnContext(c.err) && ctx.Err() == nil {
+					continue // the work was never judged; try it ourselves
+				}
+				return nil, true, c.err
+			}
+			cp := c.resp.clone()
+			cp.Coalesced = true
+			return cp, true, nil
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		c.resp, c.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.resp, false, c.err
+	}
+}
+
+// leaderDiedOfOwnContext reports errors that condemn only the leader's
+// request — its deadline or its client — not the computation itself.
+func leaderDiedOfOwnContext(err error) bool {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status == 499 || he.status == http.StatusGatewayTimeout
+	}
+	return false
+}

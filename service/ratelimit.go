@@ -1,0 +1,92 @@
+package service
+
+// Per-client token-bucket rate limiting. Each client (keyed by the
+// configured header, falling back to the remote host) owns a bucket of
+// RateBurst tokens refilling at RateLimit tokens/second; a request costs
+// one token, and an empty bucket means 429 with a Retry-After computed
+// from the exact refill deficit. The limiter sits before body parsing so
+// an abusive client is shed at header-read cost.
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	maxKeys int // prune trigger: idle (fully refilled) buckets are dropped past this
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = int(2 * rate)
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		maxKeys: 4096,
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports the delay until one token will have refilled.
+func (l *rateLimiter) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= l.maxKeys {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	b.tokens += l.rate * now.Sub(b.last).Seconds()
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have fully refilled: an idle client's
+// bucket carries no state worth keeping, so the map is bounded by the
+// number of *concurrently active* clients, not every client ever seen.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+l.rate*now.Sub(b.last).Seconds() >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the caller for rate limiting: the configured
+// header when present, else the remote host (sans port).
+func clientKey(r *http.Request, header string) string {
+	if v := r.Header.Get(header); v != "" {
+		return v
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,588 @@
+package service
+
+// The robustness suite: saturation, admission control, rate limiting,
+// singleflight, panic recovery, and graceful drain — driven
+// deterministically through the fault-injection layer (faults.go) instead
+// of circuit sizes or scheduler luck. Run under -race in CI (the
+// "service" job).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/logic"
+)
+
+// quietLogger keeps injected panic stacks out of the test output.
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// xorChainBLIF builds a tiny distinct circuit per (name, n): an n-stage
+// XOR chain. Distinct inputs => distinct canonical networks => distinct
+// cache keys, so saturation tests exercise admission, not the cache.
+func xorChainBLIF(name string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model %s\n.inputs", name)
+	for i := 0; i <= n; i++ {
+		fmt.Fprintf(&b, " x%d", i)
+	}
+	b.WriteString("\n.outputs f\n")
+	prev := "x0"
+	for i := 1; i <= n; i++ {
+		cur := "f"
+		if i < n {
+			cur = fmt.Sprintf("t%d", i)
+		}
+		fmt.Fprintf(&b, ".names %s x%d %s\n01 1\n10 1\n", prev, i, cur)
+		prev = cur
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// TestSaturationGracefulDegradation is the acceptance test: Workers=2 and
+// 16 concurrent slow (fault-injected) requests — 4x oversubscription past
+// the queue — and every request gets a prompt, well-formed answer within
+// its own deadline: a valid result or a 429 carrying Retry-After. No
+// hangs, no panics escaping a handler.
+func TestSaturationGracefulDegradation(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 150 * time.Millisecond})
+	srv, client := testServer(t, Config{
+		Workers:    2,
+		QueueDepth: 4,
+		Faults:     faults,
+		Logger:     quietLogger(),
+	})
+
+	const n = 16
+	type outcome struct {
+		resp *OptimizeResponse
+		err  error
+	}
+	outcomes := make([]outcome, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			resp, err := client.Optimize(ctx, OptimizeRequest{
+				Source:    xorChainBLIF(fmt.Sprintf("sat%02d", i), 3+i),
+				Script:    "cleanup",
+				TimeoutMS: 5000,
+			})
+			outcomes[i] = outcome{resp, err}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Workers+QueueDepth=6 can be admitted; 6 * 150ms / 2 workers = 450ms
+	// of work. Everything — including the shed requests — must resolve
+	// promptly, far inside the request deadlines.
+	if elapsed > 5*time.Second {
+		t.Fatalf("saturation took %v; load shedding is not prompt", elapsed)
+	}
+	var ok, shed int
+	for i, o := range outcomes {
+		switch {
+		case o.err == nil:
+			if o.resp.Network == "" {
+				t.Errorf("request %d: success with empty network", i)
+			}
+			ok++
+		default:
+			var ae *APIError
+			if !errors.As(o.err, &ae) {
+				t.Errorf("request %d: non-API error (hang/transport/panic escape?): %v", i, o.err)
+				continue
+			}
+			if ae.Status != http.StatusTooManyRequests {
+				t.Errorf("request %d: HTTP %d, want 429 (err: %v)", i, ae.Status, o.err)
+				continue
+			}
+			if ae.RetryAfter <= 0 {
+				t.Errorf("request %d: 429 without Retry-After", i)
+			}
+			if ae.Reason != ReasonQueueFull && ae.Reason != ReasonDeadlineUnreachable {
+				t.Errorf("request %d: 429 reason %q", i, ae.Reason)
+			}
+			shed++
+		}
+	}
+	if ok < 2 {
+		t.Errorf("only %d requests succeeded; want at least the worker count", ok)
+	}
+	if shed == 0 {
+		t.Error("no request was shed at 4x oversubscription")
+	}
+	if ok+shed != n {
+		t.Errorf("outcomes %d ok + %d shed != %d", ok, shed, n)
+	}
+	st := srv.Stats()
+	if st.Panics != 0 {
+		t.Errorf("stats report %d panics", st.Panics)
+	}
+	if got := st.Rejected[ReasonQueueFull] + st.Rejected[ReasonDeadlineUnreachable]; got != uint64(shed) {
+		t.Errorf("stats count %d shed requests, clients saw %d", got, shed)
+	}
+	if st.Admission.InUse != 0 || st.Admission.Queued != 0 {
+		t.Errorf("pool not quiescent after the storm: in_use=%d queued=%d", st.Admission.InUse, st.Admission.Queued)
+	}
+}
+
+// TestQueuedContextDeath (satellite): a queued request whose context dies
+// while waiting returns 499 (cancel) or 504 (deadline) without ever
+// holding a worker slot.
+func TestQueuedContextDeath(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 400 * time.Millisecond})
+	srv, client := testServer(t, Config{Workers: 1, QueueDepth: 4, Faults: faults, Logger: quietLogger()})
+
+	// Fill the single slot.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := client.Optimize(context.Background(), OptimizeRequest{
+			Source: xorChainBLIF("blocker", 4), Script: "cleanup",
+		}); err != nil {
+			t.Errorf("blocker failed: %v", err)
+		}
+	}()
+	// Wait until it holds the slot.
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if st := srv.Stats(); st.Admission.InUse == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocker never took the slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Cancellation while queued -> 499. (Server-side: an HTTP client
+	// cancel surfaces as a transport error to the client, so assert on
+	// the server's own error mapping via the unexported entry point.)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(50 * time.Millisecond); cancel() }()
+	_, err := srv.optimize(ctx, &OptimizeRequest{
+		Source: xorChainBLIF("cancelme", 5), Script: "cleanup",
+	})
+	var he *httpError
+	if !errors.As(err, &he) || he.status != 499 || he.reason != ReasonClientGone {
+		t.Fatalf("canceled queued request: err=%v, want 499/%s", err, ReasonClientGone)
+	}
+
+	// Deadline expiry while queued -> 504 (fresh server state still busy;
+	// EWMA is unknown on a fresh server so the request queues rather than
+	// being predictively rejected).
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer dcancel()
+	_, err = srv.optimize(dctx, &OptimizeRequest{
+		Source: xorChainBLIF("lateme", 6), Script: "cleanup",
+	})
+	if !errors.As(err, &he) || he.status != http.StatusGatewayTimeout || he.reason != ReasonDeadlineExpired {
+		t.Fatalf("expired queued request: err=%v, want 504/%s", err, ReasonDeadlineExpired)
+	}
+
+	wg.Wait()
+	st := srv.Stats()
+	if st.Admission.Admitted != 1 {
+		t.Errorf("admitted=%d, want 1 — a dead queued request held a slot", st.Admission.Admitted)
+	}
+	if st.Rejected[ReasonClientGone] != 1 || st.Rejected[ReasonDeadlineExpired] != 1 {
+		t.Errorf("rejection stats %v, want one %s and one %s", st.Rejected, ReasonClientGone, ReasonDeadlineExpired)
+	}
+}
+
+// TestDeadlineAwareAdmission: once the server has a service-time estimate,
+// a request whose deadline is closer than the estimated queue wait is
+// rejected immediately with 429 instead of waiting out a deadline it
+// cannot meet.
+func TestDeadlineAwareAdmission(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 200 * time.Millisecond})
+	srv, client := testServer(t, Config{Workers: 1, QueueDepth: 8, Faults: faults, Logger: quietLogger()})
+
+	// Prime the EWMA with one completed request (~200ms service time).
+	if _, err := client.Optimize(context.Background(), OptimizeRequest{
+		Source: xorChainBLIF("primer", 4), Script: "cleanup",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Admission.EWMAServiceMS < 100 {
+		t.Fatalf("EWMA %.1fms after a 200ms request", st.Admission.EWMAServiceMS)
+	}
+
+	// Occupy the slot, then ask with a 30ms budget: estimated wait ~200ms
+	// >> 30ms, so admission must bounce it at the door, long before the
+	// 30ms deadline would have fired as a 504.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = client.Optimize(context.Background(), OptimizeRequest{
+			Source: xorChainBLIF("holder", 5), Script: "cleanup",
+		})
+	}()
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if st := srv.Stats(); st.Admission.InUse == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("holder never took the slot")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	_, err := client.Optimize(context.Background(), OptimizeRequest{
+		Source: xorChainBLIF("hopeless", 6), Script: "cleanup", TimeoutMS: 30,
+	})
+	elapsed := time.Since(start)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Reason != ReasonDeadlineUnreachable {
+		t.Fatalf("err=%v, want 429/%s", err, ReasonDeadlineUnreachable)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Error("predictive 429 without Retry-After")
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("predictive rejection took %v; must not wait in the queue", elapsed)
+	}
+	wg.Wait()
+}
+
+// TestPanicRecovery: a pass-engine panic becomes a 500 with reason
+// "panic" while the worker pool stays healthy — the slot is released and
+// subsequent requests succeed.
+func TestPanicRecovery(t *testing.T) {
+	faults := &Faults{}
+	srv, client := testServer(t, Config{Workers: 2, Faults: faults, Logger: quietLogger()})
+
+	faults.Set(StageOptimize, Fault{Panic: "boom"})
+	// More panics than worker slots: if a panic leaked a slot, the later
+	// requests would queue forever.
+	for i := 0; i < 4; i++ {
+		_, err := client.Optimize(context.Background(), OptimizeRequest{
+			Source: xorChainBLIF(fmt.Sprintf("pan%d", i), 4+i), Script: "cleanup",
+		})
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError || ae.Reason != ReasonPanic {
+			t.Fatalf("panic request %d: err=%v, want 500/%s", i, err, ReasonPanic)
+		}
+		if !strings.Contains(ae.Message, "panicked") {
+			t.Fatalf("panic request %d: message %q", i, ae.Message)
+		}
+	}
+	faults.Clear(StageOptimize)
+
+	resp, err := client.Optimize(context.Background(), OptimizeRequest{
+		Source: xorChainBLIF("healthy", 5), Script: "cleanup",
+	})
+	if err != nil {
+		t.Fatalf("pool unhealthy after panics: %v", err)
+	}
+	if resp.Network == "" {
+		t.Fatal("empty network after recovery")
+	}
+	st := srv.Stats()
+	if st.Panics != 4 {
+		t.Errorf("stats.Panics = %d, want 4", st.Panics)
+	}
+	if st.Admission.InUse != 0 {
+		t.Errorf("in_use = %d after panics; slot leaked", st.Admission.InUse)
+	}
+}
+
+// TestRateLimitPerClient: the token bucket rejects a client over its
+// burst with 429/rate_limited + Retry-After, keyed per client, and
+// refills with time.
+func TestRateLimitPerClient(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 2, RateLimit: 10, RateBurst: 2, Logger: quietLogger()})
+	client.ClientID = "alice"
+	req := OptimizeRequest{Source: xorChainBLIF("rl", 4), Script: "cleanup"}
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		if _, err := client.Optimize(ctx, req); err != nil {
+			t.Fatalf("burst request %d rejected: %v", i, err)
+		}
+	}
+	_, err := client.Optimize(ctx, req)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Reason != ReasonRateLimited {
+		t.Fatalf("over-burst: err=%v, want 429/%s", err, ReasonRateLimited)
+	}
+	if ae.RetryAfter <= 0 || ae.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s] at 10 req/s", ae.RetryAfter)
+	}
+
+	// Another client is unaffected.
+	bob := *client
+	bob.ClientID = "bob"
+	if _, err := bob.Optimize(ctx, req); err != nil {
+		t.Fatalf("independent client rejected: %v", err)
+	}
+
+	// After the advised wait, alice's bucket has a token again.
+	time.Sleep(ae.RetryAfter + 20*time.Millisecond)
+	if _, err := client.Optimize(ctx, req); err != nil {
+		t.Fatalf("post-refill request rejected: %v", err)
+	}
+}
+
+// TestRateLimitRetryCooperation: a retrying client rides out its own rate
+// limit by honoring Retry-After.
+func TestRateLimitRetryCooperation(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 2, RateLimit: 20, RateBurst: 1, Logger: quietLogger()})
+	client.ClientID = "carol"
+	client.Retry = DefaultRetryPolicy()
+	req := OptimizeRequest{Source: xorChainBLIF("rlr", 4), Script: "cleanup"}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Optimize(context.Background(), req); err != nil {
+			t.Fatalf("retrying client failed request %d: %v", i, err)
+		}
+	}
+}
+
+// TestSingleflightCollapses: a thundering herd on one cold design
+// computes once; followers share the leader's result without holding
+// worker slots.
+func TestSingleflightCollapses(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 150 * time.Millisecond})
+	// Cache disabled: every request is a miss, so collapsing is
+	// attributable to singleflight alone.
+	srv, client := testServer(t, Config{Workers: 1, QueueDepth: 0, CacheSize: -1, Faults: faults, Logger: quietLogger()})
+
+	const n = 8
+	req := OptimizeRequest{Source: xorChainBLIF("herd", 5), Script: "cleanup"}
+	responses := make([]*OptimizeResponse, n)
+	var wg sync.WaitGroup
+	var gate sync.WaitGroup
+	gate.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gate.Wait()
+			resp, err := client.Optimize(context.Background(), req)
+			if err != nil {
+				t.Errorf("herd request %d: %v", i, err)
+				return
+			}
+			responses[i] = resp
+		}(i)
+	}
+	gate.Done()
+	wg.Wait()
+
+	var coalesced int
+	for i, r := range responses {
+		if r == nil {
+			continue
+		}
+		if r.Network != responses[0].Network {
+			t.Errorf("herd response %d differs", i)
+		}
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	st := srv.Stats()
+	// QueueDepth<0 means no queue at all: with one slot, any request that
+	// reached admission beyond the leader would have been 429'd — all
+	// herd members succeeded, so they must have coalesced. Leaders
+	// serialize, so admitted can exceed 1 only by herd members arriving
+	// after a leader finished.
+	if st.Coalesced == 0 || coalesced == 0 {
+		t.Error("no request was coalesced")
+	}
+	if int(st.Admission.Admitted)+coalesced != n {
+		t.Errorf("admitted %d + coalesced %d != %d", st.Admission.Admitted, coalesced, n)
+	}
+	// Followers own private copies: mutating one must not leak.
+	if responses[0] != nil && responses[1] != nil && len(responses[0].Trace) > 0 {
+		responses[0].Trace[0].Pass = "mutated"
+		if responses[1].Trace[0].Pass == "mutated" {
+			t.Error("coalesced responses share a Trace backing array")
+		}
+	}
+}
+
+// TestGracefulDrain: BeginDrain flips /readyz to 503 and sheds new work
+// with 503 + Retry-After while already-admitted requests finish. This is
+// the in-process half of the SIGTERM story (cmd/migd wires the signal).
+func TestGracefulDrain(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 250 * time.Millisecond})
+	srv, client := testServer(t, Config{Workers: 2, Faults: faults, Logger: quietLogger()})
+	ctx := context.Background()
+
+	if err := client.Ready(ctx); err != nil {
+		t.Fatalf("fresh server not ready: %v", err)
+	}
+
+	// Two in-flight requests...
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := client.Optimize(ctx, OptimizeRequest{
+				Source: xorChainBLIF(fmt.Sprintf("infl%d", i), 4+i), Script: "cleanup",
+			})
+			results <- err
+		}(i)
+	}
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if st := srv.Stats(); st.Admission.InUse == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight requests never took their slots")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ...then drain.
+	srv.BeginDrain()
+	srv.BeginDrain() // idempotent
+
+	err := client.Ready(ctx)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: err=%v, want 503", err)
+	}
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("healthz must stay 200 while draining: %v", err)
+	}
+
+	_, err = client.Optimize(ctx, OptimizeRequest{Source: xorChainBLIF("late", 9), Script: "cleanup"})
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable || ae.Reason != ReasonDraining {
+		t.Fatalf("new work while draining: err=%v, want 503/%s", err, ReasonDraining)
+	}
+	if ae.RetryAfter <= 0 {
+		t.Error("drain rejection without Retry-After")
+	}
+
+	// Admitted work finishes despite the drain.
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight request failed during drain: %v", err)
+		}
+	}
+	st := srv.Stats()
+	if !st.Draining {
+		t.Error("stats do not report draining")
+	}
+	if st.Rejected[ReasonDraining] == 0 {
+		t.Error("drain rejection not counted")
+	}
+}
+
+// TestCacheMutationIsolation (satellite): cached entries are isolated
+// from caller mutations on both put and get.
+func TestCacheMutationIsolation(t *testing.T) {
+	c := newResultCache(4)
+	orig := &OptimizeResponse{Name: "x", Trace: logic.Trace{{Pass: "cleanup"}}}
+	c.put("k", orig)
+	orig.Trace[0].Pass = "mutated-after-put"
+
+	first, ok := c.get("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if first.Trace[0].Pass != "cleanup" {
+		t.Fatalf("put did not isolate: cached trace says %q", first.Trace[0].Pass)
+	}
+	first.Trace[0].Pass = "mutated-after-get"
+	first.Cached = true
+
+	second, _ := c.get("k")
+	if second.Trace[0].Pass != "cleanup" {
+		t.Fatalf("get did not isolate: second hit sees %q", second.Trace[0].Pass)
+	}
+	if second.Cached {
+		t.Fatal("mutated Cached flag leaked into the cache")
+	}
+}
+
+// TestCachedTraceIsolationEndToEnd: the same property through the HTTP
+// surface — mutating a response's trace must not corrupt later hits.
+func TestCachedTraceIsolationEndToEnd(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 1, CacheSize: 8, Logger: quietLogger()})
+	req := OptimizeRequest{Source: xorChainBLIF("iso", 5), Script: "eliminate(8); cleanup"}
+	first, err := client.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Trace) == 0 {
+		t.Fatal("scripted run returned no trace")
+	}
+	want := first.Trace[0].Pass
+	first.Trace[0].Pass = "client-side-mutation"
+	second, err := client.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat submission missed the cache")
+	}
+	if second.Trace[0].Pass != want {
+		t.Fatalf("cache hit trace says %q, want %q", second.Trace[0].Pass, want)
+	}
+}
+
+// TestStatsEndpoint: the counters round-trip over HTTP.
+func TestStatsEndpoint(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 3, QueueDepth: 5, Logger: quietLogger()})
+	ctx := context.Background()
+	if _, err := client.Optimize(ctx, OptimizeRequest{Source: xorChainBLIF("st", 4), Script: "cleanup"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.Workers != 3 || st.Admission.QueueCapacity != 5 {
+		t.Fatalf("admission stats %+v do not reflect the config", st.Admission)
+	}
+	if st.Admission.Admitted == 0 {
+		t.Fatal("admitted counter did not move")
+	}
+	if st.Draining {
+		t.Fatal("fresh server reports draining")
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("cache entries = %d, want 1", st.CacheEntries)
+	}
+}
+
+// TestFaultErrorMapsTo422: an injected in-slot error (simulating a pass
+// failure) surfaces as a semantic 422, not a retryable status.
+func TestFaultErrorMapsTo422(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Err: errors.New("synthetic pass failure")})
+	_, client := testServer(t, Config{Workers: 1, Faults: faults, Logger: quietLogger()})
+	_, err := client.Optimize(context.Background(), OptimizeRequest{
+		Source: xorChainBLIF("fe", 4), Script: "cleanup",
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err=%v, want 422", err)
+	}
+	if ae.Retryable() {
+		t.Fatal("semantic failure classified retryable")
+	}
+}

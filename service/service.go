@@ -4,19 +4,36 @@
 // with the per-pass trace. The server is a thin, production-shaped front
 // over logic.Session:
 //
-//   - a bounded worker pool caps concurrent optimizations (queued requests
-//     wait, respecting their context);
-//   - every request runs under a deadline threaded through the SAT
-//     solver's conflict loop, so a hung solve cannot pin a worker;
+//   - deadline-aware admission control: a bounded worker pool with a
+//     bounded wait queue; a request that cannot plausibly reach a worker
+//     slot before its deadline — or that finds the queue full — is
+//     rejected immediately with 429 + Retry-After instead of queueing
+//     forever (admission.go);
+//   - per-client token-bucket rate limiting, keyed by header or remote
+//     host (ratelimit.go);
+//   - singleflight collapsing: a thundering herd on one cold design
+//     computes once, followers share the result (flight.go);
+//   - every request runs under a deadline covering queue wait and
+//     optimization, threaded through the SAT solver's conflict loop, so a
+//     hung solve cannot pin a worker;
+//   - a pass-engine panic is recovered into a 500 with a logged stack
+//     while the worker pool stays healthy;
+//   - graceful drain: BeginDrain flips /readyz to 503 and rejects new
+//     optimizations with 503 while in-flight work finishes;
 //   - a result cache keyed by (network hash, script, options) serves
 //     repeated submissions of hot designs without recomputation.
+//
+// Failure semantics (status codes, Retry-After contract, drain behavior)
+// are specified in docs/SERVICE.md.
 //
 // Endpoints:
 //
 //	POST /v1/optimize   OptimizeRequest -> OptimizeResponse
 //	GET  /v1/passes     ?kind=mig|aig -> []logic.PassInfo
 //	GET  /v1/scripts    ?kind=mig|aig -> []script.Strategy (the named library)
-//	GET  /healthz       liveness
+//	GET  /v1/stats      ServerStats (admission, rejections, cache)
+//	GET  /healthz       liveness (200 even while draining)
+//	GET  /readyz        readiness (503 while draining)
 package service
 
 import (
@@ -26,8 +43,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/logic"
@@ -58,8 +78,9 @@ type OptimizeRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Output selects the response network format (default: same as Format).
 	Output string `json:"output,omitempty"`
-	// TimeoutMS bounds this request (0 = server default; capped by the
-	// server maximum).
+	// TimeoutMS bounds this request end to end — queue wait plus
+	// optimization (0 = server default; capped by the server maximum;
+	// negative is a 400).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
@@ -76,18 +97,19 @@ type OptimizeResponse struct {
 	// Cached reports that the result was served from the result cache
 	// (Seconds then reports the original computation's time).
 	Cached bool `json:"cached"`
-}
-
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
+	// Coalesced reports that this request shared a concurrent identical
+	// request's computation (singleflight) instead of running its own.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Config tunes a Server. Zero values take the documented defaults.
 type Config struct {
-	// Workers caps concurrent optimizations (default 4). Excess requests
-	// queue, respecting their context.
+	// Workers caps concurrent optimizations (default 4).
 	Workers int
+	// QueueDepth bounds requests waiting for a worker slot (default
+	// 4×Workers; negative means no queue — reject as soon as every worker
+	// is busy). Arrivals beyond the bound get 429 + Retry-After.
+	QueueDepth int
 	// DefaultTimeout bounds requests that set no timeout_ms (default 60s).
 	DefaultTimeout time.Duration
 	// MaxTimeout caps any requested deadline (default 10m).
@@ -98,11 +120,33 @@ type Config struct {
 	// MaxRequestBytes caps the /v1/optimize request body (default 64 MiB)
 	// so oversized submissions are rejected before any parsing work.
 	MaxRequestBytes int64
+	// RateLimit is the per-client steady-state optimize rate in requests
+	// per second (0 disables rate limiting).
+	RateLimit float64
+	// RateBurst is the per-client burst allowance (default 2×RateLimit,
+	// min 1).
+	RateBurst int
+	// ClientKeyHeader names the header identifying a client for rate
+	// limiting (default "X-Client-ID"); absent the header, the remote
+	// host is the key.
+	ClientKeyHeader string
+	// Logger receives panic stacks and drain transitions (default
+	// log.Default()).
+	Logger *log.Logger
+	// Faults injects test-only faults into the request path (see
+	// faults.go); nil in production.
+	Faults *Faults
 }
 
 func (c *Config) defaults() {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 4 * c.Workers
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
@@ -116,14 +160,28 @@ func (c *Config) defaults() {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 64 << 20
 	}
+	if c.ClientKeyHeader == "" {
+		c.ClientKeyHeader = "X-Client-ID"
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
 }
 
 // Server is the optimization service. It implements http.Handler.
 type Server struct {
-	cfg   Config
-	sem   chan struct{}
-	cache *resultCache
-	mux   *http.ServeMux
+	cfg     Config
+	adm     *admission
+	limiter *rateLimiter
+	cache   *resultCache
+	flights flightGroup
+	mux     *http.ServeMux
+
+	draining    atomic.Bool
+	rateLimited atomic.Uint64
+	drainReject atomic.Uint64
+	panics      atomic.Uint64
+	coalesced   atomic.Uint64
 }
 
 // New returns a Server with the given configuration.
@@ -131,24 +189,95 @@ func New(cfg Config) *Server {
 	cfg.defaults()
 	s := &Server{
 		cfg: cfg,
-		sem: make(chan struct{}, cfg.Workers),
+		adm: newAdmission(cfg.Workers, cfg.QueueDepth),
 		mux: http.NewServeMux(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = newResultCache(cfg.CacheSize)
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /v1/passes", s.handlePasses)
 	s.mux.HandleFunc("GET /v1/scripts", s.handleScripts)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// BeginDrain flips the server into draining mode: /readyz turns 503 (so
+// load balancers stop routing here) and new optimize requests are
+// rejected with 503 + Retry-After, while already-admitted work runs to
+// completion. Idempotent; there is no way back — a draining process is
+// expected to exit once in-flight work finishes (see cmd/migd).
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.cfg.Logger.Printf("migd: draining — rejecting new optimize requests, finishing in-flight work")
+	}
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	// Liveness only: stays 200 while draining (the process is healthy,
+	// just leaving the pool) — readiness is /readyz's job.
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// ServerStats is the GET /v1/stats body: a point-in-time snapshot of the
+// robustness layer's counters.
+type ServerStats struct {
+	Draining  bool           `json:"draining"`
+	Admission AdmissionStats `json:"admission"`
+	// Rejected counts load-shed requests by reason (see the Reason*
+	// constants: queue_full, deadline_unreachable, rate_limited,
+	// draining, client_gone, deadline_expired).
+	Rejected map[string]uint64 `json:"rejected,omitempty"`
+	// Coalesced counts requests served by singleflight collapsing;
+	// Panics counts recovered pass-engine panics.
+	Coalesced    uint64 `json:"coalesced"`
+	Panics       uint64 `json:"panics"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Stats snapshots the server's robustness counters.
+func (s *Server) Stats() ServerStats {
+	adm, rejected := s.adm.stats()
+	if n := s.rateLimited.Load(); n > 0 {
+		rejected[ReasonRateLimited] = n
+	}
+	if n := s.drainReject.Load(); n > 0 {
+		rejected[ReasonDraining] = n
+	}
+	st := ServerStats{
+		Draining:  s.draining.Load(),
+		Admission: adm,
+		Rejected:  rejected,
+		Coalesced: s.coalesced.Load(),
+		Panics:    s.panics.Load(),
+	}
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handlePasses(w http.ResponseWriter, r *http.Request) {
@@ -182,6 +311,31 @@ func (s *Server) handleScripts(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	// Load shedding happens before any body parsing: a draining server or
+	// an over-limit client is turned away at header-read cost.
+	if s.draining.Load() {
+		s.drainReject.Add(1)
+		writeError(w, &httpError{
+			status:     http.StatusServiceUnavailable,
+			reason:     ReasonDraining,
+			retryAfter: time.Second,
+			err:        errors.New("server is draining; retry against another replica"),
+		})
+		return
+	}
+	if s.limiter != nil {
+		if ok, wait := s.limiter.allow(clientKey(r, s.cfg.ClientKeyHeader), time.Now()); !ok {
+			s.rateLimited.Add(1)
+			writeError(w, &httpError{
+				status:     http.StatusTooManyRequests,
+				reason:     ReasonRateLimited,
+				retryAfter: wait,
+				err: fmt.Errorf("client over rate limit (%g req/s, burst %d); retry in ~%s",
+					s.cfg.RateLimit, int(s.limiter.burst), wait.Round(time.Millisecond)),
+			})
+			return
+		}
+	}
 	var req OptimizeRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -193,37 +347,41 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	resp, status, err := s.optimize(r.Context(), &req)
+	resp, err := s.optimize(r.Context(), &req)
 	if err != nil {
-		writeJSON(w, status, errorResponse{Error: err.Error()})
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// optimize validates, consults the cache, acquires a worker slot, and runs
-// the session. It returns the response or an (error, http status) pair.
-func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeResponse, int, error) {
+// optimize validates, consults the cache, and computes through the
+// singleflight group (which in turn passes admission control). Every
+// returned error is an *httpError.
+func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeResponse, error) {
 	if req.Source == "" {
-		return nil, http.StatusBadRequest, errors.New("empty source")
+		return nil, badRequestf("empty source")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequestf("timeout_ms must be non-negative (got %d)", req.TimeoutMS)
 	}
 	inFormat := logic.FormatBLIF
 	if req.Format != "" {
 		var err error
 		if inFormat, err = logic.ParseFormat(req.Format); err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, errStatus(http.StatusBadRequest, err)
 		}
 	}
 	outFormat := inFormat
 	if req.Output != "" {
 		var err error
 		if outFormat, err = logic.ParseFormat(req.Output); err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, errStatus(http.StatusBadRequest, err)
 		}
 	}
 	net, err := logic.Decode(inFormat, req.Source)
 	if err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("parse %s: %w", inFormat, err)
+		return nil, badRequestf("parse %s: %w", inFormat, err)
 	}
 	// A named strategy resolves to its library script; the request runs
 	// through the MIG path (sources decode to flat netlists), so only
@@ -231,21 +389,21 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	scriptText := req.Script
 	if req.ScriptName != "" {
 		if req.Script != "" {
-			return nil, http.StatusBadRequest, errors.New("script and script_name are mutually exclusive")
+			return nil, badRequestf("script and script_name are mutually exclusive")
 		}
 		st, ok := script.Lookup(req.ScriptName)
 		if !ok {
-			return nil, http.StatusBadRequest, fmt.Errorf("unknown script_name %q (have %s)",
+			return nil, badRequestf("unknown script_name %q (have %s)",
 				req.ScriptName, strings.Join(script.Names(), ", "))
 		}
 		if st.Kind != script.KindMIG {
-			return nil, http.StatusBadRequest, fmt.Errorf("script_name %q targets %s networks; the service optimizes through the MIG", st.Name, st.Kind)
+			return nil, badRequestf("script_name %q targets %s networks; the service optimizes through the MIG", st.Name, st.Kind)
 		}
 		scriptText = st.Script
 	}
 	if scriptText != "" {
 		if err := logic.ValidateScript(logic.KindMIG, scriptText); err != nil {
-			return nil, http.StatusBadRequest, err
+			return nil, errStatus(http.StatusBadRequest, err)
 		}
 	}
 	opts := []logic.Option{
@@ -262,7 +420,7 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	}
 	sess, err := logic.NewSession(opts...)
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, errStatus(http.StatusBadRequest, err)
 	}
 
 	// The cache key hashes the canonical (re-encoded) network rather than
@@ -276,20 +434,26 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	key := cacheKey(net, req, scriptText, outFormat)
 	if s.cache != nil {
 		if resp, ok := s.cache.get(key); ok {
-			cached := *resp
-			cached.Cached = true
-			return &cached, http.StatusOK, nil
+			resp.Cached = true
+			return resp, nil
 		}
 	}
 
-	// Bounded worker pool: wait for a slot or give up with the caller.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-ctx.Done():
-		return nil, statusForCtx(ctx.Err()), fmt.Errorf("queued request abandoned: %w", ctx.Err())
+	// The same key also drives singleflight: concurrent identical misses
+	// collapse onto one computation, and only its leader passes admission.
+	resp, coalesced, err := s.flights.do(ctx, key, func() (*OptimizeResponse, error) {
+		return s.compute(ctx, req, sess, net, outFormat, key)
+	})
+	if coalesced && err == nil {
+		s.coalesced.Add(1)
 	}
+	return resp, err
+}
 
+// compute is the singleflight leader's path: admission, deadline, run,
+// cache fill. The request deadline covers queue wait AND optimization, so
+// admission can reject a deadline it cannot plausibly meet.
+func (s *Server) compute(ctx context.Context, req *OptimizeRequest, sess *logic.Session, net logic.Network, outFormat logic.Format, key string) (*OptimizeResponse, error) {
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
@@ -300,18 +464,52 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 	runCtx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
-	optimized, result, err := sess.Optimize(runCtx, net)
+	if err := s.cfg.Faults.fire(runCtx, StageAdmit); err != nil {
+		return nil, s.asHTTPError(runCtx, timeout, err)
+	}
+	release, err := s.adm.acquire(runCtx)
 	if err != nil {
-		if ctxErr := runCtx.Err(); ctxErr != nil {
-			return nil, statusForCtx(ctxErr), fmt.Errorf("optimization interrupted after %v: %w", timeout, ctxErr)
+		return nil, err
+	}
+	defer release()
+
+	resp, err := s.run(runCtx, sess, net, outFormat)
+	if err != nil {
+		return nil, s.asHTTPError(runCtx, timeout, err)
+	}
+	if s.cache != nil {
+		s.cache.put(key, resp)
+	}
+	return resp, nil
+}
+
+// run executes the optimization inside a held worker slot, converting a
+// pass-engine panic into an error so the slot is always released and the
+// pool stays healthy.
+func (s *Server) run(ctx context.Context, sess *logic.Session, net logic.Network, outFormat logic.Format) (resp *OptimizeResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.cfg.Logger.Printf("migd: recovered optimization panic: %v\n%s", r, debug.Stack())
+			resp, err = nil, &httpError{
+				status: http.StatusInternalServerError,
+				reason: ReasonPanic,
+				err:    fmt.Errorf("internal error: optimization panicked (%v); worker pool unaffected", r),
+			}
 		}
-		return nil, http.StatusUnprocessableEntity, err
+	}()
+	if ferr := s.cfg.Faults.fire(ctx, StageOptimize); ferr != nil {
+		return nil, ferr
+	}
+	optimized, result, err := sess.Optimize(ctx, net)
+	if err != nil {
+		return nil, err
 	}
 	rendered, err := logic.Encode(optimized, outFormat)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, errStatus(http.StatusInternalServerError, err)
 	}
-	resp := &OptimizeResponse{
+	return &OptimizeResponse{
 		Name:         net.Name(),
 		Before:       result.Before,
 		After:        result.After,
@@ -320,11 +518,22 @@ func (s *Server) optimize(ctx context.Context, req *OptimizeRequest) (*OptimizeR
 		Format:       string(outFormat),
 		VerifyMethod: result.VerifyMethod,
 		Seconds:      result.Seconds,
+	}, nil
+}
+
+// asHTTPError maps an in-slot failure to the wire: an *httpError passes
+// through (panics, encode failures), a dead run context wins next
+// (499/504 — the optimizer's error is just the interruption's shadow),
+// and anything else is a semantic optimization failure (422).
+func (s *Server) asHTTPError(runCtx context.Context, timeout time.Duration, err error) error {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he
 	}
-	if s.cache != nil {
-		s.cache.put(key, resp)
+	if ctxErr := runCtx.Err(); ctxErr != nil {
+		return ctxError(ctxErr, "optimization interrupted after %v: %w", timeout, ctxErr)
 	}
-	return resp, http.StatusOK, nil
+	return errStatus(http.StatusUnprocessableEntity, err)
 }
 
 // cacheKey derives the result-cache key from the canonical network text
@@ -335,16 +544,6 @@ func cacheKey(net logic.Network, req *OptimizeRequest, scriptText string, outFor
 	fmt.Fprintf(h, "v2\x00%s\x00%s\x00%s\x00%d\x00%s\x00%v\x00%s\x00",
 		net.EncodeBLIF(), scriptText, req.Objective, req.Effort, req.Verify, req.Fraig, outFormat)
 	return hex.EncodeToString(h.Sum(nil))
-}
-
-// statusForCtx maps a context error to an HTTP status: deadline expiry is
-// the server's timeout (504), cancellation means the client went away
-// (499, nginx's convention).
-func statusForCtx(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusGatewayTimeout
-	}
-	return 499
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

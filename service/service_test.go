@@ -189,6 +189,8 @@ func TestBadRequests(t *testing.T) {
 			"unknown objective"},
 		{"bad verify", OptimizeRequest{Format: "blif", Source: circuitBLIF(t, "b9"), Verify: "maybe"},
 			"unknown verify engine"},
+		{"negative timeout", OptimizeRequest{Format: "blif", Source: circuitBLIF(t, "b9"), TimeoutMS: -50},
+			"timeout_ms must be non-negative"},
 	}
 	for _, c := range cases {
 		_, err := client.Optimize(ctx, c.req)

@@ -45,6 +45,12 @@
 // registrable strategy, and a per-circuit comparison against the canned
 // flow at -effort.
 //
+// -pass-profile runs the MIG flow (canned or -mig-script) over the suite
+// with per-pass trace capture and prints a pass-level time profile —
+// total and mean time per pass name, the share of suite wall clock, and
+// the cumulative size/depth deltas — which is how to find where a flow's
+// time goes before reaching for the -debug-addr pprof endpoint of migd.
+//
 // -verify selects an equivalence engine (auto|exact|bdd|sim|sat) and checks
 // every optimized result against its input, exiting nonzero on any
 // mismatch — the SAT engine is exact at any circuit size, so
@@ -91,6 +97,7 @@ func main() {
 	tuneTrials := flag.Int("tune-trials", 0, "cap on distinct scripts evaluated (0 = unbounded; deterministic budget)")
 	tuneSeed := flag.String("tune-seed", "", "starting script for the tuner (default \"cleanup\")")
 	tuneName := flag.String("tune-name", "", "name for the emitted strategy (default tuned-<objective>)")
+	passProfile := flag.Bool("pass-profile", false, "run the MIG flow over the suite and print a per-pass time profile (total/mean time, % of wall clock, size/depth deltas)")
 	flag.Parse()
 
 	if *listStrategies {
@@ -149,6 +156,10 @@ func main() {
 		names = strings.Split(*only, ",")
 	}
 
+	if *passProfile {
+		runPassProfile(names, cfg)
+		return
+	}
 	if *tune {
 		runTune(names, cfg, script.TuneOptions{
 			Objective: *tuneObjective,
@@ -420,6 +431,33 @@ func runSweep(names []string, cfg bench.Config) {
 				eff, m.Size, m.Depth, m.Activity, m.Seconds)
 		}
 	}
+}
+
+// runPassProfile runs the MIG flow (canned or -mig-script) over the
+// selected circuits with trace capture on, then prints where the suite's
+// wall clock went, aggregated per pass name.
+func runPassProfile(names []string, cfg bench.Config) {
+	cfg.KeepTrace = true
+	traces := make([][]bench.PassStep, 0, len(names))
+	var perCircuit strings.Builder
+	for _, name := range names {
+		m := bench.MIGOptimizeNet(circuit(name), cfg)
+		if !m.OK {
+			fmt.Fprintf(os.Stderr, "migbench: %s: MIG flow failed\n", name)
+			os.Exit(1)
+		}
+		secs := m.Seconds
+		if *zeroTime {
+			secs = 0
+		}
+		fmt.Fprintf(&perCircuit, "%-10s %4d passes  size=%6d depth=%4d time=%.2fs\n",
+			name, len(m.Trace), m.Size, m.Depth, secs)
+		traces = append(traces, m.Trace)
+	}
+	fmt.Println("== Pass profile: MIG flow over the suite ==")
+	fmt.Print(perCircuit.String())
+	fmt.Println()
+	fmt.Print(bench.FormatPassProfile(bench.ProfileTraces(traces)))
 }
 
 // runTune drives the script tuner (logic/script.Tune) over the selected

@@ -3,7 +3,8 @@
 // circuit plus a pass script — or a named strategy from the script
 // library — to /v1/optimize and get back the optimized network and the
 // per-pass trace; GET /v1/scripts lists the library, GET /v1/passes the
-// scriptable passes, GET /v1/stats the robustness counters.
+// scriptable passes, GET /v1/stats the robustness counters, GET /metrics
+// the Prometheus scrape.
 //
 //	migd -addr :8337 -workers 8 -timeout 60s
 //
@@ -26,6 +27,12 @@
 // by (network hash, effective script, options) serves repeated
 // submissions of hot designs without recomputation.
 //
+// Observability: every request is logged structurally (-log-format
+// json|text) with a request ID echoed as X-Request-ID; GET /metrics
+// serves Prometheus text format; "stream": true on /v1/optimize streams
+// per-pass progress over SSE; -debug-addr exposes net/http/pprof on a
+// separate listener (never on the service port).
+//
 // On SIGTERM/SIGINT the daemon drains gracefully: /readyz flips to 503,
 // new optimize requests are rejected with 503, in-flight work finishes
 // (up to -drain-timeout), then the process exits 0. A second signal
@@ -38,7 +45,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,7 +66,21 @@ func main() {
 	rate := flag.Float64("rate", 0, "per-client rate limit in requests/second (0 disables)")
 	burst := flag.Int("burst", 0, "per-client burst allowance (0 = 2x rate)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight work on shutdown")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	debugAddr := flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "migd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	srv := service.New(service.Config{
 		Workers:        *workers,
@@ -67,8 +90,24 @@ func main() {
 		CacheSize:      *cache,
 		RateLimit:      *rate,
 		RateBurst:      *burst,
+		AccessLog:      logger,
+		// Panic stacks and drain transitions route through the same
+		// structured handler.
+		Logger: slog.NewLogLogger(handler, slog.LevelError),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// The pprof listener is opt-in and separate from the service port, so
+	// profiling endpoints are never reachable through the load balancer.
+	// The blank net/http/pprof import registers on DefaultServeMux.
+	if *debugAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	// Graceful drain: flip /readyz to 503 and reject new optimizations so
 	// load balancers route elsewhere, then let http.Server.Shutdown stop

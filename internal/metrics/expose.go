@@ -1,0 +1,174 @@
+package metrics
+
+// Prometheus text-format exposition (version 0.0.4): for each family a
+// # HELP line, a # TYPE line, then its samples sorted by label values so
+// successive scrapes of identical state are byte-identical.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in text exposition
+// format, families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the GET /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+
+	if f.valueFn != nil {
+		sample(b, f.name, nil, nil, f.valueFn())
+		return
+	}
+
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.RUnlock()
+
+	for i, k := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(k, "\xff")
+		}
+		switch m := children[i].(type) {
+		case *Counter:
+			sample(b, f.name, f.labels, values, m.Value())
+		case *Gauge:
+			sample(b, f.name, f.labels, values, m.Value())
+		case *Histogram:
+			// Cumulative buckets: each le bound counts everything at or
+			// below it; +Inf equals the total count.
+			cum := uint64(0)
+			for j, bound := range m.bounds {
+				cum += m.counts[j].Load()
+				sampleLE(b, f.name+"_bucket", f.labels, values, formatFloat(bound), float64(cum))
+			}
+			sampleLE(b, f.name+"_bucket", f.labels, values, "+Inf", float64(m.Count()))
+			sample(b, f.name+"_sum", f.labels, values, m.Sum())
+			sample(b, f.name+"_count", f.labels, values, float64(m.Count()))
+		}
+	}
+}
+
+func sample(b *strings.Builder, name string, labels, values []string, v float64) {
+	sampleLE(b, name, labels, values, "", v)
+}
+
+// sampleLE writes one sample line, appending an le label when non-empty
+// (histogram buckets).
+func sampleLE(b *strings.Builder, name string, labels, values []string, le string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integral values without an
+// exponent or trailing zeros, everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string: backslash and newline (quotes are
+// legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

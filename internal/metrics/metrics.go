@@ -1,0 +1,329 @@
+// Package metrics is a dependency-free Prometheus-style instrumentation
+// library for the service layer: counters, gauges and histograms with
+// atomic hot paths, labeled families, and text-format exposition
+// (Registry.WritePrometheus / Registry.Handler, mounted at GET /metrics
+// by the migd server).
+//
+// Design constraints, in order:
+//
+//   - zero external dependencies (the repo rule), so the exposition
+//     format is implemented here — the subset Prometheus actually
+//     scrapes: # HELP, # TYPE, samples, histogram _bucket/_sum/_count;
+//   - allocation-free updates: a Counter.Add or Histogram.Observe is a
+//     CAS loop over atomic bits, and a single-label Vec lookup is one
+//     read-locked map read with no key building — cheap enough to sit in
+//     the pass-commit hot loop of the optimization engine;
+//   - readable back: every instrument exposes Value/Snapshot accessors,
+//     so JSON views (GET /v1/stats) can be served from the same registry
+//     the scrape path uses and the two can never drift.
+//
+// Metric and label names are validated against the Prometheus data model
+// ([a-zA-Z_:][a-zA-Z0-9_:]*); registering the same family name twice, or
+// a name with different labels, panics — both are programming errors.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// atomicFloat is a float64 updated through CAS over its bit pattern: the
+// common hot-path primitive behind counters, gauges and histogram sums.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomicFloat }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add increases the counter by v; negative deltas are ignored (counters
+// are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add shifts the value by v (negative allowed).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Inc adds 1; Dec subtracts 1.
+func (g *Gauge) Inc() { g.v.add(1) }
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style: bucket i counts observations <= bounds[i], plus an implicit
+// +Inf bucket, plus the sum and count of all observations.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (≈15); linear scan beats binary search at this size
+	// and keeps the loop branch-predictable.
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations; Sum their sum.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+func (h *Histogram) Sum() float64  { return h.sum.value() }
+
+// DefBuckets are the default latency buckets (seconds), spanning 1ms to
+// 60s — sized for optimization requests, whose service times run from
+// milliseconds (cache hits) to minutes (SAT-heavy pipelines).
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+}
+
+// family is one exposition family: a name/help/type triple plus its
+// children keyed by label values. A plain (unlabeled) instrument is a
+// family with a single child under the empty key.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []string
+	bounds []float64 // histograms only
+
+	valueFn func() float64 // GaugeFunc families; nil otherwise
+
+	mu       sync.RWMutex
+	children map[string]any // *Counter | *Gauge | *Histogram, keyed by joined label values
+}
+
+// child returns the instrument for the given label values, creating it on
+// first use. The single-label fast path avoids building a joined key.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s has labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := ""
+	switch len(values) {
+	case 0:
+	case 1:
+		key = values[0]
+	default:
+		key = strings.Join(values, "\xff")
+	}
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	switch f.typ {
+	case "counter":
+		c = &Counter{}
+	case "gauge":
+		c = &Gauge{}
+	default:
+		h := &Histogram{bounds: f.bounds}
+		h.counts = make([]atomic.Uint64, len(f.bounds))
+		c = h
+	}
+	f.children[key] = c
+	return c
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (created on first
+// use, cached after).
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// Snapshot returns the current value per label-value tuple.
+func (v *CounterVec) Snapshot() map[string]float64 { return v.f.snapshot() }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// Snapshot returns the current value per label-value tuple.
+func (v *GaugeVec) Snapshot() map[string]float64 { return v.f.snapshot() }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// snapshot reads every child's scalar value (histograms report their
+// count) keyed by the joined label values ("\xff"-separated).
+func (f *family) snapshot() map[string]float64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]float64, len(f.children))
+	for k, c := range f.children {
+		switch m := c.(type) {
+		case *Counter:
+			out[k] = m.Value()
+		case *Gauge:
+			out[k] = m.Value()
+		case *Histogram:
+			out[k] = float64(m.Count())
+		}
+	}
+	return out
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("metrics: duplicate registration of %s", name))
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]any),
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("metrics: CounterVec needs at least one label (use Counter)")
+	}
+	return &CounterVec{r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values another subsystem already tracks under its own lock
+// (queue depth, cache occupancy), so there is no double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", nil, nil).valueFn = fn
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("metrics: GaugeVec needs at least one label (use Gauge)")
+	}
+	return &GaugeVec{r.register(name, help, "gauge", labels, nil)}
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil = DefBuckets). Bounds must be sorted
+// ascending; the +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, "histogram", nil, normBounds(name, bounds)).child(nil).(*Histogram)
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("metrics: HistogramVec needs at least one label (use Histogram)")
+	}
+	return &HistogramVec{r.register(name, help, "histogram", labels, normBounds(name, bounds))}
+}
+
+func normBounds(name string, bounds []float64) []float64 {
+	if bounds == nil {
+		bounds = DefBuckets()
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: %s histogram bounds not sorted", name))
+	}
+	return bounds
+}

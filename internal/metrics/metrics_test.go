@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Add(-4)
+	g.Dec()
+	g.Inc()
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %v, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 1`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		"h_seconds_sum 56.05",
+		"h_seconds_count 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecCachingAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "endpoint", "code")
+	a := v.With("/opt", "200")
+	if b := v.With("/opt", "200"); a != b {
+		t.Fatal("With did not cache the child")
+	}
+	a.Inc()
+	a.Inc()
+	v.With("/opt", "400").Inc()
+	snap := v.Snapshot()
+	if snap["/opt\xff200"] != 2 || snap["/opt\xff400"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{1})
+	v := r.CounterVec("v_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+				v.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || v.With("x").Value() != 8000 {
+		t.Fatalf("lost updates: c=%v h=%d v=%v", c.Value(), h.Count(), v.With("x").Value())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("depth", "computed at scrape", func() float64 { n++; return n })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "depth 42\n") {
+		t.Fatalf("gauge func not scraped:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("e_total", "", "p").With("a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `e_total{p="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Fatalf("escaping wrong, want %q in:\n%s", want, b.String())
+	}
+}
+
+func TestDuplicateAndInvalidRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { r.Counter("dup_total", "") },
+		"bad name":      func() { r.Counter("0bad", "") },
+		"le label":      func() { r.CounterVec("x_total", "", "le") },
+		"wrong arity":   func() { r.CounterVec("y_total", "", "a").With("1", "2") },
+		"unsorted hist": func() { r.Histogram("z", "", []float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestExpositionWellFormed is the format contract: every line is either a
+// well-formed comment or a well-formed sample, HELP/TYPE precede their
+// family's samples, and no family appears twice.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Inc()
+	r.Gauge("b", "measures b").Set(-1.5)
+	r.HistogramVec("c_seconds", "times c", []float64{0.5, 1}, "op").With("x").Observe(0.7)
+	r.GaugeFunc("d", "derives d", func() float64 { return 3 })
+	r.CounterVec("e_total", "counts e", "k", "v").With("k1", "v1").Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$`)
+	helpRe := regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+
+	typed := map[string]bool{}
+	helped := map[string]bool{}
+	var lastFamily string
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			name := m[2]
+			if m[1] == "HELP" {
+				if helped[name] {
+					t.Fatalf("duplicate HELP for %s", name)
+				}
+				helped[name] = true
+			} else {
+				if typed[name] {
+					t.Fatalf("duplicate TYPE for %s", name)
+				}
+				typed[name] = true
+			}
+			lastFamily = name
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+		if base != lastFamily && m[1] != lastFamily {
+			t.Fatalf("sample %q outside its family block (last family %s)", line, lastFamily)
+		}
+		if !typed[lastFamily] || !helped[lastFamily] {
+			t.Fatalf("sample %q before HELP/TYPE", line)
+		}
+	}
+	for _, fam := range []string{"a_total", "b", "c_seconds", "d", "e_total"} {
+		if !typed[fam] {
+			t.Errorf("family %s missing from exposition", fam)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkVecWithSingleLabel(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("bench_total", "", "pass")
+	v.With("cut-rewrite").Inc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("cut-rewrite").Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}

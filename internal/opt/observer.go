@@ -1,0 +1,37 @@
+package opt
+
+// Live step observation. A Pipeline's Trace is only returned once the whole
+// run finishes; an Observer on the context sees each Step the moment it
+// commits, which is what powers streamed progress (SSE per-pass events in
+// migd) and live metrics aggregation without the engine knowing either
+// exists. The hook rides on the context exactly like the sweep.CexPool:
+// callers that don't install one pay a single context lookup per run and
+// nothing per pass.
+
+import "context"
+
+// Observer receives each trace Step as it commits, in pipeline order, on
+// the goroutine running the pipeline. It is called for successful steps
+// and for the final step of a run aborted by an equivalence failure (its
+// Equiv field carries the failure detail); steps interrupted by context
+// cancellation never commit and are never observed. Implementations must
+// be fast and must not retain the Step beyond the call unless they copy it
+// (Step is a value type, so a plain assignment is a copy).
+type Observer func(Step)
+
+type observerKey struct{}
+
+// ContextWithObserver returns a context carrying obs; pipelines run under
+// it report each committed Step to obs. A nil obs returns ctx unchanged.
+func ContextWithObserver(ctx context.Context, obs Observer) context.Context {
+	if obs == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, observerKey{}, obs)
+}
+
+// ObserverFrom returns the Observer carried by ctx, or nil.
+func ObserverFrom(ctx context.Context) Observer {
+	obs, _ := ctx.Value(observerKey{}).(Observer)
+	return obs
+}

@@ -287,6 +287,9 @@ func (p *Pipeline[G]) RunContext(ctx context.Context, g G) (G, Trace, error) {
 	if p.Check != nil {
 		ref = g.ToNetwork()
 	}
+	// Fetched once per run: the per-pass cost of an absent observer is a
+	// nil comparison, and of a present one a direct call.
+	obs := ObserverFrom(ctx)
 	trace := make(Trace, 0, len(p.Passes))
 	cur := g
 	for _, ps := range p.Passes {
@@ -321,11 +324,17 @@ func (p *Pipeline[G]) RunContext(ctx context.Context, g G) (G, Trace, error) {
 				}
 				st.Equiv = err.Error()
 				trace = append(trace, st)
+				if obs != nil {
+					obs(st)
+				}
 				return cur, trace, fmt.Errorf("opt: pass %q broke equivalence: %w", ps.Name(), err)
 			}
 			st.Equiv = "ok"
 		}
 		trace = append(trace, st)
+		if obs != nil {
+			obs(st)
+		}
 		cur = next
 	}
 	return cur, trace, nil

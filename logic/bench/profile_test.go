@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfileTracesAggregates(t *testing.T) {
+	traces := [][]PassStep{
+		{
+			{Pass: "eliminate", Seconds: 0.2, SizeBefore: 100, SizeAfter: 80, DepthBefore: 10, DepthAfter: 10},
+			{Pass: "reshape-depth", Seconds: 0.6, SizeBefore: 80, SizeAfter: 85, DepthBefore: 10, DepthAfter: 7},
+		},
+		{
+			{Pass: "eliminate", Seconds: 0.2, SizeBefore: 50, SizeAfter: 45, DepthBefore: 8, DepthAfter: 8},
+		},
+	}
+	got := ProfileTraces(traces)
+	if len(got) != 2 {
+		t.Fatalf("got %d profiles, want 2", len(got))
+	}
+	// Sorted by total time descending: reshape-depth (0.6) first.
+	if got[0].Pass != "reshape-depth" || got[1].Pass != "eliminate" {
+		t.Fatalf("order = %s, %s; want reshape-depth, eliminate", got[0].Pass, got[1].Pass)
+	}
+	el := got[1]
+	if el.Runs != 2 {
+		t.Errorf("eliminate runs = %d, want 2", el.Runs)
+	}
+	if want := 0.4; el.Seconds != want {
+		t.Errorf("eliminate seconds = %v, want %v", el.Seconds, want)
+	}
+	if want := 0.2; el.MeanSecs != want {
+		t.Errorf("eliminate mean = %v, want %v", el.MeanSecs, want)
+	}
+	if want := -25; el.SizeDelta != want {
+		t.Errorf("eliminate size delta = %d, want %d", el.SizeDelta, want)
+	}
+	if want := 40.0; el.Percent != want {
+		t.Errorf("eliminate percent = %v, want %v", el.Percent, want)
+	}
+	rd := got[0]
+	if rd.DepthDelta != -3 || rd.SizeDelta != +5 {
+		t.Errorf("reshape-depth deltas = %d/%d, want +5/-3", rd.SizeDelta, rd.DepthDelta)
+	}
+}
+
+func TestProfileTracesEmpty(t *testing.T) {
+	if got := ProfileTraces(nil); len(got) != 0 {
+		t.Fatalf("ProfileTraces(nil) = %v, want empty", got)
+	}
+}
+
+func TestFormatPassProfile(t *testing.T) {
+	out := FormatPassProfile(ProfileTraces([][]PassStep{{
+		{Pass: "cleanup", Seconds: 0.1, SizeBefore: 10, SizeAfter: 9},
+	}}))
+	for _, want := range []string{"pass", "cleanup", "total", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted profile missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKeepTraceRecordsPasses(t *testing.T) {
+	n, err := Circuit("b9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Effort: 1, KeepTrace: true}
+	m := MIGOptimizeNet(n, cfg)
+	if !m.OK {
+		t.Fatal("MIG optimization failed")
+	}
+	if len(m.Trace) == 0 {
+		t.Fatal("KeepTrace set but no trace recorded")
+	}
+	for i, s := range m.Trace {
+		if s.Pass == "" {
+			t.Fatalf("trace step %d has empty pass name", i)
+		}
+	}
+	// Without KeepTrace the trace must stay nil (baseline JSON compatibility).
+	cfg.KeepTrace = false
+	if m := MIGOptimizeNet(n, cfg); m.Trace != nil {
+		t.Fatalf("KeepTrace off but trace has %d steps", len(m.Trace))
+	}
+}

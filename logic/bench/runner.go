@@ -26,7 +26,10 @@ type Config struct {
 	MIGScript    string // optional pass script replacing the canned MIG flow
 	// Fraig appends the SAT-sweeping pass to the canned MIG and AIG flows.
 	Fraig bool
-	Lib   *mapping.Library
+	// KeepTrace retains the per-pass trace on OptMetrics (migbench
+	// -pass-profile aggregates it into a pass-level time profile).
+	KeepTrace bool
+	Lib       *mapping.Library
 }
 
 // Defaults fills zero fields.

@@ -36,6 +36,21 @@ type OptMetrics struct {
 	Activity float64 `json:"activity"`
 	Seconds  float64 `json:"seconds"`
 	OK       bool    `json:"ok"` // false = N.A. (tool failure, like BDS on clma)
+	// Trace is the per-pass record of the run, populated only when
+	// Config.KeepTrace is set (omitted from JSON otherwise, so checked-in
+	// baselines stay byte-compatible).
+	Trace []PassStep `json:"trace,omitempty"`
+}
+
+// PassStep is one committed pipeline pass of an OptMetrics trace: the
+// subset of the engine's step record the pass profiler aggregates.
+type PassStep struct {
+	Pass        string  `json:"pass"`
+	Seconds     float64 `json:"seconds"`
+	SizeBefore  int     `json:"size_before"`
+	SizeAfter   int     `json:"size_after"`
+	DepthBefore int     `json:"depth_before"`
+	DepthAfter  int     `json:"depth_after"`
 }
 
 // metricsOf packages a graph's metrics with the elapsed wall time.
@@ -95,12 +110,32 @@ func MIGOptimizeCfg(n *netlist.Network, cfg Config) (*mig.MIG, OptMetrics) {
 		}
 	}
 	start := time.Now()
-	res, _, err := p.Run(mig.FromNetwork(n))
+	res, tr, err := p.Run(mig.FromNetwork(n))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "synth: %s: MIG script failed: %v\n", n.Name, err)
 		return nil, OptMetrics{OK: false}
 	}
-	return res, metricsOf(res, start)
+	m := metricsOf(res, start)
+	if cfg.KeepTrace {
+		m.Trace = passTrace(tr)
+	}
+	return res, m
+}
+
+// passTrace projects the engine trace onto the profiler's step records.
+func passTrace(tr opt.Trace) []PassStep {
+	steps := make([]PassStep, len(tr))
+	for i, s := range tr {
+		steps[i] = PassStep{
+			Pass:        s.Pass,
+			Seconds:     s.Seconds,
+			SizeBefore:  s.SizeBefore,
+			SizeAfter:   s.SizeAfter,
+			DepthBefore: s.DepthBefore,
+			DepthAfter:  s.DepthAfter,
+		}
+	}
+	return steps
 }
 
 // AIGOptimize runs the ABC-style baseline (resyn2 script + a final balance

@@ -1,0 +1,28 @@
+package logic
+
+// Public face of the engine's live step observation: callers outside the
+// internal tree (the migd service, benchmarks) install an Observer on the
+// context they pass to Session.Optimize and see each pass's public Step the
+// moment it commits — long before the full Trace is returned. This is the
+// hook behind migd's SSE progress streaming and per-pass metrics.
+
+import (
+	"context"
+
+	"repro/internal/opt"
+)
+
+// Observer receives each completed pass's Step in pipeline order, on the
+// goroutine running the optimization. It must be fast: the engine invokes
+// it synchronously between passes.
+type Observer func(Step)
+
+// ContextWithObserver returns a context that reports each committed pass
+// step of any optimization run under it to obs. A nil obs returns ctx
+// unchanged.
+func ContextWithObserver(ctx context.Context, obs Observer) context.Context {
+	if obs == nil {
+		return ctx
+	}
+	return opt.ContextWithObserver(ctx, func(s opt.Step) { obs(stepFromOpt(s)) })
+}

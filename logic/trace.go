@@ -50,24 +50,29 @@ func (t Trace) Format() string {
 	return b.String()
 }
 
+// stepFromOpt converts one internal engine step to its public mirror.
+func stepFromOpt(s opt.Step) Step {
+	return Step{
+		Pass:           s.Pass,
+		SizeBefore:     s.SizeBefore,
+		SizeAfter:      s.SizeAfter,
+		DepthBefore:    s.DepthBefore,
+		DepthAfter:     s.DepthAfter,
+		ActivityBefore: s.ActivityBefore,
+		ActivityAfter:  s.ActivityAfter,
+		Seconds:        s.Seconds,
+		Equiv:          s.Equiv,
+		VerifyMS:       s.VerifySeconds * 1000,
+		Conflicts:      s.VerifyConflicts,
+		SolverRestarts: s.VerifyRestarts,
+	}
+}
+
 // fromTrace converts the internal engine trace.
 func fromTrace(t opt.Trace) Trace {
 	out := make(Trace, len(t))
 	for i, s := range t {
-		out[i] = Step{
-			Pass:           s.Pass,
-			SizeBefore:     s.SizeBefore,
-			SizeAfter:      s.SizeAfter,
-			DepthBefore:    s.DepthBefore,
-			DepthAfter:     s.DepthAfter,
-			ActivityBefore: s.ActivityBefore,
-			ActivityAfter:  s.ActivityAfter,
-			Seconds:        s.Seconds,
-			Equiv:          s.Equiv,
-			VerifyMS:       s.VerifySeconds * 1000,
-			Conflicts:      s.VerifyConflicts,
-			SolverRestarts: s.VerifyRestarts,
-		}
+		out[i] = stepFromOpt(s)
 	}
 	return out
 }

@@ -28,6 +28,11 @@ import (
 )
 
 type admission struct {
+	// mtx, when set, mirrors the admission counters into the metrics
+	// registry at the same call sites that feed the JSON stats (nil-safe:
+	// unit tests construct admissions without it).
+	mtx *serverMetrics
+
 	mu       sync.Mutex
 	workers  int
 	maxQueue int
@@ -66,6 +71,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		a.inUse++
 		a.admitted++
 		a.mu.Unlock()
+		a.mtx.observeAdmit(0)
 		return a.releaseFunc(time.Now()), nil
 	}
 	position := a.waiters.Len()
@@ -73,6 +79,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		wait := a.estWaitLocked(position)
 		a.rejected[ReasonQueueFull]++
 		a.mu.Unlock()
+		a.mtx.incRejected(ReasonQueueFull)
 		return nil, &httpError{
 			status:     http.StatusTooManyRequests,
 			reason:     ReasonQueueFull,
@@ -85,6 +92,7 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		if wait := a.estWaitLocked(position); time.Until(d) < wait {
 			a.rejected[ReasonDeadlineUnreachable]++
 			a.mu.Unlock()
+			a.mtx.incRejected(ReasonDeadlineUnreachable)
 			return nil, &httpError{
 				status:     http.StatusTooManyRequests,
 				reason:     ReasonDeadlineUnreachable,
@@ -96,24 +104,31 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 	}
 	w := &admWaiter{grant: make(chan struct{})}
 	el := a.waiters.PushBack(w)
+	enqueued := time.Now()
 	a.mu.Unlock()
 
 	select {
 	case <-w.grant:
 		// The releasing worker transferred its slot: inUse already counts
 		// us, and admitted was bumped at handoff.
+		a.mtx.observeAdmit(time.Since(enqueued))
 		return a.releaseFunc(time.Now()), nil
 	case <-ctx.Done():
 		a.mu.Lock()
+		reason := ""
 		if w.granted {
 			// The grant raced the cancellation; pass the slot on instead
 			// of leaking it (no service-time sample — we never ran).
 			a.handoffLocked()
 		} else {
 			a.waiters.Remove(el)
-			a.rejected[reasonForCtx(ctx.Err())]++
+			reason = reasonForCtx(ctx.Err())
+			a.rejected[reason]++
 		}
 		a.mu.Unlock()
+		if reason != "" {
+			a.mtx.incRejected(reason)
+		}
 		return nil, ctxError(ctx.Err(), "request abandoned while queued for a worker: %w", ctx.Err())
 	}
 }

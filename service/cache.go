@@ -29,6 +29,10 @@ type cacheEntry struct {
 }
 
 type resultCache struct {
+	// mtx, when set, counts hits/misses/evictions into the metrics
+	// registry (nil-safe for unit tests constructing caches directly).
+	mtx *serverMetrics
+
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recently used
@@ -50,8 +54,10 @@ func (c *resultCache) get(key string) (*OptimizeResponse, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
+		c.mtx.incCacheMiss()
 		return nil, false
 	}
+	c.mtx.incCacheHit()
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).resp.clone(), true
 }
@@ -71,6 +77,7 @@ func (c *resultCache) put(key string, resp *OptimizeResponse) {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.byKey, last.Value.(*cacheEntry).key)
+		c.mtx.incCacheEviction()
 	}
 }
 

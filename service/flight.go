@@ -11,12 +11,24 @@ package service
 // Errors are shared too, with one exception: a leader that died of *its
 // own* context (499/504) says nothing about the work, so a still-live
 // follower re-enters and computes for itself.
+//
+// Streaming rides on the same structure: the leader publishes each
+// committed pass step into its flightCall, and any streaming caller —
+// the leader itself or a coalesced follower — attaches a streamSub to
+// receive them live. Steps are recorded only once someone is interested
+// (recording flips on at the first attach and stays on), so the plain
+// unstreamed path pays one mutex acquisition per pass and allocates
+// nothing. A follower that attaches mid-run replays the steps recorded
+// so far; if recording started late it sees only a suffix, and the
+// terminal result always carries the full trace.
 
 import (
 	"context"
 	"errors"
 	"net/http"
 	"sync"
+
+	"repro/logic"
 )
 
 type flightGroup struct {
@@ -28,11 +40,55 @@ type flightCall struct {
 	done chan struct{} // closed when resp/err are final
 	resp *OptimizeResponse
 	err  error
+
+	mu        sync.Mutex
+	recording bool
+	steps     []logic.Step // replay buffer for late subscribers
+	subs      map[*streamSub]struct{}
+}
+
+// publish fans one committed step out to every attached subscriber,
+// recording it for later attaches. A call nobody ever streamed skips all
+// bookkeeping.
+func (c *flightCall) publish(st logic.Step) {
+	c.mu.Lock()
+	if c.recording {
+		c.steps = append(c.steps, st)
+		for sub := range c.subs {
+			sub.push(st)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// attach subscribes sub to the call's step feed, replaying the steps
+// recorded so far (in order, under the same lock publish takes, so replay
+// and live events cannot interleave out of order).
+func (c *flightCall) attach(sub *streamSub) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recording = true
+	if c.subs == nil {
+		c.subs = make(map[*streamSub]struct{})
+	}
+	c.subs[sub] = struct{}{}
+	for _, st := range c.steps {
+		sub.push(st)
+	}
+}
+
+func (c *flightCall) detach(sub *streamSub) {
+	c.mu.Lock()
+	delete(c.subs, sub)
+	c.mu.Unlock()
 }
 
 // do runs fn once per key among concurrent callers. coalesced reports
 // that this caller shared another's computation instead of running fn.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*OptimizeResponse, error)) (resp *OptimizeResponse, coalesced bool, err error) {
+// fn receives the call's publish hook for live step events; a non-nil sub
+// subscribes this caller to the feed (its own when leading, the leader's
+// when coalesced).
+func (g *flightGroup) do(ctx context.Context, key string, sub *streamSub, fn func(publish func(logic.Step)) (*OptimizeResponse, error)) (resp *OptimizeResponse, coalesced bool, err error) {
 	for {
 		g.mu.Lock()
 		if g.calls == nil {
@@ -40,10 +96,19 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*OptimizeRe
 		}
 		if c, ok := g.calls[key]; ok {
 			g.mu.Unlock()
+			if sub != nil {
+				c.attach(sub)
+			}
 			select {
 			case <-c.done:
 			case <-ctx.Done():
+				if sub != nil {
+					c.detach(sub)
+				}
 				return nil, true, ctxError(ctx.Err(), "request abandoned while awaiting a coalesced result: %w", ctx.Err())
+			}
+			if sub != nil {
+				c.detach(sub)
 			}
 			if c.err != nil {
 				if leaderDiedOfOwnContext(c.err) && ctx.Err() == nil {
@@ -56,14 +121,21 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*OptimizeRe
 			return cp, true, nil
 		}
 		c := &flightCall{done: make(chan struct{})}
+		if sub != nil {
+			c.recording = true
+			c.subs = map[*streamSub]struct{}{sub: {}}
+		}
 		g.calls[key] = c
 		g.mu.Unlock()
 
-		c.resp, c.err = fn()
+		c.resp, c.err = fn(c.publish)
 		g.mu.Lock()
 		delete(g.calls, key)
 		g.mu.Unlock()
 		close(c.done)
+		if sub != nil {
+			c.detach(sub)
+		}
 		return c.resp, false, c.err
 	}
 }

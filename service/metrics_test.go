@@ -1,0 +1,262 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/logic"
+)
+
+// scrapeMetrics fetches /metrics and returns the body, failing the test on
+// any transport or status problem.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// parseExposition checks every line of a /metrics body is well-formed
+// (HELP/TYPE comment, or "name[{labels}] value") and returns the sample
+// lines keyed by full series name (with labels).
+func parseExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series, val := line[:sp], line[sp+1:]
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		if _, dup := samples[series]; dup {
+			t.Fatalf("duplicate series %q", series)
+		}
+		samples[series] = f
+	}
+	return samples
+}
+
+// anySeries reports whether some series with the given metric name (any
+// labels) satisfies pred.
+func anySeries(samples map[string]float64, name string, pred func(labels string, v float64) bool) bool {
+	for series, v := range samples {
+		rest, ok := strings.CutPrefix(series, name)
+		if !ok || (rest != "" && rest[0] != '{') {
+			continue
+		}
+		if pred(rest, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMetricsExposition is the tentpole's scrape check: after one optimize
+// request the exposition parses cleanly and carries the request-latency
+// histogram, the admission/cache families, and the per-pass aggregates.
+func TestMetricsExposition(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 2})
+	resp, err := client.Optimize(context.Background(), OptimizeRequest{
+		Source: circuitBLIF(t, "b9"),
+		Script: "cleanup; eliminate",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Trace) == 0 {
+		t.Fatal("optimize returned an empty trace")
+	}
+
+	samples := parseExposition(t, scrapeMetrics(t, client.BaseURL))
+
+	positive := func(_ string, v float64) bool { return v > 0 }
+	checks := []struct {
+		name string
+		pred func(string, float64) bool
+	}{
+		{"migd_http_requests_total", func(labels string, v float64) bool {
+			return strings.Contains(labels, `endpoint="/v1/optimize"`) && strings.Contains(labels, `code="200"`) && v == 1
+		}},
+		{"migd_http_request_seconds_bucket", func(labels string, v float64) bool {
+			return strings.Contains(labels, `endpoint="/v1/optimize"`) && strings.Contains(labels, `le="+Inf"`) && v == 1
+		}},
+		{"migd_http_request_seconds_count", positive},
+		{"migd_admission_admitted_total", func(_ string, v float64) bool { return v == 1 }},
+		{"migd_admission_queue_wait_seconds_count", func(_ string, v float64) bool { return v == 1 }},
+		{"migd_admission_workers", func(_ string, v float64) bool { return v == 2 }},
+		{"migd_admission_in_use", func(_ string, v float64) bool { return v == 0 }},
+		{"migd_cache_misses_total", func(_ string, v float64) bool { return v == 1 }},
+		{"migd_cache_hits_total", func(_ string, v float64) bool { return v == 0 }},
+		{"migd_cache_entries", func(_ string, v float64) bool { return v == 1 }},
+		{"migd_pass_runs_total", func(labels string, v float64) bool {
+			return strings.Contains(labels, `pass="`) && v > 0
+		}},
+		{"migd_pass_seconds_total", positive},
+		{"migd_draining", func(_ string, v float64) bool { return v == 0 }},
+		{"migd_streams_active", func(_ string, v float64) bool { return v == 0 }},
+	}
+	for _, c := range checks {
+		if !anySeries(samples, c.name, c.pred) {
+			t.Errorf("exposition missing expected %s sample", c.name)
+		}
+	}
+
+	// The per-pass run counters must account for exactly the committed
+	// steps of the one request served.
+	var passRuns float64
+	anySeries(samples, "migd_pass_runs_total", func(_ string, v float64) bool {
+		passRuns += v
+		return false
+	})
+	if int(passRuns) != len(resp.Trace) {
+		t.Errorf("sum(migd_pass_runs_total) = %v, want %d (trace length)", passRuns, len(resp.Trace))
+	}
+}
+
+// TestStatsMatchesMetrics pins the one-source-of-truth property: the cache
+// and per-pass sections of GET /v1/stats are read from the same registry
+// /metrics scrapes, so the two views agree.
+func TestStatsMatchesMetrics(t *testing.T) {
+	srv, client := testServer(t, Config{Workers: 2})
+	req := OptimizeRequest{Source: circuitBLIF(t, "b9"), Script: "cleanup; eliminate"}
+	first, err := client.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := client.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || !second.Cached {
+		t.Fatalf("cached flags = %v,%v; want false,true", first.Cached, second.Cached)
+	}
+
+	st, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits != 1 || st.Cache.Entries != 1 {
+		t.Errorf("stats cache = %+v, want 1 miss, 1 hit, 1 entry", st.Cache)
+	}
+	if len(st.Passes) == 0 {
+		t.Fatal("stats passes empty after an optimize")
+	}
+	var runs uint64
+	for pass, ps := range st.Passes {
+		if ps.Runs == 0 || ps.MeanSeconds < 0 {
+			t.Errorf("pass %q stats = %+v, want positive runs", pass, ps)
+		}
+		runs += ps.Runs
+	}
+	if int(runs) != len(first.Trace) {
+		t.Errorf("stats pass runs = %d, want %d (trace length)", runs, len(first.Trace))
+	}
+
+	// Registry and stats must agree exactly.
+	if got := uint64(srv.mtx.cacheHits.Value()); got != st.Cache.Hits {
+		t.Errorf("registry hits %d != stats hits %d", got, st.Cache.Hits)
+	}
+	samples := parseExposition(t, scrapeMetrics(t, client.BaseURL))
+	if v := samples["migd_cache_hits_total"]; uint64(v) != st.Cache.Hits {
+		t.Errorf("scraped hits %v != stats hits %d", v, st.Cache.Hits)
+	}
+}
+
+// TestRequestIDPropagation: every response carries X-Request-ID, a valid
+// client-supplied ID is echoed, and the optimize body repeats it.
+func TestRequestIDPropagation(t *testing.T) {
+	_, client := testServer(t, Config{})
+	payload, err := json.Marshal(OptimizeRequest{Source: circuitBLIF(t, "my_adder"), Script: "cleanup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, client.BaseURL+"/v1/optimize", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("X-Request-ID", "test-trace-42")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-trace-42" {
+		t.Errorf("echoed X-Request-ID = %q, want the client's", got)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(raw), `"request_id": "test-trace-42"`) {
+		t.Errorf("response body does not repeat the request ID:\n%.300s", raw)
+	}
+
+	// A generated ID appears even on metadata endpoints.
+	hresp, err := http.Get(client.BaseURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainClose(hresp.Body)
+	if hresp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID generated on /healthz")
+	}
+}
+
+// TestObserveStepNoAllocs pins the unstreamed hot path: aggregating a
+// committed pass step into the registry allocates nothing once the pass's
+// label children exist.
+func TestObserveStepNoAllocs(t *testing.T) {
+	m := newServerMetrics()
+	st := logic.Step{
+		Pass: "eliminate", Seconds: 0.01,
+		SizeBefore: 100, SizeAfter: 90, DepthBefore: 9, DepthAfter: 8,
+		VerifyMS: 1.5, Conflicts: 3, SolverRestarts: 1,
+	}
+	m.observeStep(st) // create the label children
+	if got := testing.AllocsPerRun(200, func() { m.observeStep(st) }); got != 0 {
+		t.Errorf("observeStep allocates %.1f per run, want 0", got)
+	}
+}
+
+func BenchmarkObserveStep(b *testing.B) {
+	m := newServerMetrics()
+	st := logic.Step{
+		Pass: "eliminate", Seconds: 0.01,
+		SizeBefore: 100, SizeAfter: 90, DepthBefore: 9, DepthAfter: 8,
+	}
+	m.observeStep(st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.observeStep(st)
+	}
+}

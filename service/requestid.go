@@ -1,0 +1,49 @@
+package service
+
+// Request identity. Every request gets an ID — the caller's X-Request-ID
+// when it sent one (bounded; a header is not a free-text field), otherwise
+// a freshly generated one — echoed back in the X-Request-ID response
+// header, stamped into the access log, and attached to the optimize
+// response body so a trace in a client bug report can be joined against
+// the server's logs.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+type requestIDKey struct{}
+
+// requestID returns the caller-supplied X-Request-ID (if sane) or a fresh
+// 16-hex-digit random ID.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && printableASCII(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+func contextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID the server attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

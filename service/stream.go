@@ -1,0 +1,186 @@
+package service
+
+// Server-Sent-Events progress streaming for POST /v1/optimize. A request
+// with "stream": true (or Accept: text/event-stream) is answered as an
+// SSE stream instead of one JSON body:
+//
+//	event: step     one per committed pipeline pass (logic.Step JSON)
+//	event: result   terminal success (OptimizeResponse JSON), then EOF
+//	event: error    terminal failure (status + the JSON error envelope)
+//	: heartbeat     comment every Config.StreamHeartbeat of silence
+//
+// Validation failures are still plain HTTP 400s — the protocol upgrades
+// to SSE only once the request is known to be runnable. After that every
+// outcome, including load-shed rejections and timeouts, arrives as an
+// error event carrying the HTTP status it would have had.
+//
+// The step feed is the engine's observer hook fanned out through the
+// singleflight call (flight.go): a coalesced streaming follower attaches
+// to the leader's feed and sees the same events. Client disconnect
+// cancels the request context, which cancels the optimization like any
+// abandoned request.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/logic"
+)
+
+// streamSub is one SSE client's step mailbox: the optimizing goroutine
+// pushes, the handler goroutine drains. Push never blocks (the buffer
+// grows; passes are finite) so a slow client cannot stall the engine.
+type streamSub struct {
+	mu   sync.Mutex
+	buf  []logic.Step
+	wake chan struct{} // 1-buffered wake signal
+}
+
+func newStreamSub() *streamSub {
+	return &streamSub{wake: make(chan struct{}, 1)}
+}
+
+func (s *streamSub) push(st logic.Step) {
+	s.mu.Lock()
+	s.buf = append(s.buf, st)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain takes the buffered steps, leaving the mailbox empty.
+func (s *streamSub) drain() []logic.Step {
+	s.mu.Lock()
+	out := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	return out
+}
+
+// streamErrorEvent is the data payload of an SSE error event: the JSON
+// error envelope plus the HTTP status the failure maps to on the
+// non-streamed path.
+type streamErrorEvent struct {
+	Status       int    `json:"status"`
+	Error        string `json:"error"`
+	Reason       string `json:"reason,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+func toStreamError(err error) streamErrorEvent {
+	ev := streamErrorEvent{Status: http.StatusInternalServerError, Error: err.Error()}
+	var he *httpError
+	if errors.As(err, &he) {
+		ev.Status = he.status
+		ev.Reason = he.reason
+		if he.retryAfter > 0 {
+			if ev.RetryAfterMS = he.retryAfter.Milliseconds(); ev.RetryAfterMS < 1 {
+				ev.RetryAfterMS = 1
+			}
+		}
+	}
+	return ev
+}
+
+// writeEvent writes one SSE event (compact JSON data, which never contains
+// a raw newline, so one data: line suffices).
+func writeEvent(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// streamOptimize answers one validated optimize request as an SSE stream.
+// The optimization runs on its own goroutine under the request context —
+// the handler goroutine owns the connection, multiplexing step events,
+// heartbeats, and the terminal event; a client disconnect cancels the
+// context and with it the queued or running work.
+func (s *Server) streamOptimize(w http.ResponseWriter, r *http.Request, p *prepared) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: "streaming unsupported on this connection"})
+		return
+	}
+
+	sub := newStreamSub()
+	type outcome struct {
+		resp *OptimizeResponse
+		err  error
+	}
+	done := make(chan outcome, 1) // buffered: the worker never blocks on a gone handler
+	go func() {
+		resp, err := s.execute(r.Context(), p, sub)
+		done <- outcome{resp, err}
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	s.mtx.streamsActive.Inc()
+	defer s.mtx.streamsActive.Dec()
+
+	ticker := time.NewTicker(s.cfg.StreamHeartbeat)
+	defer ticker.Stop()
+
+	flushSteps := func() bool {
+		for _, st := range sub.drain() {
+			if writeEvent(w, "step", st) != nil {
+				return false
+			}
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case <-sub.wake:
+			if !flushSteps() {
+				return // write failed: client is gone, ctx cancellation stops the work
+			}
+		case <-ticker.C:
+			if _, err := io.WriteString(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case o := <-done:
+			// Steps were pushed before execute returned, so draining here
+			// keeps every step event ahead of the terminal event.
+			if !flushSteps() {
+				return
+			}
+			if o.err != nil {
+				_ = writeEvent(w, "error", toStreamError(o.err))
+			} else {
+				resp := o.resp
+				if id := RequestIDFrom(r.Context()); id != "" {
+					cp := *resp
+					cp.RequestID = id
+					resp = &cp
+				}
+				_ = writeEvent(w, "result", resp)
+			}
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			// Client disconnected; the worker goroutine is being canceled
+			// and will deliver into the buffered channel unobserved.
+			return
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package service
+
+// Client side of the SSE progress stream: Client.OptimizeStream submits
+// the request with "stream": true and returns a Stream whose Recv yields
+// one StreamEvent per SSE event — a Step per committed pass, then the
+// terminal Result (or an *APIError carrying the server's status). The
+// protocol is documented in docs/SERVICE.md ("Streaming").
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/logic"
+)
+
+// StreamEvent is one event from an optimize stream: exactly one of Step
+// and Result is non-nil.
+type StreamEvent struct {
+	// Step is a committed pipeline pass (progress).
+	Step *logic.Step
+	// Result is the terminal response; after receiving it the next Recv
+	// returns io.EOF.
+	Result *OptimizeResponse
+}
+
+// Stream is an open optimize stream. Recv until io.EOF (or error), then
+// Close. Closing early aborts the stream, which cancels the server-side
+// work unless other requests share it.
+type Stream struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+	// requestID is the server-assigned X-Request-ID of the stream.
+	requestID string
+	done      bool
+}
+
+// RequestID returns the stream's X-Request-ID (for joining client-side
+// observations against server logs).
+func (s *Stream) RequestID() string { return s.requestID }
+
+// Close releases the stream's connection. Safe after EOF; aborts a live
+// stream.
+func (s *Stream) Close() error {
+	if s.done {
+		// The stream is finished: drain the trailing bytes so the
+		// connection can be reused.
+		drainClose(s.body)
+		return nil
+	}
+	// Live stream: close immediately (draining would block on heartbeats).
+	// The abort cancels the server-side work unless other requests share it.
+	return s.body.Close()
+}
+
+// OptimizeStream submits a circuit for optimization and streams per-pass
+// progress. Validation failures surface immediately as *APIError from
+// this call (the server answers them as plain HTTP errors); failures
+// after streaming begins surface from Recv.
+func (c *Client) OptimizeStream(ctx context.Context, req OptimizeRequest) (*Stream, error) {
+	req.Stream = true
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/optimize", strings.NewReader(string(payload)))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set("Accept", "text/event-stream")
+	if c.ClientID != "" {
+		hr.Header.Set("X-Client-ID", c.ClientID)
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, &transportError{err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer drainClose(resp.Body)
+		ae := &APIError{Status: resp.StatusCode}
+		var e errorResponse
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			ae.Message, ae.Reason = e.Error, e.Reason
+			if e.RetryAfterMS > 0 {
+				ae.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+			}
+		}
+		return nil, ae
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		drainClose(resp.Body)
+		return nil, fmt.Errorf("migd: expected an event stream, got Content-Type %q", ct)
+	}
+	return &Stream{
+		body:      resp.Body,
+		br:        bufio.NewReader(resp.Body),
+		requestID: resp.Header.Get("X-Request-ID"),
+	}, nil
+}
+
+// Recv returns the next event. Heartbeat comments are skipped silently.
+// A terminal error event returns as an *APIError with the server's
+// status; after the terminal result event Recv returns io.EOF.
+func (s *Stream) Recv() (*StreamEvent, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		event, data, err := s.readEvent()
+		if err != nil {
+			s.done = true
+			return nil, err
+		}
+		switch event {
+		case "step":
+			var st logic.Step
+			if err := json.Unmarshal(data, &st); err != nil {
+				s.done = true
+				return nil, fmt.Errorf("migd: malformed step event: %w", err)
+			}
+			return &StreamEvent{Step: &st}, nil
+		case "result":
+			var r OptimizeResponse
+			if err := json.Unmarshal(data, &r); err != nil {
+				s.done = true
+				return nil, fmt.Errorf("migd: malformed result event: %w", err)
+			}
+			s.done = true
+			return &StreamEvent{Result: &r}, nil
+		case "error":
+			s.done = true
+			var e streamErrorEvent
+			if err := json.Unmarshal(data, &e); err != nil || e.Status == 0 {
+				return nil, fmt.Errorf("migd: malformed error event: %s", data)
+			}
+			ae := &APIError{Status: e.Status, Message: e.Error, Reason: e.Reason}
+			if e.RetryAfterMS > 0 {
+				ae.RetryAfter = time.Duration(e.RetryAfterMS) * time.Millisecond
+			}
+			return nil, ae
+		default:
+			// Unknown event types are skipped for forward compatibility.
+		}
+	}
+}
+
+// readEvent parses one SSE event: accumulated event/data fields up to the
+// blank separator line. Comment lines (heartbeats) never form an event.
+func (s *Stream) readEvent() (event string, data []byte, err error) {
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && (event != "" || len(data) > 0) {
+				return "", nil, io.ErrUnexpectedEOF
+			}
+			return "", nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if event == "" && len(data) == 0 {
+				continue // stray separator (e.g. after a comment)
+			}
+			return event, data, nil
+		case strings.HasPrefix(line, ":"):
+			continue // comment / heartbeat
+		default:
+			if v, ok := strings.CutPrefix(line, "event:"); ok {
+				event = strings.TrimSpace(v)
+			} else if v, ok := strings.CutPrefix(line, "data:"); ok {
+				data = append(data, strings.TrimPrefix(v, " ")...)
+			}
+			// Other SSE fields (id, retry) are ignored.
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recvAll drains a stream to its terminal result, returning the step
+// events and the result.
+func recvAll(t *testing.T, st *Stream) ([]StreamEvent, *OptimizeResponse) {
+	t.Helper()
+	var steps []StreamEvent
+	for {
+		ev, err := st.Recv()
+		if err == io.EOF {
+			t.Fatal("stream ended without a terminal result")
+		}
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if ev.Result != nil {
+			return steps, ev.Result
+		}
+		steps = append(steps, *ev)
+	}
+}
+
+// TestStreamStepsBeforeResult is the tentpole's streaming guarantee: a
+// streamed optimize delivers at least one step event before the terminal
+// result, and the final network is byte-identical to the non-streamed
+// response for the same request.
+func TestStreamStepsBeforeResult(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 2})
+	req := OptimizeRequest{
+		Source: circuitBLIF(t, "b9"),
+		Script: "cleanup; eliminate; reshape-depth",
+	}
+
+	st, err := client.OptimizeStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.RequestID() == "" {
+		t.Error("stream carries no X-Request-ID")
+	}
+	steps, result := recvAll(t, st)
+	if len(steps) == 0 {
+		t.Fatal("no step events before the terminal result")
+	}
+	if len(result.Trace) != len(steps) {
+		t.Errorf("streamed %d steps but the result trace has %d", len(steps), len(result.Trace))
+	}
+	for i, ev := range steps {
+		if *ev.Step != result.Trace[i] {
+			t.Errorf("step %d mismatch: streamed %+v, trace %+v", i, *ev.Step, result.Trace[i])
+		}
+	}
+	if result.Network == "" {
+		t.Fatal("streamed result has no network")
+	}
+	if _, err := st.Recv(); err != io.EOF {
+		t.Errorf("Recv after result = %v, want io.EOF", err)
+	}
+
+	// The plain path must return the identical network (it is a cache hit
+	// of the streamed computation — streaming is deliberately not keyed).
+	plain, err := client.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Cached {
+		t.Error("plain request after streamed one missed the cache")
+	}
+	if plain.Network != result.Network {
+		t.Error("streamed and non-streamed networks differ")
+	}
+	if want := cliOptimize(t, req.Source, req.Script); result.Network != want {
+		t.Error("streamed network differs from the CLI path")
+	}
+}
+
+// TestStreamAcceptHeader: Accept: text/event-stream upgrades without the
+// "stream" body flag, and the raw wire format is well-formed SSE.
+func TestStreamAcceptHeader(t *testing.T) {
+	_, client := testServer(t, Config{Workers: 1})
+	payload, err := json.Marshal(OptimizeRequest{Source: circuitBLIF(t, "my_adder"), Script: "cleanup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, client.BaseURL+"/v1/optimize", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	stepAt := strings.Index(body, "event: step\n")
+	resultAt := strings.Index(body, "event: result\n")
+	if stepAt < 0 || resultAt < 0 || stepAt > resultAt {
+		t.Fatalf("want step events before one result event, got:\n%.400s", body)
+	}
+	if !strings.HasSuffix(body, "\n\n") {
+		t.Error("stream does not end with an event separator")
+	}
+}
+
+// TestStreamHeartbeat: a stream idle inside a long optimization stays
+// alive through comment heartbeats.
+func TestStreamHeartbeat(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 200 * time.Millisecond})
+	_, client := testServer(t, Config{Workers: 1, StreamHeartbeat: 10 * time.Millisecond, Faults: faults})
+
+	payload, err := json.Marshal(OptimizeRequest{Source: circuitBLIF(t, "my_adder"), Script: "cleanup", Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(client.BaseURL+"/v1/optimize", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	heartbeats, sawResult := 0, false
+	for sc.Scan() {
+		switch line := sc.Text(); {
+		case strings.HasPrefix(line, ":"):
+			heartbeats++
+		case line == "event: result":
+			sawResult = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if heartbeats < 2 {
+		t.Errorf("saw %d heartbeats during a 200ms stall, want >= 2", heartbeats)
+	}
+	if !sawResult {
+		t.Error("stream ended without a result event")
+	}
+}
+
+// TestStreamDisconnectCancels: closing a live stream cancels the
+// server-side work, freeing its worker slot.
+func TestStreamDisconnectCancels(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 10 * time.Second})
+	srv, client := testServer(t, Config{Workers: 1, StreamHeartbeat: 10 * time.Millisecond, Faults: faults})
+
+	st, err := client.OptimizeStream(context.Background(), OptimizeRequest{
+		Source: circuitBLIF(t, "b9"), Script: "cleanup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the job holds the worker slot, then vanish.
+	waitFor(t, time.Second, func() bool { return srv.Stats().Admission.InUse == 1 })
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The disconnect must cancel the 10s injected stall long before it
+	// elapses; a leak would keep the only slot pinned.
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().Admission.InUse == 0 })
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", d)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamValidationError: a request that fails validation is a plain
+// HTTP error, not an SSE stream.
+func TestStreamValidationError(t *testing.T) {
+	_, client := testServer(t, Config{})
+	_, err := client.OptimizeStream(context.Background(), OptimizeRequest{Source: ""})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("OptimizeStream(empty source) = %v, want 400 APIError", err)
+	}
+}
+
+// TestStreamErrorEvent: a failure after the upgrade arrives as a terminal
+// error event carrying the status the plain path would have had.
+func TestStreamErrorEvent(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Err: errors.New("injected optimize failure")})
+	_, client := testServer(t, Config{Workers: 1, Faults: faults})
+
+	st, err := client.OptimizeStream(context.Background(), OptimizeRequest{
+		Source: circuitBLIF(t, "b9"), Script: "cleanup",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, err = st.Recv()
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("Recv = %v, want 422 APIError", err)
+	}
+	if !strings.Contains(ae.Message, "injected optimize failure") {
+		t.Errorf("error event lost the failure detail: %q", ae.Message)
+	}
+}
+
+// TestStreamFollowerCoalesces: two concurrent streams of the same request
+// share one computation; the follower still receives step events and its
+// result is marked coalesced.
+func TestStreamFollowerCoalesces(t *testing.T) {
+	faults := &Faults{}
+	faults.Set(StageOptimize, Fault{Delay: 150 * time.Millisecond})
+	srv, client := testServer(t, Config{Workers: 2, CacheSize: -1, Faults: faults})
+
+	req := OptimizeRequest{Source: circuitBLIF(t, "b9"), Script: "cleanup; eliminate"}
+	leader, err := client.OptimizeStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	// The leader is inside the injected stall (holding the flight) when the
+	// follower arrives; the stall ends before any step commits, so the
+	// follower attaches in time for the full feed.
+	waitFor(t, time.Second, func() bool { return srv.Stats().Admission.InUse == 1 })
+	follower, err := client.OptimizeStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Drain the leader on a goroutine (plain errors only — t.Fatal is for
+	// the test goroutine) while the follower drains here.
+	type drained struct {
+		steps []StreamEvent
+		res   *OptimizeResponse
+		err   error
+	}
+	leaderDone := make(chan drained, 1)
+	go func() {
+		var d drained
+		for d.err == nil {
+			var ev *StreamEvent
+			if ev, d.err = leader.Recv(); d.err == nil {
+				if ev.Result != nil {
+					d.res = ev.Result
+					break
+				}
+				d.steps = append(d.steps, *ev)
+			}
+		}
+		leaderDone <- d
+	}()
+	fSteps, fRes := recvAll(t, follower)
+	ld := <-leaderDone
+	if ld.err != nil {
+		t.Fatalf("leader Recv: %v", ld.err)
+	}
+	lSteps, lRes := ld.steps, ld.res
+
+	if !fRes.Coalesced && !lRes.Coalesced {
+		t.Fatal("neither response is marked coalesced")
+	}
+	if lRes.Network != fRes.Network {
+		t.Error("leader and follower networks differ")
+	}
+	if len(lSteps) == 0 || len(fSteps) == 0 {
+		t.Errorf("step events: leader %d, follower %d; want both > 0", len(lSteps), len(fSteps))
+	}
+	if got := srv.Stats().Coalesced; got != 1 {
+		t.Errorf("coalesced counter = %d, want 1", got)
+	}
+}

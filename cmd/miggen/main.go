@@ -6,6 +6,11 @@
 //	miggen -bench my_adder -format v > my_adder.v
 //	miggen -bench C6288 -format blif > C6288.blif
 //	miggen -compress 1200 -format v > compress.v
+//	miggen -nodes 100000 -format blif > mesh100k.blif
+//
+// The -nodes flag emits the heterogeneous tiled mesh (logic/bench.Mesh):
+// a deterministic large design — adder, cube-logic and parity tiles with
+// cross-tile wiring — sized for exercising the partition subsystem.
 package main
 
 import (
@@ -22,6 +27,7 @@ func main() {
 	name := flag.String("bench", "", "benchmark name")
 	format := flag.String("format", "v", "output format: v|blif")
 	compress := flag.Int("compress", 0, "emit the compression circuit with the given word count instead")
+	meshNodes := flag.Int("nodes", 0, "emit the heterogeneous tiled mesh with at least this many gates instead")
 	flag.Parse()
 
 	if *list {
@@ -37,12 +43,14 @@ func main() {
 		err error
 	)
 	switch {
+	case *meshNodes > 0:
+		n = bench.Mesh(*meshNodes)
 	case *compress > 0:
 		n = bench.Compress(*compress)
 	case *name != "":
 		n, err = bench.Circuit(*name)
 	default:
-		fmt.Fprintln(os.Stderr, "miggen: need -bench, -compress or -list")
+		fmt.Fprintln(os.Stderr, "miggen: need -bench, -compress, -nodes or -list")
 		os.Exit(2)
 	}
 	if err != nil {

@@ -34,6 +34,12 @@
 // -timeout bounds the whole optimization (including SAT-backed
 // verification) with a context deadline; expiry interrupts long solves
 // promptly.
+//
+// -partition k routes the run through the partition subsystem: the
+// circuit is split into k windows by a deterministic multilevel
+// partitioner, every window is optimized under both a MIG and an AIG flow
+// in parallel (worker budget from -jobs), and the per-objective winners
+// are stitched back. Output bytes are identical for any -jobs value.
 package main
 
 import (
@@ -58,6 +64,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.String("verify", "auto", "equivalence engine for verification: auto|exact|bdd|sim|sat, or none/off/false to skip")
 	jobs := flag.Int("jobs", 1, "worker budget for parallel passes (window-rewrite, fraig); results are identical for any value")
+	partitions := flag.Int("partition", 0, "split the circuit into k partitions and synthesize them in parallel (mixed MIG/AIG per window); 0 = off")
 	timeout := flag.Duration("timeout", 0, "optimization deadline (0 = none), e.g. 30s")
 	flag.Parse()
 
@@ -74,15 +81,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(*in)
-	if err != nil {
-		fatal(err)
-	}
 	format, err := logic.FormatForPath(*in)
 	if err != nil {
 		fatal(err)
 	}
-	net, err := logic.Decode(format, string(src))
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := logic.DecodeReader(format, f)
+	f.Close()
 	if err != nil {
 		fatal(err)
 	}
@@ -99,6 +107,7 @@ func main() {
 		logic.WithEffort(*effort),
 		logic.WithVerify(verifyEngine),
 		logic.WithWorkers(*jobs),
+		logic.WithPartitions(*partitions),
 	}
 	if *strategy != "" {
 		opts = append(opts, logic.WithStrategy(*strategy))
@@ -124,6 +133,18 @@ func main() {
 	}
 	if res.VerifyMethod != "" {
 		fmt.Fprintf(os.Stderr, "mighty: equivalence verified (%s)\n", res.VerifyMethod)
+	}
+	if p := res.Partition; p != nil {
+		mig, aig := 0, 0
+		for _, part := range p.Parts {
+			if part.Rep == "aig" {
+				aig++
+			} else {
+				mig++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "mighty: partitioned k=%d cut=%d (mig %d, aig %d windows; partition %.2fs, stitch %.2fs)\n",
+			p.K, p.Cut, mig, aig, p.PartitionSeconds, p.StitchSeconds)
 	}
 
 	// The first trace step carries the input MIG's metrics, so the

@@ -38,6 +38,15 @@
 //     (RunOptRows, RunSynthRows, RunCompress), report JSON, the
 //     quality-trajectory diff (DiffReports), and the MCNC-backed
 //     evaluator behind the script tuner (ScriptEvaluator).
+//   - logic/partition is the scale-out layer: Cut runs the deterministic
+//     multilevel k-way hypergraph partitioner on any Network, Windows
+//     extracts the per-part subcircuits, and Optimize runs the whole
+//     partitioned flow (cut, parallel mixed MIG/AIG per-window
+//     synthesis, serial stitch) returning the optimized netlist plus a
+//     PartitionReport. Sessions reach the same flow via
+//     logic.WithPartitions(k), scripts via the registered
+//     "partition(k, effort)" meta-pass, and the CLIs via -partition.
+//     See # Partitioning below and docs/PARTITION.md.
 //   - service is the HTTP/JSON optimization daemon behind cmd/migd:
 //     POST /v1/optimize runs a Session under deadline-aware admission
 //     control (bounded worker pool + bounded wait queue, 429+Retry-After
@@ -128,6 +137,36 @@
 // engine, the parallel drivers (opt.ForEachCtx) and the SAT solver's
 // conflict loop (Solver.Stop) all observe context cancellation.
 //
+// # Partitioning
+//
+// internal/part (public surface logic/partition) scales optimization
+// past the single-graph regime. The netlist is modeled as a hypergraph
+// (gates are vertices, signals are hyperedges) and cut into k balanced
+// parts by a deterministic multilevel partitioner — heavy-edge
+// coarsening, greedy initial cut, Fiduccia–Mattheyses boundary
+// refinement at each uncoarsening level, (λ-1) connectivity objective,
+// all tie-breaks seeded by a splitmix64 stream so the same (netlist,
+// seed) always yields the same cut. Each part becomes a self-contained
+// window (boundary signals become w_<node> inputs/outputs) and is
+// optimized twice on a worker pool: once as a MIG under the session's
+// script and objective, once as an AIG under resyn2-style rounds. The
+// per-window winner is chosen by the session objective — for the
+// default "flow" objective the score is the area-delay product, which
+// lets arithmetic-shaped windows go MIG while wide factorable control
+// cones go AIG. A serial stitch merges the winners back at gate
+// granularity in deterministic order (parts may feed each other
+// cyclically at the quotient level, so the stitch interleaves gates
+// rather than whole windows). The stitched output is byte-identical for
+// any worker count and functionally equivalent to the input.
+//
+// Supporting cast: logic/bench.Mesh (miggen -nodes) generates
+// deterministic ~N-gate tiled meshes with heterogeneous regions for
+// exercising the flow at 100k+ gates, and BLIF decoding streams from
+// io.Reader (internal/blif.ParseReader, logic.DecodeReader) with a
+// worklist for out-of-order .names blocks, so peak memory tracks the
+// netlist rather than the file. docs/PARTITION.md documents the
+// algorithm and the determinism contract.
+//
 // # SAT subsystem
 //
 // internal/sat is a compact CDCL solver (two-watched-literal propagation,
@@ -190,7 +229,7 @@
 // (internal/opt), shared cut machinery (internal/cut), the SOP engine
 // (internal/sop), technology mapping (internal/mapping), and the MCNC
 // benchmark stand-ins (internal/mcnc). The public surface is logic,
-// logic/bench and service. Executables are under cmd/ (mighty, migbench,
+// logic/bench, logic/partition and service. Executables are under cmd/ (mighty, migbench,
 // miggen, benchdiff, migd) and runnable examples under examples/.
 //
 // The benchmarks in bench_test.go regenerate every table and figure of the
@@ -202,7 +241,8 @@
 //
 // The user-facing documentation lives in README.md (overview and
 // quickstart), docs/PASSES.md (the generated pass and strategy
-// reference) and docs/SERVICE.md (the migd wire protocol).
+// reference), docs/PARTITION.md (the partition subsystem) and
+// docs/SERVICE.md (the migd wire protocol).
 //
 //go:generate go run ./cmd/passdoc -out docs/PASSES.md
 package repro

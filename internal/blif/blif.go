@@ -178,124 +178,11 @@ func Write(n *netlist.Network) string {
 
 // Parse reads a BLIF model into a netlist. Covers are interpreted as SOP
 // over the listed fanins; the single-output-cover convention is supported
-// (output value 1 rows; value-0 covers are complemented).
+// (output value 1 rows; value-0 covers are complemented). Parsing is the
+// streaming reader over the in-memory source; hand a file directly to
+// ParseReader to avoid buffering it at all.
 func Parse(src string) (*netlist.Network, error) {
-	// Join continuation lines.
-	src = strings.ReplaceAll(src, "\\\n", " ")
-	lines := strings.Split(src, "\n")
-
-	net := netlist.New("")
-	type namesBlock struct {
-		signals []string
-		rows    []string
-		outVal  byte
-	}
-	var (
-		blocks  []namesBlock
-		inputs  []string
-		outputs []string
-	)
-	var cur *namesBlock
-	flush := func() {
-		if cur != nil {
-			blocks = append(blocks, *cur)
-			cur = nil
-		}
-	}
-	for _, raw := range lines {
-		line := strings.TrimSpace(raw)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case ".model":
-			flush()
-			if len(fields) > 1 {
-				net.Name = fields[1]
-			}
-		case ".inputs":
-			flush()
-			inputs = append(inputs, fields[1:]...)
-		case ".outputs":
-			flush()
-			outputs = append(outputs, fields[1:]...)
-		case ".names":
-			flush()
-			cur = &namesBlock{signals: fields[1:], outVal: '1'}
-		case ".end":
-			flush()
-		case ".latch", ".gate", ".subckt":
-			return nil, fmt.Errorf("blif: unsupported construct %s", fields[0])
-		default:
-			if cur == nil {
-				return nil, fmt.Errorf("blif: cover line outside .names: %q", line)
-			}
-			if len(cur.signals) == 1 {
-				// Constant driver: single field row.
-				if len(fields) != 1 {
-					return nil, fmt.Errorf("blif: bad constant row %q", line)
-				}
-				cur.rows = append(cur.rows, "")
-				cur.outVal = fields[0][0]
-				continue
-			}
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("blif: bad cover row %q", line)
-			}
-			cur.rows = append(cur.rows, fields[0])
-			cur.outVal = fields[1][0]
-		}
-	}
-	flush()
-
-	env := map[string]netlist.Signal{}
-	for _, in := range inputs {
-		env[in] = net.AddInput(in)
-	}
-
-	// Resolve blocks iteratively (they may be out of order).
-	remaining := blocks
-	for len(remaining) > 0 {
-		progress := false
-		var still []namesBlock
-		for _, b := range remaining {
-			deps := b.signals[:len(b.signals)-1]
-			ready := true
-			for _, d := range deps {
-				if _, ok := env[d]; !ok {
-					ready = false
-					break
-				}
-			}
-			if !ready {
-				still = append(still, b)
-				continue
-			}
-			sig, err := buildCover(net, env, b.signals, b.rows, b.outVal)
-			if err != nil {
-				return nil, err
-			}
-			env[b.signals[len(b.signals)-1]] = sig
-			progress = true
-		}
-		if !progress {
-			return nil, fmt.Errorf("blif: unresolved .names blocks (%d left)", len(still))
-		}
-		remaining = still
-	}
-
-	for _, out := range outputs {
-		sig, ok := env[out]
-		if !ok {
-			return nil, fmt.Errorf("blif: output %q never defined", out)
-		}
-		net.AddOutput(out, sig)
-	}
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	return net, nil
+	return ParseReader(strings.NewReader(src))
 }
 
 func buildCover(net *netlist.Network, env map[string]netlist.Signal, signals, rows []string, outVal byte) (netlist.Signal, error) {

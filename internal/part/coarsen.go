@@ -1,0 +1,195 @@
+package part
+
+// Multilevel coarsening: heavy-edge matching contracts pairs of vertices
+// that share the most (size-normalized) hyperedge weight, halving the graph
+// per level until it is small enough for the greedy initial partitioner.
+// All tie-breaks are by index and the visit order is a seeded permutation,
+// so the level hierarchy is a pure function of (netlist, seed).
+
+import "sort"
+
+// splitmix64 is the deterministic PRNG behind every seeded choice in this
+// package (visit-order shuffles). It is its own stream: advancing the
+// state never depends on how the outputs are consumed.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// seededPerm returns a Fisher–Yates shuffle of 0..n-1 driven by rng.
+func seededPerm(n int, rng *splitmix64) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// coarsen contracts h by heavy-edge matching. It returns the coarse graph
+// and the fine-vertex → coarse-vertex map; ok is false when matching
+// stalled (the graph shrank by less than 5%), which terminates the
+// multilevel descent.
+func coarsen(h *hypergraph, rng *splitmix64) (coarse *hypergraph, toCoarse []int32, ok bool) {
+	match := make([]int32, h.numV)
+	for i := range match {
+		match[i] = -1
+	}
+	// Neighbor connectivity scores, scaled to integers (edge weight is
+	// divided by |pins|-1 so huge nets don't dominate): scratch array plus
+	// a touched list keeps each visit O(deg).
+	score := make([]int64, h.numV)
+	var touched []int32
+	const scoreScale = 1 << 16
+
+	matched := 0
+	for _, v := range seededPerm(h.numV, rng) {
+		if match[v] >= 0 {
+			continue
+		}
+		touched = touched[:0]
+		for _, e := range h.vertexEdges(v) {
+			ep := h.edgePins(e)
+			if len(ep) > 256 {
+				// Huge nets (clock-like fanout) carry no locality signal
+				// worth O(|pins|) per visit.
+				continue
+			}
+			w := h.eWeight[e] * scoreScale / int64(len(ep)-1)
+			for _, u := range ep {
+				if u == v || match[u] >= 0 {
+					continue
+				}
+				if score[u] == 0 {
+					touched = append(touched, u)
+				}
+				score[u] += w
+			}
+		}
+		// Best unmatched neighbor: max score, ties to the smaller index.
+		best, bestScore := int32(-1), int64(0)
+		for _, u := range touched {
+			if score[u] > bestScore || (score[u] == bestScore && best >= 0 && u < best) {
+				best, bestScore = u, score[u]
+			}
+			score[u] = 0
+		}
+		if best >= 0 {
+			match[v], match[best] = best, v
+			matched += 2
+		}
+	}
+	if matched < h.numV/20 {
+		return nil, nil, false
+	}
+
+	// Assign coarse ids in fine-index order (deterministic), the lower
+	// index of each matched pair owning the id.
+	toCoarse = make([]int32, h.numV)
+	for i := range toCoarse {
+		toCoarse[i] = -1
+	}
+	coarse = &hypergraph{}
+	for v := int32(0); v < int32(h.numV); v++ {
+		if toCoarse[v] >= 0 {
+			continue
+		}
+		id := int32(len(coarse.vWeight))
+		toCoarse[v] = id
+		w := h.vWeight[v]
+		if m := match[v]; m >= 0 {
+			toCoarse[m] = id
+			w += h.vWeight[m]
+		}
+		coarse.vWeight = append(coarse.vWeight, w)
+	}
+	coarse.numV = len(coarse.vWeight)
+	if coarse.numV >= h.numV-h.numV/20 {
+		return nil, nil, false
+	}
+
+	// Project edges: map pins, dedupe within each edge, drop collapsed
+	// edges, and merge identical pin sets (weights add) via hashing.
+	type bucket struct {
+		edge int32 // index into coarse edge arrays
+	}
+	merged := map[uint64][]bucket{}
+	mark := make([]int32, coarse.numV)
+	for i := range mark {
+		mark[i] = -1
+	}
+	coarse.eOff = append(coarse.eOff, 0)
+	var pinScratch []int32
+	for e := int32(0); e < int32(h.numE); e++ {
+		pinScratch = pinScratch[:0]
+		for _, p := range h.edgePins(e) {
+			c := toCoarse[p]
+			if mark[c] != e {
+				mark[c] = e
+				pinScratch = append(pinScratch, c)
+			}
+		}
+		if len(pinScratch) < 2 {
+			continue
+		}
+		sortInt32(pinScratch)
+		hash := uint64(14695981039346656037)
+		for _, p := range pinScratch {
+			hash ^= uint64(uint32(p))
+			hash *= 1099511628211
+		}
+		dup := int32(-1)
+		for _, b := range merged[hash] {
+			if equalPins(coarse.edgePins(b.edge), pinScratch) {
+				dup = b.edge
+				break
+			}
+		}
+		if dup >= 0 {
+			coarse.eWeight[dup] += h.eWeight[e]
+			continue
+		}
+		idx := int32(coarse.numE)
+		coarse.pins = append(coarse.pins, pinScratch...)
+		coarse.eOff = append(coarse.eOff, int32(len(coarse.pins)))
+		coarse.eWeight = append(coarse.eWeight, h.eWeight[e])
+		coarse.numE++
+		merged[hash] = append(merged[hash], bucket{edge: idx})
+	}
+	coarse.buildIncidence()
+	return coarse, toCoarse, true
+}
+
+// sortInt32 insertion-sorts short pin lists (the common case) and falls
+// back to the library sort for high-fanout nets.
+func sortInt32(a []int32) {
+	if len(a) > 32 {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func equalPins(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

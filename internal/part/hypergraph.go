@@ -1,0 +1,155 @@
+// Package part is the k-way partitioning core behind the public
+// logic/partition subsystem: a deterministic multilevel hypergraph
+// partitioner over flat netlists, window extraction that lifts each
+// partition into a self-contained sub-network, and a parallel mixed
+// MIG/AIG synthesis engine that optimizes the windows on worker-private
+// graphs and stitches the winners back deterministically.
+//
+// Everything in this package is reproducible by construction: a fixed
+// Options.Seed yields the same cut on every run, and the optimizer's
+// output is byte-identical for any worker count (parallelism only changes
+// when windows are processed, never what any window computes or the order
+// results are committed in).
+package part
+
+import (
+	"repro/internal/netlist"
+)
+
+// hypergraph is the netlist's connectivity abstracted for partitioning:
+// one vertex per logic gate, one hyperedge per driving signal (gate output
+// or primary input) spanning the driver and every gate it feeds. Both the
+// pin lists and the vertex→edge incidence are CSR-packed; the structure is
+// immutable once built.
+type hypergraph struct {
+	numV    int
+	numE    int
+	vWeight []int64 // per-vertex weight (fine level: 1 per gate)
+	eOff    []int32 // len numE+1; pins of edge e are pins[eOff[e]:eOff[e+1]]
+	pins    []int32
+	eWeight []int64
+	vOff    []int32 // len numV+1; edges of vertex v are vEdges[vOff[v]:vOff[v+1]]
+	vEdges  []int32
+}
+
+// totalWeight sums the vertex weights.
+func (h *hypergraph) totalWeight() int64 {
+	var t int64
+	for _, w := range h.vWeight {
+		t += w
+	}
+	return t
+}
+
+// edgePins returns the pin slice of edge e.
+func (h *hypergraph) edgePins(e int32) []int32 { return h.pins[h.eOff[e]:h.eOff[e+1]] }
+
+// vertexEdges returns the incident-edge slice of vertex v.
+func (h *hypergraph) vertexEdges(v int32) []int32 { return h.vEdges[h.vOff[v]:h.vOff[v+1]] }
+
+// buildIncidence fills vOff/vEdges from the edge pin lists.
+func (h *hypergraph) buildIncidence() {
+	deg := make([]int32, h.numV+1)
+	for _, p := range h.pins {
+		deg[p+1]++
+	}
+	h.vOff = deg
+	for v := 0; v < h.numV; v++ {
+		h.vOff[v+1] += h.vOff[v]
+	}
+	h.vEdges = make([]int32, len(h.pins))
+	cursor := make([]int32, h.numV)
+	for e := int32(0); e < int32(h.numE); e++ {
+		for _, p := range h.edgePins(e) {
+			h.vEdges[h.vOff[p]+cursor[p]] = e
+			cursor[p]++
+		}
+	}
+}
+
+// buildHypergraph abstracts n for partitioning. vertexOf maps a netlist
+// node index to its vertex (-1 for constants and primary inputs); nodeOf
+// is the inverse. Hyperedges with fewer than two pins (a gate whose output
+// feeds only primary outputs, an input feeding a single gate) carry no cut
+// information and are dropped.
+func buildHypergraph(n *netlist.Network) (h *hypergraph, vertexOf, nodeOf []int32) {
+	vertexOf = make([]int32, len(n.Nodes))
+	for i := range vertexOf {
+		vertexOf[i] = -1
+	}
+	for i, nd := range n.Nodes {
+		switch nd.Op {
+		case netlist.Const0, netlist.Input:
+		default:
+			vertexOf[i] = int32(len(nodeOf))
+			nodeOf = append(nodeOf, int32(i))
+		}
+	}
+
+	h = &hypergraph{numV: len(nodeOf)}
+	h.vWeight = make([]int64, h.numV)
+	for i := range h.vWeight {
+		h.vWeight[i] = 1
+	}
+
+	// One edge per driver: the driver's vertex (when it is a gate) plus
+	// the distinct gate sinks. Sinks are collected by a single sweep over
+	// all fanins, bucketed per driver node in CSR form.
+	sinkCount := make([]int32, len(n.Nodes)+1)
+	for i, nd := range n.Nodes {
+		if vertexOf[i] < 0 {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			sinkCount[f.Node()+1]++
+		}
+	}
+	sinkOff := sinkCount
+	for i := 0; i < len(n.Nodes); i++ {
+		sinkOff[i+1] += sinkOff[i]
+	}
+	sinks := make([]int32, sinkOff[len(n.Nodes)])
+	cursor := make([]int32, len(n.Nodes))
+	for i, nd := range n.Nodes {
+		if vertexOf[i] < 0 {
+			continue
+		}
+		for _, f := range nd.Fanins {
+			d := f.Node()
+			sinks[sinkOff[d]+cursor[d]] = vertexOf[i]
+			cursor[d]++
+		}
+	}
+
+	h.eOff = append(h.eOff, 0)
+	var pinScratch []int32
+	mark := make([]int32, h.numV)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for d := range n.Nodes {
+		if n.Nodes[d].Op == netlist.Const0 {
+			continue // constants carry no locality
+		}
+		pinScratch = pinScratch[:0]
+		if v := vertexOf[d]; v >= 0 {
+			pinScratch = append(pinScratch, v)
+			mark[v] = int32(d)
+		}
+		for _, s := range sinks[sinkOff[d]:sinkOff[d+1]] {
+			if mark[s] != int32(d) {
+				mark[s] = int32(d)
+				pinScratch = append(pinScratch, s)
+			}
+		}
+		if len(pinScratch) < 2 {
+			continue
+		}
+		h.pins = append(h.pins, pinScratch...)
+		h.eOff = append(h.eOff, int32(len(h.pins)))
+		h.eWeight = append(h.eWeight, 1)
+		h.numE++
+	}
+	h.buildIncidence()
+	return h, vertexOf, nodeOf
+}

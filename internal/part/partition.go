@@ -1,0 +1,183 @@
+package part
+
+// The multilevel driver: coarsen to a few hundred vertices, cut the
+// coarsest graph greedily, then project the assignment back up, refining
+// at every level (the standard METIS/hMETIS shape, sized for netlists).
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Options configures a partitioning run.
+type Options struct {
+	// K is the requested part count (clamped so every part can hold at
+	// least a few gates; 0 or 1 disables partitioning).
+	K int
+	// Seed drives every randomized choice. Runs with equal (netlist, K,
+	// Seed, Eps) produce identical cuts. The zero seed is a fixed default,
+	// not a time-derived one.
+	Seed uint64
+	// Eps is the balance slack: no part exceeds (1+Eps)×(total/K) gates.
+	// Zero means the 0.10 default.
+	Eps float64
+}
+
+// MaxK bounds the part count; the refiner's per-edge bookkeeping is dense
+// in k.
+const MaxK = 64
+
+// minPartGates is the smallest average part size worth optimizing in
+// isolation; K is clamped so parts don't fall below it.
+const minPartGates = 4
+
+// Result is a partitioning of a netlist's gates.
+type Result struct {
+	// K is the effective part count after clamping.
+	K int
+	// Assign maps every netlist node index to its part, -1 for constants
+	// and primary inputs (they belong to no part).
+	Assign []int32
+	// Cut is the (λ-1) connectivity of the cut: the summed weight of
+	// hyperedges spanning multiple parts, each counted once per extra
+	// part it touches.
+	Cut int64
+	// Parts is the gate count of each part.
+	Parts []int
+}
+
+// Partition computes a deterministic k-way partition of n's gates.
+func Partition(n *netlist.Network, opts Options) (*Result, error) {
+	if opts.K > MaxK {
+		return nil, fmt.Errorf("part: k=%d exceeds the maximum of %d", opts.K, MaxK)
+	}
+	h, _, nodeOf := buildHypergraph(n)
+	k := opts.K
+	if max := h.numV / minPartGates; k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	eps := opts.Eps
+	if eps <= 0 {
+		eps = 0.10
+	}
+
+	res := &Result{K: k, Assign: make([]int32, len(n.Nodes))}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	if k == 1 {
+		for _, node := range nodeOf {
+			res.Assign[node] = 0
+		}
+		res.Parts = []int{h.numV}
+		return res, nil
+	}
+
+	rng := splitmix64(opts.Seed ^ 0xda3e39cb94b95bdb)
+
+	// Descend: coarsen until the graph is small (or matching stalls).
+	type level struct {
+		h        *hypergraph
+		toCoarse []int32 // fine vertex -> vertex of the NEXT (coarser) level
+	}
+	levels := []level{{h: h}}
+	target := 100
+	if t := 20 * k; t > target {
+		target = t
+	}
+	for levels[len(levels)-1].h.numV > target && len(levels) < 40 {
+		cur := levels[len(levels)-1].h
+		coarse, toCoarse, ok := coarsen(cur, &rng)
+		if !ok {
+			break
+		}
+		levels[len(levels)-1].toCoarse = toCoarse
+		levels = append(levels, level{h: coarse})
+	}
+
+	// Cut the coarsest level, then project up and refine at every level.
+	coarsest := levels[len(levels)-1].h
+	total := coarsest.totalWeight()
+	maxW := total/int64(k) + 1
+	maxW += int64(float64(maxW) * eps)
+	assign := initialPartition(coarsest, k, maxW, &rng)
+	st := newPartState(coarsest, assign, k)
+	refine(st, maxW, 8)
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		fineAssign := make([]int32, fine.h.numV)
+		for v := range fineAssign {
+			fineAssign[v] = assign[fine.toCoarse[v]]
+		}
+		assign = fineAssign
+		st = newPartState(fine.h, assign, k)
+		refine(st, maxW, 4)
+	}
+
+	res.Cut = st.cut()
+	res.Parts = make([]int, k)
+	for v, p := range assign {
+		res.Assign[nodeOf[v]] = p
+		res.Parts[p]++
+	}
+	return res, nil
+}
+
+// initialPartition greedily grows k-1 parts on the coarsest graph: each
+// part starts from the first unassigned vertex (in seeded order) and
+// absorbs the unassigned vertex best connected to it until the weight
+// target is met; the last part takes the remainder. The coarsest graph has
+// a few hundred vertices, so the quadratic scan is cheap.
+func initialPartition(h *hypergraph, k int, maxW int64, rng *splitmix64) []int32 {
+	assign := make([]int32, h.numV)
+	for i := range assign {
+		assign[i] = -1
+	}
+	order := seededPerm(h.numV, rng)
+	total := h.totalWeight()
+	target := total / int64(k)
+
+	conn := make([]int64, h.numV)
+	for p := 0; p < k-1; p++ {
+		for i := range conn {
+			conn[i] = 0
+		}
+		var w int64
+		for w < target {
+			// Best unassigned vertex by connectivity to part p; when the
+			// frontier is empty (fresh part, disconnected component), the
+			// first unassigned vertex in seeded order seeds it.
+			best, bestConn := int32(-1), int64(-1)
+			for _, v := range order {
+				if assign[v] < 0 && conn[v] > bestConn {
+					best, bestConn = v, conn[v]
+				}
+			}
+			if best < 0 || w+h.vWeight[best] > maxW {
+				break
+			}
+			assign[best] = int32(p)
+			w += h.vWeight[best]
+			for _, e := range h.vertexEdges(best) {
+				ep := h.edgePins(e)
+				inc := h.eWeight[e] * (1 << 16) / int64(len(ep)-1+1)
+				for _, u := range ep {
+					if assign[u] < 0 {
+						conn[u] += inc
+					}
+				}
+			}
+		}
+	}
+	last := int32(k - 1)
+	for v := range assign {
+		if assign[v] < 0 {
+			assign[v] = last
+		}
+	}
+	return assign
+}

@@ -1,0 +1,129 @@
+package part
+
+// FM-style k-way boundary refinement on the (λ-1) connectivity metric.
+// Each round sweeps the boundary vertices in index order and greedily
+// applies the best strictly-cut-improving move that respects the balance
+// cap; the cut decreases monotonically, so the loop terminates, and every
+// choice breaks ties by index, so refinement is deterministic.
+
+// partState tracks one level's partition: the assignment, per-part weight,
+// and per-edge pin counts per part (the λ bookkeeping FM gains need).
+type partState struct {
+	h      *hypergraph
+	k      int
+	assign []int32
+	partW  []int64
+	// cnt[e*k+p] is the number of pins of edge e in part p.
+	cnt []int32
+}
+
+func newPartState(h *hypergraph, assign []int32, k int) *partState {
+	s := &partState{h: h, k: k, assign: assign}
+	s.partW = make([]int64, k)
+	for v := 0; v < h.numV; v++ {
+		s.partW[assign[v]] += h.vWeight[v]
+	}
+	s.cnt = make([]int32, h.numE*k)
+	for e := int32(0); e < int32(h.numE); e++ {
+		for _, p := range h.edgePins(e) {
+			s.cnt[int(e)*k+int(assign[p])]++
+		}
+	}
+	return s
+}
+
+// cut returns the (λ-1) connectivity of the current assignment: each edge
+// contributes weight × (number of parts it touches − 1).
+func (s *partState) cut() int64 {
+	var c int64
+	for e := 0; e < s.h.numE; e++ {
+		lambda := int64(0)
+		for p := 0; p < s.k; p++ {
+			if s.cnt[e*s.k+p] > 0 {
+				lambda++
+			}
+		}
+		if lambda > 1 {
+			c += s.h.eWeight[e] * (lambda - 1)
+		}
+	}
+	return c
+}
+
+// boundary reports whether v touches an edge spanning another part.
+func (s *partState) boundary(v int32) bool {
+	from := int(s.assign[v])
+	for _, e := range s.h.vertexEdges(v) {
+		if int(s.cnt[int(e)*s.k+from]) != len(s.h.edgePins(e)) {
+			return true
+		}
+	}
+	return false
+}
+
+// gain returns the cut decrease of moving v from its part to part to.
+func (s *partState) gain(v int32, to int) int64 {
+	from := int(s.assign[v])
+	var g int64
+	for _, e := range s.h.vertexEdges(v) {
+		base := int(e) * s.k
+		if s.cnt[base+from] == 1 {
+			g += s.h.eWeight[e]
+		}
+		if s.cnt[base+to] == 0 {
+			g -= s.h.eWeight[e]
+		}
+	}
+	return g
+}
+
+// move reassigns v to part to, updating the bookkeeping.
+func (s *partState) move(v int32, to int) {
+	from := int(s.assign[v])
+	s.assign[v] = int32(to)
+	s.partW[from] -= s.h.vWeight[v]
+	s.partW[to] += s.h.vWeight[v]
+	for _, e := range s.h.vertexEdges(v) {
+		base := int(e) * s.k
+		s.cnt[base+from]--
+		s.cnt[base+to]++
+	}
+}
+
+// refine runs up to rounds boundary sweeps. maxW caps every part's weight;
+// a move is applied when it strictly improves the cut, or when it is
+// cut-neutral and strictly improves the balance of the two parts involved
+// (bounded, since each such move strictly reduces the weight spread).
+func refine(s *partState, maxW int64, rounds int) {
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for v := int32(0); v < int32(s.h.numV); v++ {
+			if !s.boundary(v) {
+				continue
+			}
+			from := int(s.assign[v])
+			w := s.h.vWeight[v]
+			bestTo, bestGain := -1, int64(0)
+			for to := 0; to < s.k; to++ {
+				if to == from || s.partW[to]+w > maxW {
+					continue
+				}
+				g := s.gain(v, to)
+				if g > bestGain { // ascending scan: ties keep the smaller part
+					bestTo, bestGain = to, g
+				} else if g == 0 && bestTo < 0 && s.partW[from] > s.partW[to]+w {
+					// Cut-neutral rebalance: only when no improving move
+					// exists, and only toward a strictly lighter part.
+					bestTo = to
+				}
+			}
+			if bestTo >= 0 && (bestGain > 0 || s.partW[from] > s.partW[bestTo]+w) {
+				s.move(v, bestTo)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}

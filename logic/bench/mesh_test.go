@@ -1,0 +1,49 @@
+package bench_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/logic/bench"
+	"repro/logic/partition"
+)
+
+// TestMeshDeterministicAndSized: equal byte output across calls (the
+// contract the CI smoke job's byte-compare rests on) and at least the
+// requested gate count.
+func TestMeshDeterministicAndSized(t *testing.T) {
+	a := bench.Mesh(3000)
+	b := bench.Mesh(3000)
+	if a.Size() < 3000 {
+		t.Fatalf("Mesh(3000) has %d gates", a.Size())
+	}
+	if a.EncodeBLIF() != b.EncodeBLIF() {
+		t.Fatal("Mesh is not deterministic")
+	}
+	if d := a.Depth(); d > 600 {
+		t.Fatalf("Mesh(3000) depth %d — the grid should grow wide, not deep", d)
+	}
+}
+
+// TestMeshMixedSynthesis: the mesh is representationally heterogeneous —
+// partitioned mixed synthesis commits the MIG candidate on some windows
+// and the AIG candidate on others.
+func TestMeshMixedSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second synthesis run")
+	}
+	m := bench.Mesh(2000)
+	_, rep, err := partition.Optimize(context.Background(), m, partition.Config{
+		K: 8, Effort: 1, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := map[string]int{}
+	for _, p := range rep.Parts {
+		reps[p.Rep]++
+	}
+	if reps["mig"] == 0 || reps["aig"] == 0 {
+		t.Fatalf("mixed synthesis degenerated to one representation: %v", reps)
+	}
+}

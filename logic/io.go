@@ -6,6 +6,7 @@ package logic
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/blif"
@@ -46,7 +47,16 @@ func ParseFormat(s string) (Format, error) {
 
 // DecodeBLIF parses a BLIF source into a flat-netlist Network.
 func DecodeBLIF(src string) (*Netlist, error) {
-	n, err := blif.Parse(src)
+	return DecodeBLIFReader(strings.NewReader(src))
+}
+
+// DecodeBLIFReader parses a BLIF model streamed from r into a flat-netlist
+// Network without buffering the source: the parser holds one line at a
+// time and resolves .names blocks incrementally, so parse memory is
+// bounded by the netlist, not the file. Prefer this over DecodeBLIF when
+// reading from a file or request body.
+func DecodeBLIFReader(r io.Reader) (*Netlist, error) {
+	n, err := blif.ParseReader(r)
 	if err != nil {
 		return nil, err
 	}
@@ -70,6 +80,23 @@ func Decode(format Format, src string) (*Netlist, error) {
 		return DecodeBLIF(src)
 	case FormatVerilog:
 		return DecodeVerilog(src)
+	}
+	return nil, fmt.Errorf("logic: unknown format %q", format)
+}
+
+// DecodeReader parses a circuit streamed from r in the given format. BLIF
+// decodes incrementally (see DecodeBLIFReader); the Verilog parser needs
+// the whole source, so that format is read fully before parsing.
+func DecodeReader(format Format, r io.Reader) (*Netlist, error) {
+	switch format {
+	case FormatBLIF:
+		return DecodeBLIFReader(r)
+	case FormatVerilog:
+		src, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		return DecodeVerilog(string(src))
 	}
 	return nil, fmt.Errorf("logic: unknown format %q", format)
 }

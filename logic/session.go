@@ -15,6 +15,7 @@ import (
 	"repro/internal/equiv"
 	"repro/internal/mig"
 	"repro/internal/opt"
+	"repro/internal/part"
 	"repro/internal/sweep"
 )
 
@@ -35,6 +36,7 @@ type Session struct {
 	verifyOn     bool
 	fraig        bool
 	probs        []float64
+	partitions   int
 }
 
 // Option configures a Session.
@@ -104,6 +106,29 @@ func WithWorkers(n int) Option {
 			return fmt.Errorf("logic: workers %d, must be >= 0", n)
 		}
 		s.workers = n
+		return nil
+	}
+}
+
+// WithPartitions routes Optimize through the partition subsystem: the
+// circuit is split into k windows by a deterministic multilevel
+// partitioner, every window is optimized under both a MIG and an AIG flow
+// in parallel (worker budget from WithWorkers), and the per-objective
+// winners are stitched back. Results are byte-identical for any worker
+// count. 0 or 1 (the default) disables partitioning. The session's
+// objective, effort and script configure the per-window MIG flow; the AIG
+// candidate runs the resyn2 baseline (WithAIGRounds). Partitioned runs
+// require a MIG-family configuration — an AIG strategy from WithStrategy
+// is rejected at Optimize time.
+func WithPartitions(k int) Option {
+	return func(s *Session) error {
+		if k < 0 {
+			return fmt.Errorf("logic: partitions %d, must be >= 0", k)
+		}
+		if k > part.MaxK {
+			return fmt.Errorf("logic: partitions %d exceeds the maximum of %d", k, part.MaxK)
+		}
+		s.partitions = k
 		return nil
 	}
 }
@@ -178,6 +203,9 @@ type Result struct {
 	// ("" when verification was off).
 	VerifyMethod string `json:"verify_method,omitempty"`
 	VerifyDetail string `json:"verify_detail,omitempty"`
+	// Partition reports the partitioned run (nil unless WithPartitions
+	// routed this call through the partition subsystem).
+	Partition *PartitionReport `json:"partition,omitempty"`
 }
 
 // Optimize runs the session's configuration on net and returns the
@@ -203,13 +231,17 @@ func (s *Session) Optimize(ctx context.Context, net Network) (Network, *Result, 
 
 	var optimized Network
 	var err error
-	switch net.Kind() {
-	case KindAIG:
-		optimized, res.Trace, err = s.optimizeAIG(ctx, net.(*AIG))
-	case KindMIG:
-		optimized, res.Trace, err = s.optimizeMIG(ctx, net.(*MIG))
-	default:
-		optimized, res.Trace, err = s.optimizeMIG(ctx, &MIG{g: mig.FromNetwork(net.flat().Remajorize())})
+	if s.partitions > 1 {
+		optimized, res.Partition, res.Trace, err = s.optimizePartitioned(ctx, net)
+	} else {
+		switch net.Kind() {
+		case KindAIG:
+			optimized, res.Trace, err = s.optimizeAIG(ctx, net.(*AIG))
+		case KindMIG:
+			optimized, res.Trace, err = s.optimizeMIG(ctx, net.(*MIG))
+		default:
+			optimized, res.Trace, err = s.optimizeMIG(ctx, &MIG{g: mig.FromNetwork(net.flat().Remajorize())})
+		}
 	}
 	if err != nil {
 		return nil, res, err
@@ -230,6 +262,36 @@ func (s *Session) Optimize(ctx context.Context, net Network) (Network, *Result, 
 	res.Seconds = time.Since(start).Seconds()
 	res.After = optimized.Stats()
 	return optimized, res, nil
+}
+
+// optimizePartitioned runs the partition subsystem on net's flat view:
+// k-way cut, parallel per-window mixed MIG/AIG synthesis, deterministic
+// stitch. The output stays in the input's representation family (AIG in →
+// AIG out, MIG/netlist in → MIG out). The session script, objective and
+// effort configure the per-window MIG candidate; per-pass script checking
+// does not apply (windows are verified end-to-end by the whole-run check
+// when verification is on).
+func (s *Session) optimizePartitioned(ctx context.Context, net Network) (Network, *PartitionReport, Trace, error) {
+	if err := s.checkStrategyKind(KindMIG); err != nil {
+		return nil, nil, nil, err
+	}
+	out, rep, err := part.Optimize(ctx, net.flat(), part.Config{
+		K:         s.partitions,
+		Effort:    s.effort,
+		AIGRounds: s.aigRounds,
+		Objective: s.objective,
+		MIGScript: s.script,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var result Network
+	if net.Kind() == KindAIG {
+		result = &AIG{g: aig.FromNetwork(out)}
+	} else {
+		result = &MIG{g: mig.FromNetwork(out)}
+	}
+	return result, fromPartReport(rep), fromTrace(rep.Steps), nil
 }
 
 // optimizeMIG builds and runs the MIG pipeline for this configuration.

@@ -98,6 +98,7 @@ func main() {
 	rounds := flag.Int("rounds", 2, "AIG resyn2 rounds")
 	verify := flag.String("verify", "", "verify functional equivalence of optimized results with the given engine: auto|exact|bdd|sim|sat (empty/none = off); any failure exits nonzero")
 	fraig := flag.Bool("fraig", false, "append the SAT-sweeping fraig pass to the canned MIG and AIG flows")
+	npn := flag.Bool("npn", false, "append the exact NPN-database rewriting pass (rewrite-npn) to the canned MIG flow")
 	only := flag.String("only", "", "comma-separated benchmark subset (default: all of Table I)")
 	compressWords := flag.Int("compress-words", 1200, "size parameter for the compression circuit")
 	migScript := flag.String("mig-script", "", "pass script replacing the canned MIG flow, e.g. \"cleanup; fraig; window-rewrite\"")
@@ -156,7 +157,7 @@ func main() {
 	cfg := bench.Config{
 		Effort: *effort, AIGRounds: *rounds,
 		Verify: verifyEngine != "", VerifyEngine: verifyEngine,
-		MIGScript: *migScript, Fraig: *fraig,
+		MIGScript: *migScript, Fraig: *fraig, NPN: *npn,
 	}
 	cfg.Defaults()
 	if *migScript != "" {

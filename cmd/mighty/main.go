@@ -63,7 +63,7 @@ func main() {
 	effort := flag.Int("effort", 3, "optimization effort (cycles)")
 	stats := flag.Bool("stats", false, "print metrics only, no netlist output")
 	verify := flag.String("verify", "auto", "equivalence engine for verification: auto|exact|bdd|sim|sat, or none/off/false to skip")
-	jobs := flag.Int("jobs", 1, "worker budget for parallel passes (window-rewrite, fraig); results are identical for any value")
+	jobs := flag.Int("jobs", 1, "worker budget for parallel passes (window-rewrite, rewrite-npn, fraig); results are identical for any value")
 	partitions := flag.Int("partition", 0, "split the circuit into k partitions and synthesize them in parallel (mixed MIG/AIG per window); 0 = off")
 	timeout := flag.Duration("timeout", 0, "optimization deadline (0 = none), e.g. 30s")
 	flag.Parse()

@@ -81,8 +81,8 @@
 // verification after every step.
 //
 //   - internal/mig registers eliminate, eliminate-budget, reshape-size,
-//     reshape-depth, pushup, activity, cut-rewrite, fraig and cleanup, and
-//     exposes
+//     reshape-depth, pushup, activity, cut-rewrite, window-rewrite,
+//     rewrite-npn, fraig and cleanup, and exposes
 //     Algorithm 1 (SizePipeline), Algorithm 2 (DepthPipeline), the §V.A
 //     experimental flow (FlowPipeline), the §IV.C activity flow
 //     (ActivityPipeline) and the Boolean extension (BooleanSizePipeline)
@@ -136,6 +136,27 @@
 // concurrent server requests do not share one global knob. The pipeline
 // engine, the parallel drivers (opt.ForEachCtx) and the SAT solver's
 // conflict loop (Solver.Stop) all observe context cancellation.
+//
+// # Exact rewriting
+//
+// The rewrite-npn pass (mig.NPNRewritePass) replaces the heuristic
+// candidate synthesis of cut rewriting with provably size-optimal
+// implementations. Offline, cmd/npngen enumerates the 222 NPN equivalence
+// classes of 4-input Boolean functions and exact-synthesizes a minimum-gate
+// MIG for each class representative with the SAT encoding in
+// internal/exact (selection-variable encoding over candidate fanins;
+// gate count minimized first, depth as tiebreak, every witness re-verified
+// by word simulation). The resulting database is checked in as generated
+// Go source plus a canonical text mirror (internal/npndb), so runtime
+// lookups are a table index away: canonize the cut function, fetch the
+// class entry, replay the inverse NPN transform onto the cut leaves. The
+// pass rides the window-rewrite machinery — per-cone probing on worker
+// clones, serial deterministic commit, positive DAG-aware net gain
+// required (nodes added after strashing minus the replaced cone's freed
+// fanout-free interior) — so it is byte-identical for every worker count
+// and never size-increasing. CI regenerates a database sample and fails on drift
+// (npngen -check); docs/NPN.md documents the encoding and the database
+// format.
 //
 // # Partitioning
 //

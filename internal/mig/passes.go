@@ -135,6 +135,19 @@ func passWindowRewrite(k, maxCuts int) opt.Pass[*MIG] {
 	})
 }
 
+// passRewriteNPN is exact NPN-database cut rewriting (npn.go) with
+// candidate evaluation fanned over the worker budget, byte-identical for
+// any worker count.
+func passRewriteNPN(k, maxCuts int) opt.Pass[*MIG] {
+	return opt.NewCtx("rewrite-npn", func(ctx context.Context, m *MIG) (*MIG, error) {
+		out, err := m.NPNRewritePassCtx(ctx, k, maxCuts, opt.WorkersCtx(ctx))
+		if err != nil {
+			return m, err
+		}
+		return out.Cleanup(), nil
+	})
+}
+
 // passFraig is simulation-guided SAT sweeping (fraig.go) with candidate
 // pairs fanned over the worker budget (context override, then the
 // process-wide SetWorkers budget wired to -jobs in the CLIs).
@@ -313,6 +326,20 @@ func buildRegistry() *opt.Registry[*MIG] {
 				return nil, err
 			}
 			return passFraig(a[0], a[1], a[2]), nil
+		})
+	r.Register("rewrite-npn", "k,cuts", "rewrite-npn(k=4, cuts=5): exact NPN-class cut rewriting — replace cuts with SAT-proven size-optimal database implementations when they beat the heuristic (workers = -jobs); byte-identical to serial",
+		func(args []int) (opt.Pass[*MIG], error) {
+			a, err := opt.IntArgs(args, 4, 5)
+			if err != nil {
+				return nil, err
+			}
+			if a[0] < 2 || a[0] > 4 {
+				return nil, fmt.Errorf("rewrite-npn: cut size %d outside the database arity range [2,4]", a[0])
+			}
+			if a[1] < 1 || a[1] > 64 {
+				return nil, fmt.Errorf("rewrite-npn: cut budget %d outside [1,64]", a[1])
+			}
+			return passRewriteNPN(a[0], a[1]), nil
 		})
 	r.Register("window-rewrite", "k,cuts", "window-rewrite(k=4, cuts=5): cut rewriting with window-parallel candidate evaluation (workers = -jobs); byte-identical to serial",
 		func(args []int) (opt.Pass[*MIG], error) {

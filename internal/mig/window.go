@@ -28,6 +28,16 @@ package mig
 // output), but functional equivalence holds by the same argument: every
 // replacement realizes the node's cut function over equivalent leaf
 // signals.
+//
+// Candidates are scored by DAG-aware net gain: nodes the probe adds
+// (after structural hashing) minus the interior nodes of the replaced cut
+// cone that lose their last reference (freedBy, an MFFC-style dereference
+// that first protects everything the new cone reuses). Without the freed
+// credit a structurally different replacement could never displace the
+// incumbent structure — the incumbent re-derives itself for free through
+// the strash while the replacement pays full price, which matters most
+// for rewrite-npn, whose database implementations rarely share structure
+// with the heuristically built graph.
 
 import (
 	"context"
@@ -37,11 +47,14 @@ import (
 )
 
 // windowChoice records the evaluation result for one node: the cut index
-// that won (-1 keeps the default reconstruction) and the cut function.
+// that won (-1 keeps the default reconstruction), the cut function, and
+// which synthesizer produced the winner (npn: the exact database instead
+// of the heuristic synthW). The commit phase replays exactly this choice.
 type windowChoice struct {
 	cutIdx int32
 	nvars  int32
 	w      uint64
+	npn    bool
 }
 
 // Windows partitions the live majority nodes into maximal fanout-free
@@ -111,6 +124,13 @@ func (m *MIG) WindowRewritePass(k, maxCuts, jobs int) *MIG {
 // on a partial evaluation, preserving byte-identity for any cancellation
 // point).
 func (m *MIG) WindowRewritePassCtx(ctx context.Context, k, maxCuts, jobs int) (*MIG, error) {
+	return m.windowRewriteCtx(ctx, k, maxCuts, jobs, false)
+}
+
+// windowRewriteCtx is the shared two-phase engine behind window-rewrite
+// and rewrite-npn. npn additionally probes the exact NPN-database
+// implementation of every (at most 4-input) cut.
+func (m *MIG) windowRewriteCtx(ctx context.Context, k, maxCuts, jobs int, npn bool) (*MIG, error) {
 	cuts := m.CutSet(k, maxCuts)
 	refs := m.FanoutCounts()
 	lp := takeBools(len(m.nodes))
@@ -126,20 +146,21 @@ func (m *MIG) WindowRewritePassCtx(ctx context.Context, k, maxCuts, jobs int) (*
 	if jobs < 1 {
 		jobs = 1
 	}
-	clones := make(chan *MIG, jobs)
+	workers := make(chan winWorker, jobs)
 	for w := 0; w < jobs; w++ {
 		if w == 0 && jobs == 1 {
 			// A serial run can probe on m itself: every probe is rolled
-			// back, so the graph is unchanged on return.
-			clones <- m
+			// back and freedBy restores the reference counts exactly, so
+			// both the graph and refs are unchanged on return.
+			workers <- winWorker{cl: m, refs: refs}
 		} else {
-			clones <- m.Clone()
+			workers <- winWorker{cl: m.Clone(), refs: append([]int(nil), refs...)}
 		}
 	}
 	if err := opt.ForEachCtx(ctx, len(windows), jobs, func(wi int) {
-		cl := <-clones
-		cl.evalWindow(windows[wi], cuts, choices)
-		clones <- cl
+		wk := <-workers
+		wk.cl.evalWindow(windows[wi], cuts, choices, npn, wk.refs)
+		workers <- wk
 	}); err != nil {
 		return m, err
 	}
@@ -174,7 +195,11 @@ func (m *MIG) WindowRewritePassCtx(ctx context.Context, k, maxCuts, jobs int) (*
 				leafBuf = append(leafBuf, s)
 			}
 			if ok {
-				remap[i] = out.synthW(ch.w, int(ch.nvars), leafBuf)
+				if ch.npn {
+					remap[i] = out.synthNPN(ch.w, int(ch.nvars), leafBuf)
+				} else {
+					remap[i] = out.synthW(ch.w, int(ch.nvars), leafBuf)
+				}
 				continue
 			}
 		}
@@ -189,12 +214,111 @@ func (m *MIG) WindowRewritePassCtx(ctx context.Context, k, maxCuts, jobs int) (*
 	return out, nil
 }
 
+// winWorker pairs a worker-private clone with a worker-private copy of the
+// input graph's fanout counts. freedBy mutates refs transiently (and
+// restores it exactly), so sharing one slice across workers would race.
+type winWorker struct {
+	cl   *MIG
+	refs []int
+}
+
+// freedScratch holds the reusable traversal buffers of freedBy so the
+// per-probe gain accounting allocates only on growth.
+type freedScratch struct {
+	stack, incs, decs []int
+}
+
+// freedBy estimates how many nodes of the input graph would lose their
+// last reference if node i were replaced by the cone rooted at s built
+// over the given cut leaves: the maximum fanout-free cone of i with the
+// leaves as absolute barriers, computed after protecting every old node
+// the new cone reuses. refs holds the input graph's fanout counts and is
+// restored exactly before returning, so determinism only needs refs to be
+// worker-private. Nodes at or past len(refs) are probe- or window-local
+// and carry no reference bookkeeping. Returns 0 when the new cone
+// contains i itself — then nothing dies.
+func (cl *MIG) freedBy(i int, s Signal, leaves []int32, refs []int, fs *freedScratch) int {
+	if s.Node() == i {
+		return 0
+	}
+	scr := cl.scr.begin(len(cl.nodes))
+	for _, l := range leaves {
+		scr.put(int(l), 1) // leaf: barrier for the dereference walk below
+	}
+	// Protect walk over the new cone: +1 every old node it reuses so the
+	// dereference cannot free structure the replacement still needs. A
+	// reused node that was dead (refs 0) is being revived, making its own
+	// fanin edges real again, so its children need protecting too.
+	fs.stack = append(fs.stack[:0], s.Node())
+	fs.incs = fs.incs[:0]
+	usesI := false
+	for len(fs.stack) > 0 {
+		n := fs.stack[len(fs.stack)-1]
+		fs.stack = fs.stack[:len(fs.stack)-1]
+		if scr.seen(n) || cl.nodes[n].kind != kindMaj {
+			continue
+		}
+		scr.put(n, 2)
+		if n == i {
+			usesI = true
+		}
+		recurse := true
+		if n < len(refs) {
+			refs[n]++
+			fs.incs = append(fs.incs, n)
+			recurse = refs[n] == 1 // revived dead node
+		}
+		if recurse {
+			for _, f := range cl.nodes[n].fanin {
+				fs.stack = append(fs.stack, f.Node())
+			}
+		}
+	}
+	freed := 0
+	if !usesI {
+		// Dereference from i: every fanout of i gets remapped to s during
+		// commit, so i itself dies, and then recursively every node whose
+		// count drops to zero, stopping at the cut leaves.
+		freed = 1
+		fs.decs = fs.decs[:0]
+		fs.stack = append(fs.stack[:0], i)
+		for len(fs.stack) > 0 {
+			n := fs.stack[len(fs.stack)-1]
+			fs.stack = fs.stack[:len(fs.stack)-1]
+			for _, f := range cl.nodes[n].fanin {
+				fn := f.Node()
+				if fn >= len(refs) || cl.nodes[fn].kind != kindMaj {
+					continue
+				}
+				if v, ok := scr.get(fn); ok && v == 1 {
+					continue // cut leaf: absolute barrier
+				}
+				refs[fn]--
+				fs.decs = append(fs.decs, fn)
+				if refs[fn] == 0 {
+					freed++
+					fs.stack = append(fs.stack, fn)
+				}
+			}
+		}
+		for _, n := range fs.decs {
+			refs[n]++
+		}
+	}
+	for _, n := range fs.incs {
+		refs[n]--
+	}
+	return freed
+}
+
 // evalWindow probes the cut candidates of every node of one window against
 // the worker's private clone cl and records the winning choices. cl is
 // rolled back to its entry state before returning, so the next window on
 // this worker sees the unmodified input graph. cuts is the (read-only) cut
 // cache of the original graph; node indices are identical in the clone.
-func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice) {
+// refs is the worker-private fanout-count copy backing the freed-node
+// credit of the net-gain scoring.
+func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice, npn bool, refs []int) {
 	wcp := cl.checkpoint()
 	// Window-local remap: nodes of this window already rewritten, so later
 	// window nodes are costed against the structure they will actually
@@ -210,11 +334,17 @@ func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice)
 	}
 
 	var leafBuf, bestSigs []Signal
+	var fs freedScratch
 	for _, i := range window {
 		a := remapped(cl.nodes[i].fanin[0])
 		b := remapped(cl.nodes[i].fanin[1])
 		c := remapped(cl.nodes[i].fanin[2])
 
+		// The default reconstruction is the baseline every candidate must
+		// strictly beat on net gain (added minus freed). The default takes
+		// no freed credit: with unremapped fanins it strash-hits node i
+		// itself (added 0, freed 0), which forces candidates to actually
+		// shrink the graph before they displace existing structure.
 		cp := cl.checkpoint()
 		def := cl.Maj(a, b, c)
 		defAdded := len(cl.nodes) - cp
@@ -225,7 +355,7 @@ func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice)
 		var bestW uint64
 		bestN := 0
 		haveBest := false
-		bestAdded, bestLevel := defAdded, defLevel
+		bestNet, bestLevel := defAdded, defLevel
 		for ci := 0; ci < cuts.NumCuts(i); ci++ {
 			leaves := cuts.Leaves(i, ci)
 			if len(leaves) < 2 || len(leaves) > 6 {
@@ -240,20 +370,39 @@ func (cl *MIG) evalWindow(window []int, cuts *cut.Cache, choices []windowChoice)
 			s := cl.synthW(w, len(leafBuf), leafBuf)
 			added := len(cl.nodes) - cp
 			level := cl.Level(s)
+			net := added - cl.freedBy(i, s, leaves, refs, &fs)
 			cl.rollback(cp)
-			if added < bestAdded || (added == bestAdded && level < bestLevel) {
+			if net < bestNet || (net == bestNet && level < bestLevel) {
 				bestW, bestN = w, len(leafBuf)
 				bestSigs = append(bestSigs[:0], leafBuf...)
 				choice = windowChoice{cutIdx: int32(ci), nvars: int32(len(leafBuf)), w: w}
 				haveBest = true
-				bestAdded, bestLevel = added, level
+				bestNet, bestLevel = net, level
+			}
+			if npn && len(leafBuf) <= 4 {
+				cp := cl.checkpoint()
+				s := cl.synthNPN(w, len(leafBuf), leafBuf)
+				added := len(cl.nodes) - cp
+				level := cl.Level(s)
+				net := added - cl.freedBy(i, s, leaves, refs, &fs)
+				cl.rollback(cp)
+				if net < bestNet || (net == bestNet && level < bestLevel) {
+					bestW, bestN = w, len(leafBuf)
+					bestSigs = append(bestSigs[:0], leafBuf...)
+					choice = windowChoice{cutIdx: int32(ci), nvars: int32(len(leafBuf)), w: w, npn: true}
+					haveBest = true
+					bestNet, bestLevel = net, level
+				}
 			}
 		}
 		choices[i] = choice
 		// Commit the winner into the clone so later window nodes see it.
-		if haveBest {
+		switch {
+		case haveBest && choice.npn:
+			wremap[i] = cl.synthNPN(bestW, bestN, bestSigs)
+		case haveBest:
 			wremap[i] = cl.synthW(bestW, bestN, bestSigs)
-		} else {
+		default:
 			wremap[i] = cl.Maj(a, b, c)
 		}
 	}

@@ -1,0 +1,181 @@
+package npndb
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/sat"
+	"repro/internal/tt"
+)
+
+// TestAllEntriesSimulate verifies every one of the 222 database entries by
+// direct simulation against its class representative, that representatives
+// are strictly ascending (the canonical order cmd/npngen emits), and that
+// each representative is the minimum of its own NPN orbit.
+func TestAllEntriesSimulate(t *testing.T) {
+	es := All()
+	if len(es) != NumClasses {
+		t.Fatalf("database has %d classes, want %d", len(es), NumClasses)
+	}
+	prev := -1
+	for i := range es {
+		e := &es[i]
+		if int(e.Rep) <= prev {
+			t.Fatalf("class %d: representative %04x not ascending after %04x", i, e.Rep, prev)
+		}
+		prev = int(e.Rep)
+		if got := e.Eval(); got != e.Rep {
+			t.Errorf("class %04x: implementation simulates to %04x", e.Rep, got)
+		}
+		for code := 0; code < NumTransforms; code++ {
+			if v := TransformByCode(code).Apply(e.Rep); v < e.Rep {
+				t.Errorf("class %04x: orbit member %04x is smaller", e.Rep, v)
+				break
+			}
+		}
+	}
+}
+
+// TestLookupRealizesEveryFunction checks, for all 65536 4-variable
+// functions, that Lookup's entry plus transform reconstructs the function
+// exactly the way the rewrite-npn pass wires it: implementation input
+// Perm[i] carries cut input i complemented per Flip, and the root is
+// complemented per FlipOut.
+func TestLookupRealizesEveryFunction(t *testing.T) {
+	for f := 0; f < 1<<16; f++ {
+		e, tr := Lookup(uint16(f))
+		if got := tr.Apply(uint16(f)); got != e.Rep {
+			t.Fatalf("f=%04x: transform maps to %04x, class rep is %04x", f, got, e.Rep)
+		}
+		var in [4]uint16
+		for i := 0; i < 4; i++ {
+			w := inputMask16[i]
+			if tr.Flip&(1<<uint(i)) != 0 {
+				w = ^w
+			}
+			in[tr.Perm[i]] = w
+		}
+		got := e.EvalOn(in)
+		if tr.FlipOut {
+			got = ^got
+		}
+		if got != uint16(f) {
+			t.Fatalf("f=%04x: transformed implementation computes %04x (class %04x)", f, got, e.Rep)
+		}
+	}
+}
+
+// TestAgreesWithTTNPNCanon cross-checks the word-level canonicalization
+// against the independent generic implementation in internal/tt.
+func TestAgreesWithTTNPNCanon(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 512; trial++ {
+		f := uint16(r.Uint32())
+		e, _ := Lookup(f)
+		canon, _ := tt.NPNCanon(tt.FromWords(4, []uint64{uint64(f)}))
+		if uint16(canon.Word(0)) != e.Rep {
+			t.Fatalf("f=%04x: npndb class %04x, tt.NPNCanon %04x", f, e.Rep, canon.Word(0))
+		}
+	}
+}
+
+// TestSampledEntriesSizeOptimal re-proves size optimality for a
+// deterministic sample of proven entries: synthesis with one gate fewer
+// must be UNSAT.
+func TestSampledEntriesSizeOptimal(t *testing.T) {
+	es := All()
+	checked := 0
+	for i := 0; i < len(es) && checked < 8; i += 31 {
+		e := &es[i]
+		if !e.Proven || e.Size() < 1 || e.Size() > 5 {
+			continue // keep the UNSAT proofs cheap enough for -race CI
+		}
+		r := exact.Synthesize(context.Background(), 4, uint64(e.Rep), e.Size()-1, 0, 0)
+		if e.Size() == 1 {
+			// Gate-free realizations are handled outside the encoder: the
+			// representative must not be a constant or literal.
+			if _, ok := trivial(e.Rep); ok {
+				t.Errorf("class %04x: 1-gate entry but function is trivial", e.Rep)
+			}
+			continue
+		}
+		if r.Status != sat.Unsat {
+			t.Errorf("class %04x: %d gates claimed optimal but k-1 gave %v", e.Rep, e.Size(), r.Status)
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d entries spot-checked, want at least 4", checked)
+	}
+}
+
+// trivial mirrors the generator's gate-free cases.
+func trivial(f uint16) (Sig, bool) {
+	if f == 0 {
+		return MkSig(0, false), true
+	}
+	if f == 0xFFFF {
+		return MkSig(0, true), true
+	}
+	for i := 0; i < 4; i++ {
+		if f == inputMask16[i] {
+			return MkSig(1+i, false), true
+		}
+		if f == ^inputMask16[i] {
+			return MkSig(1+i, true), true
+		}
+	}
+	return 0, false
+}
+
+// TestTextMirrorFresh pins npn4.txt to the Go table: cmd/npngen writes
+// both, so any hand edit or stale regeneration fails here (and in the CI
+// npngen -check gate).
+func TestTextMirrorFresh(t *testing.T) {
+	if EmbeddedText() != Text() {
+		t.Fatal("npn4.txt does not match the generated table; run go run ./cmd/npngen")
+	}
+}
+
+// TestTransformCodeRoundTrip pins the code <-> transform bijection the
+// lookup table depends on.
+func TestTransformCodeRoundTrip(t *testing.T) {
+	for code := 0; code < NumTransforms; code++ {
+		if got := codeOf(TransformByCode(code)); int(got) != code {
+			t.Fatalf("code %d round-trips to %d", code, got)
+		}
+	}
+}
+
+// TestTransformInverse pins Inverse as a group inverse under Apply.
+func TestTransformInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 500; trial++ {
+		f := uint16(r.Uint32())
+		tr := TransformByCode(r.Intn(NumTransforms))
+		if got := tr.Inverse().Apply(tr.Apply(f)); got != f {
+			t.Fatalf("inverse round trip: %04x -> %04x", f, got)
+		}
+	}
+}
+
+// TestDepthMatchesGateLevels sanity-checks Depth on a known entry shape.
+func TestDepthMatchesGateLevels(t *testing.T) {
+	e := Entry{
+		Rep:  0x8000,
+		Root: MkSig(7, false),
+		Gates: []Gate{
+			{MkSig(1, false), MkSig(2, false), MkSig(0, false)},
+			{MkSig(3, false), MkSig(4, false), MkSig(0, false)},
+			{MkSig(5, false), MkSig(6, false), MkSig(0, false)},
+		},
+	}
+	if e.Eval() != 0x8000 {
+		t.Fatalf("and4 entry evaluates to %04x", e.Eval())
+	}
+	if e.Depth() != 2 {
+		t.Fatalf("balanced and4 depth = %d, want 2", e.Depth())
+	}
+}

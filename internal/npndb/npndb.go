@@ -1,0 +1,322 @@
+// Package npndb is the checked-in database of size-optimal MIG
+// implementations for the 222 NPN classes of 4-input Boolean functions.
+// The table (db_gen.go, mirrored as npn4.txt for human-readable diffing)
+// is produced offline by cmd/npngen, which runs SAT-based exact synthesis
+// (internal/exact) per class representative: minimum gate count first,
+// minimum depth at that gate count as the tiebreak. The rewrite-npn pass
+// replaces enumerated cuts with these implementations after undoing the
+// NPN transform on the cut inputs and output.
+//
+// A class representative is the lexicographically smallest truth table of
+// its NPN orbit, the same canonical form internal/tt.NPNCanon computes.
+// Lookup covers every 16-bit function through a lazily built table mapping
+// each function to its class and a transform onto the representative.
+package npndb
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// NumClasses is the number of NPN classes of 4-variable functions.
+const NumClasses = 222
+
+// Sig references a signal inside an implementation: index<<1 | neg.
+// Index 0 is constant 0, 1..4 are the inputs x0..x3, and 5+j is gate j.
+// The encoding matches internal/exact.Sig.
+type Sig uint8
+
+// MkSig builds a signal from an index and a complement flag.
+func MkSig(idx int, neg bool) Sig {
+	s := Sig(idx << 1)
+	if neg {
+		s |= 1
+	}
+	return s
+}
+
+// Index returns the signal's node index.
+func (s Sig) Index() int { return int(s >> 1) }
+
+// Neg reports whether the signal is complemented.
+func (s Sig) Neg() bool { return s&1 != 0 }
+
+// Gate is one majority gate: three fanin signals.
+type Gate [3]Sig
+
+// Entry is the optimal implementation of one NPN class representative.
+type Entry struct {
+	Rep    uint16 // canonical truth table of the class
+	Root   Sig    // output signal (a gate, an input, or const0)
+	Gates  []Gate // majority gates in topological order
+	Proven bool   // size proven optimal (UNSAT at one gate fewer)
+}
+
+// Size returns the gate count.
+func (e *Entry) Size() int { return len(e.Gates) }
+
+// inputMask16[i] is the projection of input i over the 16 minterms.
+var inputMask16 = [4]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// Eval simulates the implementation over all 16 minterms.
+func (e *Entry) Eval() uint16 { return e.EvalOn(inputMask16) }
+
+// EvalOn simulates the implementation with the given input truth tables
+// (in[j] is the word implementation input j carries over the 16 minterms).
+func (e *Entry) EvalOn(in [4]uint16) uint16 {
+	var vals [32]uint16
+	copy(vals[1:5], in[:])
+	for j, g := range e.Gates {
+		a := sigVal16(&vals, g[0])
+		b := sigVal16(&vals, g[1])
+		c := sigVal16(&vals, g[2])
+		vals[5+j] = a&b | a&c | b&c
+	}
+	return sigVal16(&vals, e.Root)
+}
+
+func sigVal16(vals *[32]uint16, s Sig) uint16 {
+	v := vals[s.Index()]
+	if s.Neg() {
+		v = ^v
+	}
+	return v
+}
+
+// Depth returns the number of gate levels on the longest path to the root
+// (inverters are free).
+func (e *Entry) Depth() int {
+	var lev [32]int
+	for j, g := range e.Gates {
+		l := lev[g[0].Index()]
+		if x := lev[g[1].Index()]; x > l {
+			l = x
+		}
+		if x := lev[g[2].Index()]; x > l {
+			l = x
+		}
+		lev[5+j] = l + 1
+	}
+	return lev[e.Root.Index()]
+}
+
+// Transform maps a 4-variable function onto another member of its NPN
+// orbit: inputs in Flip are complemented, then variable i of the source
+// becomes variable Perm[i], then the output is complemented if FlipOut.
+// The semantics match internal/tt.NPNTransform.
+type Transform struct {
+	Perm    [4]uint8
+	Flip    uint8
+	FlipOut bool
+}
+
+// Apply applies the transform to f.
+func (tr Transform) Apply(f uint16) uint16 {
+	for i := 0; i < 4; i++ {
+		if tr.Flip&(1<<uint(i)) != 0 {
+			f = flipVar16(f, i)
+		}
+	}
+	f = permute16(f, tr.Perm)
+	if tr.FlipOut {
+		f = ^f
+	}
+	return f
+}
+
+// Inverse returns the transform undoing tr.
+func (tr Transform) Inverse() Transform {
+	inv := Transform{FlipOut: tr.FlipOut}
+	for i, p := range tr.Perm {
+		inv.Perm[p] = uint8(i)
+		if tr.Flip&(1<<uint(i)) != 0 {
+			inv.Flip |= 1 << uint(p)
+		}
+	}
+	return inv
+}
+
+// flipVar16 complements variable i: bit t of the result is bit t^(1<<i) of f.
+func flipVar16(f uint16, i int) uint16 {
+	switch i {
+	case 0:
+		return (f&0xAAAA)>>1 | (f&0x5555)<<1
+	case 1:
+		return (f&0xCCCC)>>2 | (f&0x3333)<<2
+	case 2:
+		return (f&0xF0F0)>>4 | (f&0x0F0F)<<4
+	default:
+		return f>>8 | f<<8
+	}
+}
+
+// permute16 moves bit i of each minterm to bit perm[i].
+func permute16(f uint16, perm [4]uint8) uint16 {
+	var r uint16
+	for m := 0; m < 16; m++ {
+		if f&(1<<uint(m)) == 0 {
+			continue
+		}
+		pm := 0
+		for i := 0; i < 4; i++ {
+			if m&(1<<uint(i)) != 0 {
+				pm |= 1 << perm[i]
+			}
+		}
+		r |= 1 << uint(pm)
+	}
+	return r
+}
+
+// perms4 lists the 24 permutations of 4 elements in lexicographic order,
+// the same order internal/tt enumerates them.
+var perms4 = func() [24][4]uint8 {
+	var out [24][4]uint8
+	n := 0
+	var rec func(cur []uint8, used uint8)
+	rec = func(cur []uint8, used uint8) {
+		if len(cur) == 4 {
+			copy(out[n][:], cur)
+			n++
+			return
+		}
+		for i := uint8(0); i < 4; i++ {
+			if used&(1<<i) == 0 {
+				rec(append(cur, i), used|1<<i)
+			}
+		}
+	}
+	rec(nil, 0)
+	return out
+}()
+
+// NumTransforms is the size of the NPN transform group for 4 variables:
+// 24 permutations x 16 input flips x 2 output flips.
+const NumTransforms = 24 * 16 * 2
+
+// TransformByCode decodes a transform index in [0, NumTransforms).
+func TransformByCode(code int) Transform {
+	return Transform{
+		Perm:    perms4[code>>5],
+		Flip:    uint8(code>>1) & 0xF,
+		FlipOut: code&1 != 0,
+	}
+}
+
+// codeOf is the inverse of TransformByCode.
+func codeOf(tr Transform) uint16 {
+	pi := -1
+	for i := range perms4 {
+		if perms4[i] == tr.Perm {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		panic("npndb: invalid permutation")
+	}
+	code := pi<<5 | int(tr.Flip)<<1
+	if tr.FlipOut {
+		code |= 1
+	}
+	return uint16(code)
+}
+
+// All returns the class entries ordered by ascending representative. The
+// slice and entries are shared and must not be modified.
+func All() []Entry { return entries }
+
+var (
+	tabOnce  sync.Once
+	tabClass [1 << 16]uint8  // class index of each function
+	tabCode  [1 << 16]uint16 // transform code mapping the function to its rep
+)
+
+func buildTab() {
+	if len(entries) != NumClasses {
+		panic(fmt.Sprintf("npndb: table has %d classes, want %d (regenerate with cmd/npngen)", len(entries), NumClasses))
+	}
+	for i := range tabCode {
+		tabCode[i] = 0xFFFF
+	}
+	// First-wins in fixed (class, code) order keeps the table deterministic
+	// even though stabilizer subgroups make several transforms equivalent.
+	for ci := range entries {
+		rep := entries[ci].Rep
+		for code := 0; code < NumTransforms; code++ {
+			tr := TransformByCode(code)
+			f := tr.Apply(rep) // tr maps rep -> f, so store the inverse
+			if tabCode[f] == 0xFFFF {
+				tabClass[f] = uint8(ci)
+				tabCode[f] = codeOf(tr.Inverse())
+			}
+		}
+	}
+	for f := range tabCode {
+		if tabCode[f] == 0xFFFF {
+			panic(fmt.Sprintf("npndb: function %04x not covered by any class orbit", f))
+		}
+	}
+}
+
+// Lookup returns the optimal implementation of f's NPN class together with
+// a transform tr such that tr.Apply(f) == entry.Rep. To realize f over cut
+// leaves l0..l3: feed implementation input tr.Perm[i] with li complemented
+// iff bit i of tr.Flip is set, then complement the root iff tr.FlipOut.
+func Lookup(f uint16) (*Entry, Transform) {
+	tabOnce.Do(buildTab)
+	return &entries[tabClass[f]], TransformByCode(int(tabCode[f]))
+}
+
+// sigName renders a signal in the x0..x3/g0../0/1 notation.
+func sigName(s Sig) string {
+	var base string
+	switch idx := s.Index(); {
+	case idx == 0:
+		if s.Neg() {
+			return "1"
+		}
+		base = "0"
+	case idx <= 4:
+		base = fmt.Sprintf("x%d", idx-1)
+	default:
+		base = fmt.Sprintf("g%d", idx-5)
+	}
+	if s.Neg() {
+		return base + "'"
+	}
+	return base
+}
+
+// FormatEntries renders entries in the canonical text form checked in as
+// npn4.txt. cmd/npngen writes it and the freshness test diffs it against
+// the embedded copy.
+func FormatEntries(es []Entry) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# 4-input NPN class database: %d size-optimal MIG implementations.\n", len(es))
+	sb.WriteString("# <rep> gates=<n> depth=<d> <proven|budgeted> root=<sig> [g<i>=M(a,b,c)...]\n")
+	for i := range es {
+		e := &es[i]
+		status := "proven"
+		if !e.Proven {
+			status = "budgeted"
+		}
+		fmt.Fprintf(&sb, "%04x gates=%d depth=%d %s root=%s", e.Rep, e.Size(), e.Depth(), status, sigName(e.Root))
+		for j, g := range e.Gates {
+			fmt.Fprintf(&sb, " g%d=M(%s,%s,%s)", j, sigName(g[0]), sigName(g[1]), sigName(g[2]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+//go:embed npn4.txt
+var embeddedText string
+
+// Text returns the canonical text form of the checked-in table.
+func Text() string { return FormatEntries(entries) }
+
+// EmbeddedText returns the npn4.txt file compiled into the binary.
+func EmbeddedText() string { return embeddedText }

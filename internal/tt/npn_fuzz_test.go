@@ -1,0 +1,102 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// applyCoded applies the NPN transform decoded from code (24 permutations
+// x 16 input flips x 2 output flips = 768 codes) to f. Decoding is local
+// to the test so the fuzzer exercises NPNTransform with transforms built
+// independently of NPNCanon.
+func applyCoded(f TT, code int) TT {
+	n := f.NumVars()
+	perms := permutations(n)
+	nf := 1 << uint(n)
+	tr := NPNTransform{
+		Perm:     perms[code/(nf*2)%len(perms)],
+		FlipMask: uint32(code / 2 % nf),
+		FlipOut:  code%2 == 1,
+	}
+	return tr.Apply(f)
+}
+
+// orbitContains reports whether g is NPN-equivalent to f by exhaustive
+// transform enumeration — the ground truth NPNCanon must agree with.
+func orbitContains(f, g TT) bool {
+	n := f.NumVars()
+	total := len(permutations(n)) * (1 << uint(n)) * 2
+	for code := 0; code < total; code++ {
+		if applyCoded(f, code).Equal(g) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzNPNCanon pins the canonicalization contract on 4-variable functions:
+// the returned transform maps f onto the canon and inverts back (round
+// trip), the canon is minimal and idempotent, every member of f's orbit
+// canonicalizes to the same representative, and canon(f) == canon(g) holds
+// exactly when f and g are NPN-equivalent.
+func FuzzNPNCanon(fz *testing.F) {
+	fz.Add(uint16(0x6996), uint16(0x9669), uint16(3))
+	fz.Add(uint16(0xCAFE), uint16(0x1234), uint16(767))
+	fz.Add(uint16(0x0000), uint16(0xFFFF), uint16(0))
+	fz.Add(uint16(0xAAAA), uint16(0x5555), uint16(42))
+	fz.Fuzz(func(t *testing.T, fw, gw, code uint16) {
+		f := FromWords(4, []uint64{uint64(fw)})
+		g := FromWords(4, []uint64{uint64(gw)})
+
+		canonF, tr := NPNCanon(f)
+		if !tr.Apply(f).Equal(canonF) {
+			t.Fatalf("transform does not map %04x to its canon %04x", fw, canonF.Word(0))
+		}
+		if !tr.Inverse().Apply(canonF).Equal(f) {
+			t.Fatalf("inverse transform does not map the canon back to %04x", fw)
+		}
+		if canonF.Word(0) > f.Word(0) {
+			t.Fatalf("canon %04x is not minimal for %04x", canonF.Word(0), fw)
+		}
+		if c2, _ := NPNCanon(canonF); !c2.Equal(canonF) {
+			t.Fatalf("canon is not idempotent: %04x -> %04x", canonF.Word(0), c2.Word(0))
+		}
+
+		// Any transformed variant must share the representative.
+		variant := applyCoded(f, int(code)%768)
+		if cv, _ := NPNCanon(variant); !cv.Equal(canonF) {
+			t.Fatalf("orbit member %04x canonicalizes to %04x, f to %04x",
+				variant.Word(0), cv.Word(0), canonF.Word(0))
+		}
+
+		// canon(f) == canon(g) iff g is in f's orbit.
+		canonG, _ := NPNCanon(g)
+		if canonF.Equal(canonG) != orbitContains(f, g) {
+			t.Fatalf("canon equality (%v) disagrees with orbit membership for %04x vs %04x",
+				canonF.Equal(canonG), fw, gw)
+		}
+	})
+}
+
+// TestNPNTransformGroup pins composition properties of NPNTransform on
+// random functions and transforms: Apply/Inverse round-trips both ways and
+// the inverse of the inverse is the original transform's action.
+func TestNPNTransformGroup(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		f := FromWords(4, []uint64{uint64(r.Uint32() & 0xFFFF)})
+		code := r.Intn(768)
+		g := applyCoded(f, code)
+		perms := permutations(4)
+		tr := NPNTransform{Perm: perms[code/32%24], FlipMask: uint32(code / 2 % 16), FlipOut: code%2 == 1}
+		if !tr.Apply(f).Equal(g) {
+			t.Fatal("applyCoded and NPNTransform.Apply disagree")
+		}
+		if !tr.Inverse().Apply(g).Equal(f) {
+			t.Fatalf("inverse round trip failed for code %d on %04x", code, f.Word(0))
+		}
+		if !tr.Inverse().Inverse().Apply(f).Equal(g) {
+			t.Fatalf("double inverse is not the identity for code %d", code)
+		}
+	}
+}

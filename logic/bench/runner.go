@@ -26,6 +26,9 @@ type Config struct {
 	MIGScript    string // optional pass script replacing the canned MIG flow
 	// Fraig appends the SAT-sweeping pass to the canned MIG and AIG flows.
 	Fraig bool
+	// NPN appends the exact NPN-database rewriting pass (rewrite-npn) to
+	// the canned MIG flow.
+	NPN bool
 	// KeepTrace retains the per-pass trace on OptMetrics (migbench
 	// -pass-profile aggregates it into a pass-level time profile).
 	KeepTrace bool

@@ -91,13 +91,17 @@ func MIGOptimize(n *netlist.Network, effort int) (*mig.MIG, OptMetrics) {
 // pass script (migbench -mig-script) replaces the canned §V.A flow, so
 // experimental pipelines — window-parallel rewriting and SAT sweeping in
 // particular — can be benchmarked through the standard experiment harness;
-// cfg.Fraig instead appends the SAT-sweeping pass to the canned flow. A
+// cfg.NPN and cfg.Fraig instead append the exact NPN rewriting and
+// SAT-sweeping passes to the canned flow. A
 // script failure is reported on stderr (the row only carries OK=false) so
 // a broken script is diagnosable from the run log.
 func MIGOptimizeCfg(n *netlist.Network, cfg Config) (*mig.MIG, OptMetrics) {
 	var p *opt.Pipeline[*mig.MIG]
 	if cfg.MIGScript == "" {
 		p = MIGOptPipeline(cfg.Effort)
+		if cfg.NPN {
+			p.Append(mig.Passes().MustNew("rewrite-npn"))
+		}
 		if cfg.Fraig {
 			p.Append(mig.Passes().MustNew("fraig"))
 		}

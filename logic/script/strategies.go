@@ -40,6 +40,17 @@ func init() {
 		Source: SourceCurated,
 	})
 	register(Strategy{
+		Name:      "migscript3",
+		Kind:      KindMIG,
+		Objective: "size",
+		Description: "Exact MIG flow (mockturtle mig_npn-style): NPN-database cut " +
+			"rewriting with SAT-proven optimal 4-input implementations, interleaved " +
+			"with algebraic elimination and reshaping.",
+		Effort: 2,
+		Script: "cleanup; eliminate; rewrite-npn; eliminate; reshape-size; eliminate; rewrite-npn; eliminate",
+		Source: SourceCurated,
+	})
+	register(Strategy{
 		Name:      "aigscript",
 		Kind:      KindAIG,
 		Objective: "size",

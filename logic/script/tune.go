@@ -103,7 +103,7 @@ func DefaultCandidates() []string {
 	return []string{
 		"cleanup", "eliminate", "eliminate(8)", "eliminate-budget",
 		"reshape-size", "reshape-depth", "pushup", "cut-rewrite",
-		"window-rewrite", "fraig", "activity",
+		"window-rewrite", "rewrite-npn", "fraig", "activity",
 	}
 }
 
